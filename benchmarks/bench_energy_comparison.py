@@ -1,0 +1,42 @@
+"""§VI-B energy comparison: hybrid MCPC+SCC vs pure-SCC n-renderers.
+
+Paper arithmetic: 3.3 s · 28 W + 51 s · 50 W = 2642 J for the hybrid,
+58 s · 58 W = 3364 J for the n-renderer system — "it is reasonable to
+use the hybrid MCPC and SCC approach in long running applications for a
+better performance/power consumption ratio."
+"""
+
+import pytest
+
+from repro.report import format_table, paper
+
+
+def test_energy_comparison(once, runs):
+    def compute():
+        hybrid = runs.scc("mcpc_renderer", 5)
+        nrend = runs.scc("n_renderers", 7)
+        return hybrid, nrend
+
+    hybrid, nrend = once(compute)
+    e_hybrid = hybrid.total_energy_j()
+    e_nrend = nrend.total_energy_j()
+
+    rows = [
+        ["hybrid (MCPC, 5 pl.)", f"{paper.ENERGY_HYBRID_J:.0f}",
+         f"{e_hybrid:.0f}"],
+        ["n renderers (7 pl.)", f"{paper.ENERGY_NREND_J:.0f}",
+         f"{e_nrend:.0f}"],
+    ]
+    print()
+    print(format_table(["system", "paper J", "sim J"], rows,
+                       title="§VI-B — energy for one walkthrough"))
+    print(f"MCPC render energy above idle: "
+          f"{hybrid.mcpc_energy_above_idle_j:.0f} J "
+          f"(paper: {paper.MCPC_RENDER_SECONDS * 28.0:.0f} J)")
+
+    assert e_hybrid < e_nrend
+    assert e_hybrid == pytest.approx(paper.ENERGY_HYBRID_J, rel=0.15)
+    assert e_nrend == pytest.approx(paper.ENERGY_NREND_J, rel=0.15)
+    # The host's rendering contribution is tiny (3.3 s at +28 W).
+    assert hybrid.mcpc_energy_above_idle_j == pytest.approx(
+        paper.MCPC_RENDER_SECONDS * 28.0, rel=0.25)

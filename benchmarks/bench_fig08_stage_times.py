@@ -1,0 +1,71 @@
+"""Figure 8 + §VI-A anchors: per-stage time on one SCC core.
+
+Regenerates the single-core stage breakdown (Fig. 8) and the three text
+anchors: whole pipeline 382 s, render-only ~94 s, render+transfer
+~104 s.
+"""
+
+import pytest
+
+from repro.pipeline import (
+    CostModel,
+    FILTER_KEYS,
+    PipelineRunner,
+    default_workload,
+)
+from repro.report import format_comparison, paper
+
+
+def stage_seconds_single_core():
+    """Per-stage seconds over the 400-frame walkthrough on one core."""
+    workload = default_workload()
+    cost = CostModel()
+    totals = {k: 0.0 for k in ("render", *FILTER_KEYS, "transfer")}
+    for frame in range(workload.frames):
+        profile = workload.profile(frame)
+        totals["render"] += cost.render_seconds(profile)
+        for key in FILTER_KEYS:
+            totals[key] += cost.filter_seconds(key, profile.pixels)
+        # transfer = assemble + the 640 KB UDP send to the viewer
+        totals["transfer"] += cost.assemble_seconds(profile.pixels) + 0.020
+    return totals
+
+
+def test_fig08_stage_breakdown(once, runs):
+    totals = once(stage_seconds_single_core)
+    stages = list(paper.FIG8_STAGE_SECONDS)
+    ref = [paper.FIG8_STAGE_SECONDS[s] * 400 for s in stages]
+    measured = [totals[s] for s in stages]
+    print()
+    print(format_comparison("stage", stages, ref, measured,
+                            title="Fig. 8 — stage seconds on one SCC core "
+                                  "(whole walkthrough)"))
+    for s, r, m in zip(stages, ref, measured):
+        assert m == pytest.approx(r, rel=0.10), s
+    # Blur dominates the filters; render is the most expensive non-filter.
+    assert totals["blur"] == max(totals[k] for k in FILTER_KEYS)
+
+
+def test_single_core_walkthrough_anchor(once, runs):
+    result = once(lambda: runs.scc("single_core"))
+    print(f"\nsingle core walkthrough: paper {paper.BASELINE_SINGLE_CORE_S}s"
+          f" measured {result.walkthrough_seconds:.1f}s")
+    assert result.walkthrough_seconds == pytest.approx(
+        paper.BASELINE_SINGLE_CORE_S, rel=0.05)
+
+
+def test_render_only_and_render_transfer_anchors(once):
+    def compute():
+        totals = stage_seconds_single_core()
+        render_only = totals["render"]
+        render_transfer = totals["render"] + totals["transfer"]
+        return render_only, render_transfer
+
+    render_only, render_transfer = once(compute)
+    print(f"\nrender only: paper ~{paper.RENDER_ONLY_S}s "
+          f"measured {render_only:.1f}s")
+    print(f"render+transfer: paper ~{paper.RENDER_TRANSFER_ONLY_S}s "
+          f"measured {render_transfer:.1f}s")
+    assert render_only == pytest.approx(paper.RENDER_ONLY_S, rel=0.10)
+    assert render_transfer == pytest.approx(paper.RENDER_TRANSFER_ONLY_S,
+                                            rel=0.10)

@@ -1,0 +1,46 @@
+"""Figure 9: one SCC renderer, walkthrough time vs pipeline count.
+
+The configuration saturates around 101 s because the single render core
+is the bottleneck — "this configuration does not scale well due to the
+rendering bottleneck."
+"""
+
+import pytest
+
+from repro.pipeline import ARRANGEMENTS
+from repro.report import format_series, paper
+
+PIPELINES = range(1, 9)  # the paper's Fig. 9 x axis runs to 8
+
+
+def test_fig09_one_renderer_sweep(once, runs):
+    def sweep():
+        return {
+            arr: [runs.scc("one_renderer", n, arr).walkthrough_seconds
+                  for n in PIPELINES]
+            for arr in ARRANGEMENTS
+        }
+
+    measured = once(sweep)
+    series = {f"sim:{arr}": vals for arr, vals in measured.items()}
+    series["paper:unord"] = list(
+        paper.TABLE1[("one_renderer", "unordered")]) + [101.0]
+    print()
+    print(format_series("pipelines", list(PIPELINES), series,
+                        title="Fig. 9 — processing time, 1 renderer (s)"))
+
+    for arr, vals in measured.items():
+        ref = paper.TABLE1[("one_renderer", arr)]
+        for n, (m, r) in enumerate(zip(vals, ref), start=1):
+            assert m == pytest.approx(r, rel=0.15), (arr, n)
+        # Saturation: beyond 3 pipelines the curve is flat.
+        assert max(vals[2:]) / min(vals[2:]) < 1.03
+        # The knee: 2 pipelines ~halve the time, 3 gain little more.
+        assert vals[0] / vals[1] == pytest.approx(2.0, rel=0.10)
+
+
+def test_fig09_arrangement_invariance(runs):
+    for n in (2, 5, 8):
+        times = [runs.scc("one_renderer", n, arr).walkthrough_seconds
+                 for arr in ARRANGEMENTS]
+        assert max(times) / min(times) < 1.03

@@ -1,0 +1,50 @@
+"""Figure 10: one sort-first renderer per pipeline.
+
+"The system scales better using this configuration" — down to ~58 s at
+the maximum of 7 pipelines, bounded by per-strip culling work that does
+not shrink with the strip count.
+"""
+
+import pytest
+
+from repro.pipeline import ARRANGEMENTS
+from repro.report import format_series, paper
+
+PIPELINES = range(1, 8)  # 7 is the maximum that fits (paper §VI-A)
+
+
+def test_fig10_n_renderers_sweep(once, runs):
+    def sweep():
+        return {
+            arr: [runs.scc("n_renderers", n, arr).walkthrough_seconds
+                  for n in PIPELINES]
+            for arr in ARRANGEMENTS
+        }
+
+    measured = once(sweep)
+    series = {f"sim:{arr}": vals for arr, vals in measured.items()}
+    series["paper:unord"] = list(paper.TABLE1[("n_renderers", "unordered")])
+    print()
+    print(format_series("pipelines", list(PIPELINES), series,
+                        title="Fig. 10 — processing time, n renderers (s)"))
+
+    for arr, vals in measured.items():
+        ref = paper.TABLE1[("n_renderers", arr)]
+        for n, (m, r) in enumerate(zip(vals, ref), start=1):
+            assert m == pytest.approx(r, rel=0.15), (arr, n)
+        # Monotone improvement all the way to 7 pipelines.
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+
+def test_fig10_beats_fig09_beyond_two_pipelines(runs):
+    for n in (3, 5, 7):
+        nrend = runs.scc("n_renderers", n).walkthrough_seconds
+        onerend = runs.scc("one_renderer", n).walkthrough_seconds
+        assert nrend < onerend
+
+
+def test_fig10_arrangement_invariance(runs):
+    for n in (3, 7):
+        times = [runs.scc("n_renderers", n, arr).walkthrough_seconds
+                 for arr in ARRANGEMENTS]
+        assert max(times) / min(times) < 1.03

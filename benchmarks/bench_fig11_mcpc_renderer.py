@@ -1,0 +1,56 @@
+"""Figure 11: the heterogeneous configuration (MCPC renders).
+
+"If the MCPC is used for rendering the system scales well until more
+than four pipelines are used" — best ~51-53 s around 5 pipelines, then
+a slight dip as the connect stage's per-strip dispatch grows.
+"""
+
+import pytest
+
+from repro.pipeline import ARRANGEMENTS
+from repro.report import format_series, paper
+
+PIPELINES = range(1, 9)
+
+
+def test_fig11_mcpc_sweep(once, runs):
+    def sweep():
+        return {
+            arr: [runs.scc("mcpc_renderer", n, arr).walkthrough_seconds
+                  for n in PIPELINES]
+            for arr in ARRANGEMENTS
+        }
+
+    measured = once(sweep)
+    series = {f"sim:{arr}": vals for arr, vals in measured.items()}
+    series["paper:flip"] = list(
+        paper.TABLE1[("mcpc_renderer", "flipped")]) + [54.0]
+    print()
+    print(format_series("pipelines", list(PIPELINES), series,
+                        title="Fig. 11 — processing time, MCPC renderer (s)"))
+
+    for arr, vals in measured.items():
+        ref = paper.TABLE1[("mcpc_renderer", arr)]
+        for n, (m, r) in enumerate(zip(vals, ref), start=1):
+            assert m == pytest.approx(r, rel=0.15), (arr, n)
+        # The optimum sits at 4-6 pipelines and performance dips after.
+        best = min(range(len(vals)), key=lambda i: vals[i]) + 1
+        assert best in (4, 5, 6)
+        assert vals[7] > min(vals)
+
+
+def test_fig11_wins_overall(runs):
+    """The heterogeneous system achieves the best SCC walkthrough time."""
+    best_mcpc = min(runs.scc("mcpc_renderer", n).walkthrough_seconds
+                    for n in (4, 5, 6))
+    best_nrend = min(runs.scc("n_renderers", n).walkthrough_seconds
+                     for n in (6, 7))
+    assert best_mcpc < best_nrend
+
+
+def test_fig11_speedup_vs_one_core(runs):
+    baseline = runs.scc("single_core").walkthrough_seconds
+    best = min(runs.scc("mcpc_renderer", n).walkthrough_seconds
+               for n in PIPELINES)
+    assert baseline / best == pytest.approx(
+        paper.SPEEDUPS["mcpc_renderer"]["max_vs_core"], rel=0.2)

@@ -1,0 +1,51 @@
+"""Figure 12: rendering time vs image size, single pipeline, MCPC feed.
+
+The paper's point: there is **no jump when the strip stops fitting in
+the 256 KiB L2** — the filters stream, so time grows smoothly
+(essentially quadratically in the side length) with a gentle curvature
+from the per-datagram UDP overhead of the frame feed.
+"""
+
+import pytest
+
+from repro.pipeline import PipelineRunner, WalkthroughWorkload
+from repro.report import format_series, paper
+
+#: the Fig. 12 x axis: side length (with its frame size in KB)
+SIDES = paper.FIG12_SIDES
+
+
+def run_side(side: int) -> float:
+    workload = WalkthroughWorkload(frames=400, image_side=side)
+    return PipelineRunner(config="mcpc_renderer", pipelines=1,
+                          frames=400, image_side=side,
+                          workload=workload).run().walkthrough_seconds
+
+
+def test_fig12_image_size_sweep(once):
+    measured = once(lambda: [run_side(s) for s in SIDES])
+    labels = [f"{s}({s * s * 4 // 1000}kb)" for s in SIDES]
+    print()
+    print(format_series("side(data)", labels, {"sim_seconds": measured},
+                        title="Fig. 12 — walkthrough time vs image size"))
+
+    # Monotone growth, no discontinuity at the cache boundary.
+    assert all(a < b for a, b in zip(measured, measured[1:]))
+
+    # The L2 boundary sits between side 250 (250 KB) and 300 (360 KB):
+    # the relative step there must look like the neighbouring steps, not
+    # like a cliff (no significant jump when L2 is exceeded).
+    import math
+    steps = [b / a for a, b in zip(measured, measured[1:])]
+    l2_step = steps[4]        # 250 -> 300
+    other = steps[3]          # 200 -> 250
+    assert l2_step == pytest.approx(other * (300 / 250) ** 2 /
+                                    (250 / 200) ** 2, rel=0.25)
+
+    # Roughly quadratic at the top end (blur dominates): quadrupling the
+    # area from side 200 to 400 roughly quadruples the time.
+    ratio = measured[-1] / measured[3]
+    assert 2.5 < ratio < 4.5
+
+    # The full-size point matches the Fig. 11 single-pipeline value.
+    assert measured[-1] == pytest.approx(222.0, rel=0.10)

@@ -1,0 +1,61 @@
+"""Figure 14: SCC power vs time for 1..8 pipelines (MCPC renderer).
+
+Power rises linearly with the pipeline count (7, 12, ..., 42 CPUs), the
+trace is flat while the walkthrough runs, and — like the timing — the
+arrangement has no influence on power.
+"""
+
+import pytest
+
+from repro.pipeline import ARRANGEMENTS, PipelineRunner
+from repro.report import format_series, paper
+
+PIPELINES = range(1, 9)
+
+
+def trace_run(n, arrangement="ordered"):
+    return PipelineRunner(config="mcpc_renderer", pipelines=n,
+                          arrangement=arrangement, power_trace_dt=5.0).run()
+
+
+def test_fig14_power_scaling(once, runs):
+    def sweep():
+        return {n: trace_run(n) for n in PIPELINES}
+
+    results = once(sweep)
+    cpus = [2 + 5 * n for n in PIPELINES]
+    watts = [results[n].scc_avg_power_w for n in PIPELINES]
+    print()
+    print(format_series("CPUs", cpus, {"sim_watts": watts},
+                        title="Fig. 14 — SCC power vs pipeline count"))
+    from repro.report import sparkline
+    for n in (1, 4, 8):
+        trace = [w for _, w in results[n].power_trace]
+        print(f"  {2 + 5 * n:2d} CPUs trace: {sparkline(trace)}")
+
+    # Linear growth in the number of pipelines.
+    diffs = [b - a for a, b in zip(watts, watts[1:])]
+    assert all(d == pytest.approx(diffs[0], rel=0.05) for d in diffs)
+    # Anchor: 27 cores (5 pipelines) draw ~50 W.
+    assert watts[4] == pytest.approx(paper.POWER_MCPC_5PL_W, abs=2.0)
+    # Everything sits well above the 22 W idle floor.
+    assert min(watts) > paper.POWER_IDLE_W + 10.0
+
+
+def test_fig14_traces_flat_during_run():
+    result = trace_run(5)
+    run_samples = [w for t, w in result.power_trace
+                   if 1.0 < t < result.walkthrough_seconds - 1.0]
+    assert max(run_samples) - min(run_samples) < 2.0
+
+
+def test_fig14_arrangement_has_no_power_influence():
+    watts = [trace_run(4, arr).scc_avg_power_w for arr in ARRANGEMENTS]
+    assert max(watts) - min(watts) < 0.5
+
+
+def test_fig14_power_returns_to_idle_after_run():
+    runner = PipelineRunner(config="mcpc_renderer", pipelines=3, frames=40)
+    runner.run()
+    assert runner.last_chip.power.current_power() == pytest.approx(
+        paper.POWER_IDLE_W)

@@ -1,0 +1,46 @@
+"""Figure 15: per-stage idle times, MCPC renderer, seven pipelines.
+
+The stages downstream of blur spend most of each period waiting: blur
+waits least (~58 ms median), scratch most (~133 ms), and the quartiles
+hug the median ("the variances of the task times are small").
+"""
+
+import pytest
+
+from repro.report import format_table, paper
+
+FILTERS = ("sepia", "blur", "scratch", "flicker", "swap")
+
+
+def test_fig15_idle_quartiles(once, runs):
+    result = once(lambda: runs.scc("mcpc_renderer", 7))
+
+    rows = []
+    for key in FILTERS:
+        q1, med, q3 = result.idle_quartiles[key]
+        rows.append([key, f"{q1 * 1e3:.1f}", f"{med * 1e3:.1f}",
+                     f"{q3 * 1e3:.1f}",
+                     f"{paper.FIG15_IDLE_MS[key]:.0f}"])
+    print()
+    print(format_table(["stage", "q1 ms", "median ms", "q3 ms", "paper ms"],
+                       rows,
+                       title="Fig. 15 — idle times, MCPC renderer, 7 pl."))
+
+    med = {k: result.idle_quartiles[k][1] for k in FILTERS}
+    # Ordering: blur waits least, scratch most.
+    assert min(FILTERS, key=lambda k: med[k]) == "blur"
+    assert max(FILTERS, key=lambda k: med[k]) == "scratch"
+    # Text anchors.
+    assert med["blur"] == pytest.approx(0.058, rel=0.25)
+    assert med["scratch"] == pytest.approx(0.133, rel=0.25)
+    # Quartiles close to the median.
+    for key in FILTERS:
+        q1, m, q3 = result.idle_quartiles[key]
+        assert q3 - q1 <= 0.25 * m
+
+
+def test_fig15_accumulated_blur_wait(runs):
+    """'Accumulated over 400 frames, the blur stage waits for 23 s.'"""
+    result = runs.scc("mcpc_renderer", 7)
+    total_blur_wait = result.idle_quartiles["blur"][1] * 400
+    assert total_blur_wait == pytest.approx(23.0, rel=0.25)

@@ -1,0 +1,52 @@
+"""Figure 16 (+ Fig. 18 placement): accelerating the blur stage.
+
+Single pipeline, MCPC renderer.  Raising only the blur tile from 533 to
+800 MHz cuts the walkthrough 236 s → 174 s in the paper (~36%); slowing
+the post-blur stages to 400 MHz afterwards keeps the same speed.
+"""
+
+import pytest
+
+from repro.pipeline import PipelineRunner
+from repro.pipeline.arrangements import dvfs_study_placement
+from repro.report import format_table, paper
+
+MIXED_PLAN = {"blur": 800.0, "scratch": 400.0, "flicker": 400.0,
+              "swap": 400.0, "transfer": 400.0}
+
+
+def dvfs_run(frequency_plan=None):
+    return PipelineRunner(config="mcpc_renderer", pipelines=1,
+                          placement=dvfs_study_placement(),
+                          frequency_plan=frequency_plan).run()
+
+
+def test_fig16_blur_frequency(once):
+    def sweep():
+        return {
+            "all_533": dvfs_run(),
+            "blur_800": dvfs_run({"blur": 800.0}),
+            "mixed": dvfs_run(MIXED_PLAN),
+        }
+
+    results = once(sweep)
+    rows = []
+    for key, r in results.items():
+        rows.append([key, f"{paper.FIG16_WALKTHROUGH_S[key]:.0f}",
+                     f"{r.walkthrough_seconds:.1f}"])
+    print()
+    print(format_table(["setting", "paper s", "sim s"], rows,
+                       title="Fig. 16 — walkthrough time vs blur frequency"))
+
+    base = results["all_533"].walkthrough_seconds
+    fast = results["blur_800"].walkthrough_seconds
+    mixed = results["mixed"].walkthrough_seconds
+
+    # Paper's ~36% improvement (236/174 = 1.36).
+    assert base / fast == pytest.approx(236.0 / 174.0, rel=0.05)
+    # The mixed setting performs like the fast one (174 vs 175 s).
+    assert mixed == pytest.approx(fast, rel=0.02)
+    # Per-setting values inside the tolerance band.
+    for key, r in results.items():
+        assert r.walkthrough_seconds == pytest.approx(
+            paper.FIG16_WALKTHROUGH_S[key], rel=0.12), key

@@ -1,0 +1,62 @@
+"""Figure 17: SCC power for the three §VI-D frequency settings.
+
+Raising the blur island costs ~4-5 W (~10% for a ~36% speed-up);
+additionally dropping the post-blur island to 400 MHz / 0.7 V lands
+*below* the all-533 baseline (~39 W vs ~40.5 W).
+"""
+
+import pytest
+
+from repro.pipeline import PipelineRunner
+from repro.pipeline.arrangements import dvfs_study_placement
+from repro.report import format_table, paper
+
+MIXED_PLAN = {"blur": 800.0, "scratch": 400.0, "flicker": 400.0,
+              "swap": 400.0, "transfer": 400.0}
+
+
+def dvfs_run(frequency_plan=None):
+    return PipelineRunner(config="mcpc_renderer", pipelines=1,
+                          placement=dvfs_study_placement(),
+                          frequency_plan=frequency_plan,
+                          power_trace_dt=5.0).run()
+
+
+def test_fig17_power_traces(once):
+    def sweep():
+        return {
+            "all_533": dvfs_run(),
+            "blur_800": dvfs_run({"blur": 800.0}),
+            "mixed": dvfs_run(MIXED_PLAN),
+        }
+
+    results = once(sweep)
+    rows = []
+    for key, r in results.items():
+        rows.append([key, f"{paper.FIG17_POWER_W[key]:.1f}",
+                     f"{r.scc_avg_power_w:.2f}"])
+    print()
+    print(format_table(["setting", "paper W", "sim W"], rows,
+                       title="Fig. 17 — SCC power vs frequency setting"))
+
+    base = results["all_533"].scc_avg_power_w
+    fast = results["blur_800"].scc_avg_power_w
+    mixed = results["mixed"].scc_avg_power_w
+
+    # +4..5 W for the fast blur island ("4-5 additional watts").
+    assert 3.0 <= fast - base <= 5.5
+    # That is roughly +10% of the baseline power.
+    assert (fast - base) / base == pytest.approx(0.10, abs=0.04)
+    # The mixed setting drops below the baseline (paper: ~1 W less).
+    assert mixed < base
+    assert base - mixed == pytest.approx(1.0, abs=2.0)
+    # Absolute levels near the plot's bands.
+    for key, r in results.items():
+        assert r.scc_avg_power_w == pytest.approx(
+            paper.FIG17_POWER_W[key], abs=2.5), key
+
+    # Traces are flat while the pipeline runs.
+    for key, r in results.items():
+        run_samples = [w for t, w in r.power_trace
+                       if 1.0 < t < r.walkthrough_seconds - 1.0]
+        assert max(run_samples) - min(run_samples) < 2.0, key

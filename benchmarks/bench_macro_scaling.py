@@ -1,0 +1,78 @@
+"""Extension bench: generic macro-pipeline scaling on the SCC model.
+
+Not a paper figure — it tests the paper's generalization claim ("users
+could expect similar experiences where macro pipelining is used in other
+applications") with the :class:`~repro.pipeline.MacroPipeline` API:
+
+* throughput is set by the slowest stage, whatever the stage count;
+* balanced deep pipelines overlap nearly perfectly;
+* skewed pipelines leave everything downstream of the bottleneck idle
+  (the Fig. 15 shape, reproduced on a synthetic workload).
+"""
+
+import pytest
+
+from repro.pipeline import MacroPipeline
+from repro.report import format_table
+
+ITEMS = 100
+ITEM_BYTES = 64_000
+
+
+def balanced_pipeline(depth, service=0.010):
+    pipe = MacroPipeline()
+    for i in range(depth):
+        pipe.add_stage(f"s{i}", service)
+    return pipe
+
+
+def test_macro_throughput_independent_of_depth(once):
+    """Adding balanced stages must not reduce throughput (beyond the
+    per-boundary hand-off tax)."""
+    def sweep():
+        return {depth: balanced_pipeline(depth).run([ITEM_BYTES] * ITEMS)
+                for depth in (1, 2, 4, 8)}
+
+    results = once(sweep)
+    rows = []
+    for depth, r in results.items():
+        rows.append([depth, f"{r.throughput:.1f}",
+                     f"{r.makespan_s:.2f}"])
+    print()
+    print(format_table(["stages", "items/s", "makespan s"], rows,
+                       title="Balanced macro pipeline scaling (10 ms "
+                             "stages, 64 KB items)"))
+
+    base = results[1].throughput
+    for depth, r in results.items():
+        # Each extra boundary costs one hand-off (~5 ms/item at 64 KB),
+        # so deep pipelines may lose up to ~40%, but never collapse.
+        assert r.throughput > 0.55 * base, depth
+    # Depth 8 processes 8x the total work in far less than 8x the time.
+    assert results[8].makespan_s < 2.0 * results[1].makespan_s
+
+
+def test_macro_bottleneck_dominates(once):
+    def run():
+        pipe = (MacroPipeline()
+                .add_stage("fast_in", 0.002)
+                .add_stage("slow", 0.040)
+                .add_stage("fast_out", 0.002))
+        return pipe.run([ITEM_BYTES] * ITEMS)
+
+    result = once(run)
+    # Period ~= bottleneck service (compute + two hand-offs).
+    period = result.makespan_s / ITEMS
+    assert period == pytest.approx(0.040 + 2 * 0.0048, rel=0.15)
+    # Downstream idles roughly the difference.
+    assert result.stage_idle_means["fast_out"] > 5 * \
+        result.stage_idle_means["slow"]
+
+
+def test_macro_energy_scales_with_cores(once):
+    def run(depth):
+        return balanced_pipeline(depth).run([ITEM_BYTES] * 20)
+
+    shallow, deep = once(lambda: (run(1), run(6)))
+    # More active cores, comparable makespan -> more energy.
+    assert deep.energy_j > shallow.energy_j

@@ -1,0 +1,61 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and prints
+a paper-vs-measured comparison (visible with ``pytest -s`` or in the
+captured output).  Full 400-frame simulations are cached per
+``(platform, config, arrangement, pipelines)`` so the Table I bench can
+reuse the sweeps of the per-figure benches within one session.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+import pytest
+
+from repro.cluster import ClusterRunner
+from repro.pipeline import PipelineRunner
+
+
+class RunCache:
+    """Memoized full-length simulation runs."""
+
+    def __init__(self) -> None:
+        self._cache = {}
+
+    def scc(self, config: str, pipelines: int = 1,
+            arrangement: str = "ordered", **kw):
+        key = ("scc", config, arrangement, pipelines,
+               tuple(sorted(kw.items())))
+        if key not in self._cache:
+            self._cache[key] = PipelineRunner(
+                config=config, pipelines=pipelines,
+                arrangement=arrangement, **kw).run()
+        return self._cache[key]
+
+    def cluster(self, config: str, pipelines: int = 1, **kw):
+        key = ("hpc", config, pipelines, tuple(sorted(kw.items())))
+        if key not in self._cache:
+            self._cache[key] = ClusterRunner(
+                config=config, pipelines=pipelines, **kw).run()
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def runs() -> RunCache:
+    return RunCache()
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    Full walkthrough sweeps are deterministic and take seconds; multiple
+    rounds would only repeat identical work.
+    """
+    def _once(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1,
+                                  warmup_rounds=0)
+
+    return _once

@@ -1,0 +1,12 @@
+"""Test bootstrap: make `src/` importable without an installed package.
+
+The offline CI environment ships no `wheel` package, so `pip install -e .`
+(PEP 660) cannot build; `python setup.py develop` works.  To keep
+`pytest tests/` and `pytest benchmarks/` runnable either way, the source
+tree is prepended to ``sys.path`` here.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

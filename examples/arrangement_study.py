@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Reproduce the paper's arrangement non-result, with diagnostics.
+
+Sweeps the three stage arrangements (unordered / ordered / flipped) for
+each configuration and shows (a) that walkthrough times are within
+noise of each other — the paper's surprising finding — and (b) *why*:
+mesh links and memory controllers never get hot, because the per-core
+copy is the real bottleneck of the no-local-memory hand-off.
+
+Run:  python examples/arrangement_study.py [--pipelines 4] [--frames 400]
+"""
+
+import argparse
+
+from repro.pipeline import ARRANGEMENTS, PipelineRunner
+from repro.report import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pipelines", type=int, default=4)
+    parser.add_argument("--frames", type=int, default=400)
+    args = parser.parse_args()
+
+    rows = []
+    for config in ("one_renderer", "n_renderers", "mcpc_renderer"):
+        for arrangement in ARRANGEMENTS:
+            runner = PipelineRunner(config=config, pipelines=args.pipelines,
+                                    arrangement=arrangement,
+                                    frames=args.frames)
+            result = runner.run()
+            chip = runner.last_chip
+            hottest = chip.mesh.hottest_links(1)[0]
+            rows.append([
+                config,
+                arrangement,
+                f"{result.walkthrough_seconds:.1f}",
+                f"{max(result.mc_utilizations) * 100:.1f}",
+                f"{hottest.utilization * 100:.1f}",
+            ])
+        rows.append(["-", "-", "-", "-", "-"])
+
+    print(format_table(
+        ["configuration", "arrangement", "time s", "max MC busy %",
+         "hottest link busy %"],
+        rows[:-1],
+        title=f"Arrangement study, {args.pipelines} pipelines, "
+              f"{args.frames} frames"))
+    print("\nThe paper's finding: arrangements change nothing, because "
+          "every hand-off bounces\nthrough DRAM at per-core copy speed — "
+          "the fabric never saturates either way.")
+
+
+if __name__ == "__main__":
+    main()

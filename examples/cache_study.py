@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Why Fig. 12 shows no cache cliff — a working demonstration.
+
+The paper expected a jump in processing time once the strip stopped
+fitting the 256 KiB L2, and found none.  This example shows why, using
+the repo's exact cache simulator and the bank-level DRAM model:
+
+1. the filter stages *stream* — one pass over the strip — so their miss
+   rate is one compulsory miss per 32-byte line, no matter whether the
+   working set is 10 KB or 640 KB;
+2. only *re-use* (a second pass) would reward fitting in L2, and the
+   macro pipeline never re-reads a strip: the data moves on to the next
+   core instead;
+3. the octree walk is the opposite: random rows in DRAM, row-buffer
+   misses everywhere — the reason the render stage is so expensive on a
+   P54C and so cheap on a cluster node with big caches.
+
+Run:  python examples/cache_study.py
+"""
+
+from repro.report import format_table
+from repro.scc import L2_BYTES, SetAssociativeCache
+from repro.scc.dram import DRAMBankModel, DRAMTimings
+
+
+def streaming_miss_rates():
+    rows = []
+    for kb in (10, 40, 90, 160, 250, 360, 490, 640):
+        cache = SetAssociativeCache()          # the SCC's 256 KiB L2
+        first = cache.access_range(0, kb * 1000, stride=4)
+        second = cache.access_range(0, kb * 1000, stride=4)
+        rows.append([
+            f"{kb} KB",
+            "yes" if kb * 1000 <= L2_BYTES else "no",
+            f"{first.miss_rate * 100:.1f}%",
+            f"{second.miss_rate * 100:.1f}%",
+        ])
+    return rows
+
+
+def dram_pattern_comparison():
+    t = DRAMTimings()
+    stream = DRAMBankModel(t)
+    stream_time = stream.stream_time(0, 256 * 1024)
+    scattered = DRAMBankModel(t)
+    addresses = [i * t.banks * t.row_bytes for i in range(4096)]
+    scatter_time = scattered.random_access_time(addresses)
+    return [
+        ["sequential strip (256 KB)", f"{stream.stats.hit_rate * 100:.1f}%",
+         f"{256 * 1024 / stream_time / 1e9:.2f} GB/s"],
+        ["octree-walk rows (4096 bursts)",
+         f"{scattered.stats.hit_rate * 100:.1f}%",
+         f"{4096 * 64 / scatter_time / 1e9:.2f} GB/s"],
+    ]
+
+
+def main() -> None:
+    print(format_table(
+        ["strip", "fits L2?", "1st pass misses", "2nd pass misses"],
+        streaming_miss_rates(),
+        title="Streaming through the SCC's 256 KiB 4-way L2 (32 B lines)"))
+    print("""
+First pass: ~12.5% (= 4 B pixel / 32 B line) everywhere — compulsory
+misses only, no cliff at 256 KB.  Second pass: 0% while the strip fits,
+but back to the 12.5% ceiling (every line re-misses under LRU thrash)
+once it does not.  The pipeline never takes a second pass — each strip
+moves on to the next core — so Fig. 12 stays smooth, exactly as the
+paper measured.
+""")
+    print(format_table(
+        ["access pattern", "DRAM row hits", "effective bandwidth"],
+        dram_pattern_comparison(),
+        title="DDR3-800 bank model: streaming vs pointer chasing"))
+    print("""
+The render stage's octree traversal misses the row buffer on every
+burst, which is why rendering dominates on the SCC and why the paper's
+cluster nodes (whose caches absorb the walk) invert the ranking.
+""")
+
+
+if __name__ == "__main__":
+    main()

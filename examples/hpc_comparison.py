@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""SCC vs Mogon cluster — the Fig. 13 comparison, with a chart.
+
+Runs the walkthrough on the simulated SCC (best heterogeneous setup)
+and on the cluster model in all three configurations, then prints an
+ASCII chart showing the inversion the paper found: the configurations
+that were slowest on the SCC win on modern hardware.
+
+Run:  python examples/hpc_comparison.py [--frames 400]
+"""
+
+import argparse
+
+from repro.cluster import CLUSTER_CONFIGURATIONS, ClusterRunner
+from repro.pipeline import PipelineRunner
+from repro.report import ascii_chart, format_table
+
+PIPELINES = range(1, 8)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--frames", type=int, default=400)
+    args = parser.parse_args()
+
+    print("Simulating the SCC (MCPC renderer)...")
+    scc = [PipelineRunner(config="mcpc_renderer", pipelines=n,
+                          frames=args.frames).run().walkthrough_seconds
+           for n in PIPELINES]
+
+    cluster = {}
+    for cfg in CLUSTER_CONFIGURATIONS:
+        print(f"Simulating the cluster ({cfg})...")
+        cluster[cfg] = [
+            ClusterRunner(config=cfg, pipelines=n,
+                          frames=args.frames).run().walkthrough_seconds
+            for n in PIPELINES
+        ]
+
+    rows = [["scc mcpc_renderer", *[f"{t:.1f}" for t in scc]]]
+    for cfg, times in cluster.items():
+        rows.append([f"hpc {cfg}", *[f"{t:.1f}" for t in times]])
+    print()
+    print(format_table(["system", *[f"{n} pl." for n in PIPELINES]], rows,
+                       title=f"Walkthrough seconds, {args.frames} frames"))
+
+    print()
+    print(ascii_chart(
+        {"Scc": scc,
+         "ext": cluster["external_renderer"],
+         "one": cluster["single_renderer"],
+         "par": cluster["parallel_renderer"]},
+        x_labels=list(PIPELINES), height=12,
+        title="Walkthrough time vs pipelines (S=SCC; e/o/p=cluster)"))
+
+    best_scc = min(scc)
+    best_hpc = min(min(t) for t in cluster.values())
+    print(f"\ncluster vs SCC at their best: {best_scc / best_hpc:.1f}x "
+          "(paper: ~13.5x at seven pipelines)")
+
+
+if __name__ == "__main__":
+    main()

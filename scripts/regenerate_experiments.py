@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Regenerate the measured numbers that EXPERIMENTS.md reports.
+
+Runs every sweep the document quotes and prints the data in the same
+order, so updating the document after a model change is a diff away.
+Also writes machine-readable artifacts:
+
+    results/table1.json     every Table I run (full RunResult dumps)
+    results/table1.csv      the scalar columns
+
+Usage:  python scripts/regenerate_experiments.py [--out results]
+"""
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cluster import ClusterRunner  # noqa: E402
+from repro.pipeline import (  # noqa: E402
+    ARRANGEMENTS,
+    PipelineRunner,
+    WalkthroughWorkload,
+    sweep_image_sizes,
+)
+from repro.pipeline.arrangements import dvfs_study_placement  # noqa: E402
+from repro.report import (  # noqa: E402
+    format_comparison,
+    paper,
+    results_to_csv,
+    results_to_json,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path("results"))
+    args = parser.parse_args()
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    print("== baseline ==")
+    base = PipelineRunner(config="single_core").run()
+    print(f"single core: {base.walkthrough_seconds:.1f} s (paper 382)")
+
+    print("\n== Table I ==")
+    all_results = [base]
+    for config in ("one_renderer", "n_renderers", "mcpc_renderer"):
+        for arr in ARRANGEMENTS:
+            row = []
+            for n in paper.TABLE1_PIPELINES:
+                r = PipelineRunner(config=config, pipelines=n,
+                                   arrangement=arr).run()
+                all_results.append(r)
+                row.append(r.walkthrough_seconds)
+            ref = paper.TABLE1[(config, arr)]
+            print(format_comparison(
+                "pl", list(paper.TABLE1_PIPELINES), ref, row,
+                title=f"{config} / {arr}"))
+    for config in ("external_renderer", "single_renderer",
+                   "parallel_renderer"):
+        row = []
+        for n in paper.TABLE1_PIPELINES:
+            r = ClusterRunner(config=config, pipelines=n).run()
+            all_results.append(r)
+            row.append(r.walkthrough_seconds)
+        ref = paper.TABLE1[(f"hpc_{config}", "cluster")]
+        print(format_comparison("pl", list(paper.TABLE1_PIPELINES), ref, row,
+                                title=f"hpc {config}"))
+
+    results_to_json(all_results, args.out / "table1.json")
+    results_to_csv(all_results, args.out / "table1.csv")
+    print(f"\nwrote {args.out}/table1.json and .csv "
+          f"({len(all_results)} runs)")
+
+    print("\n== Fig. 12 (image sizes) ==")
+    sizes = sweep_image_sizes(paper.FIG12_SIDES)
+    for side, r in sizes.items():
+        print(f"  side {side}: {r.walkthrough_seconds:.1f} s")
+
+    print("\n== Fig. 15 (idle, MCPC 7 pl.) ==")
+    r7 = PipelineRunner(config="mcpc_renderer", pipelines=7).run()
+    for key, (q1, med, q3) in sorted(r7.idle_quartiles.items()):
+        print(f"  {key:10s} {q1 * 1e3:6.1f} / {med * 1e3:6.1f} / "
+              f"{q3 * 1e3:6.1f} ms")
+
+    print("\n== Figs 16/17 (DVFS) ==")
+    placement = dvfs_study_placement()
+    plans = {"all_533": None, "blur_800": {"blur": 800.0},
+             "mixed": {"blur": 800.0, "scratch": 400.0, "flicker": 400.0,
+                       "swap": 400.0, "transfer": 400.0}}
+    for name, plan in plans.items():
+        r = PipelineRunner(config="mcpc_renderer", pipelines=1,
+                           placement=placement, frequency_plan=plan).run()
+        print(f"  {name:9s} {r.walkthrough_seconds:6.1f} s  "
+              f"{r.scc_avg_power_w:5.2f} W")
+
+    print("\n== §VI-B energy ==")
+    hybrid = PipelineRunner(config="mcpc_renderer", pipelines=5).run()
+    nrend = PipelineRunner(config="n_renderers", pipelines=7).run()
+    print(f"  hybrid: {hybrid.total_energy_j():.0f} J (paper 2642)")
+    print(f"  n-rend: {nrend.total_energy_j():.0f} J (paper 3364)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

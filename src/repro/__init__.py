@@ -1,0 +1,56 @@
+"""repro — reproduction of "Parallel Macro Pipelining on the Intel SCC
+Many-Core Computer" (Süß, Schoenrock, Meisner, Plessl; IPDPSW 2013).
+
+Subpackages
+-----------
+``repro.sim``
+    Deterministic discrete-event simulation kernel.
+``repro.scc``
+    The simulated SCC chip: mesh NoC, memory controllers, caches, MPBs,
+    DVFS, power model.
+``repro.rcce``
+    RCCE-style blocking message passing over the simulated chip.
+``repro.host``
+    The MCPC host, UDP links and the visualization client.
+``repro.render``
+    Software 3D renderer: octree, frustum culling, rasterizer,
+    procedural city, walkthrough camera path.
+``repro.filters``
+    The five silent-film filters (sepia, blur, scratch, flicker, swap).
+``repro.pipeline``
+    The paper's contribution: parallel macro pipelines — configurations,
+    arrangements, cost model, runner, metrics.
+``repro.cluster``
+    The Mogon HPC cluster comparison platform.
+``repro.report``
+    Paper reference values and table formatting for the benches.
+
+Quick start
+-----------
+>>> from repro.pipeline import PipelineRunner
+>>> result = PipelineRunner(config="mcpc_renderer", pipelines=5,
+...                         frames=40).run()
+>>> result.pipelines
+5
+"""
+
+from . import cluster, filters, host, pipeline, rcce, render, report, scc, sim
+from .pipeline import CostModel, PipelineRunner, RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "sim",
+    "scc",
+    "rcce",
+    "host",
+    "render",
+    "filters",
+    "pipeline",
+    "cluster",
+    "report",
+    "PipelineRunner",
+    "RunResult",
+    "CostModel",
+    "__version__",
+]

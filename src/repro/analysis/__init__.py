@@ -1,0 +1,5 @@
+"""Analytic companions to the simulation: bottleneck/period prediction."""
+
+from .bottleneck import PeriodPredictor, StageLoad
+
+__all__ = ["PeriodPredictor", "StageLoad"]

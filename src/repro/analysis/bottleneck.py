@@ -1,0 +1,168 @@
+"""Analytic bottleneck analysis of the macro pipelines.
+
+A steady-state macro pipeline's throughput is set by its slowest stage's
+*service time* — compute plus the hand-off tax of reading the input
+strip from the private partition and depositing the output in the
+successor's.  This module computes those service times in closed form
+from the cost model and the memory/link parameters, predicts the
+walkthrough time, names the bottleneck, and explains where each
+configuration's knee comes from.
+
+The predictor deliberately ignores second-order effects the DES captures
+(controller queueing, mesh-link serialization, rendezvous jitter), so
+comparing its output to :class:`~repro.pipeline.PipelineRunner` runs
+quantifies exactly those effects — the validation lives in
+``tests/analysis/`` and agreement is within a few percent, which is
+itself a reproduction of the paper's claim that the fabric never
+bottlenecks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..host import MCPCConfig
+from ..pipeline.costmodel import CostModel
+from ..pipeline.runner import DOWNLINK_CONFIG, FILTER_KEYS
+from ..pipeline.workload import WalkthroughWorkload, default_workload
+from ..scc.memory import MemoryConfig
+
+__all__ = ["StageLoad", "PeriodPredictor"]
+
+
+@dataclass(frozen=True)
+class StageLoad:
+    """Analytic load of one stage, per frame (seconds)."""
+
+    key: str
+    compute_s: float
+    comm_in_s: float
+    comm_out_s: float
+
+    @property
+    def service_s(self) -> float:
+        """Total stage occupancy per frame."""
+        return self.compute_s + self.comm_in_s + self.comm_out_s
+
+
+class PeriodPredictor:
+    """Closed-form pipeline period model for the paper's configurations."""
+
+    def __init__(self, cost: Optional[CostModel] = None,
+                 workload: Optional[WalkthroughWorkload] = None,
+                 memory: Optional[MemoryConfig] = None,
+                 mcpc: Optional[MCPCConfig] = None) -> None:
+        self.cost = cost or CostModel()
+        self.workload = workload or default_workload()
+        self.memory = memory or MemoryConfig()
+        self.mcpc = mcpc or MCPCConfig()
+
+    # -- memory primitives -----------------------------------------------------
+    def dram_move_s(self, nbytes: int) -> float:
+        """One direction of the no-local-memory bounce (read *or* write)."""
+        if self.memory.local_memory:
+            return nbytes / self.memory.local_bandwidth
+        return (nbytes / self.memory.core_copy_bandwidth
+                + nbytes / self.memory.mc_bandwidth
+                + self.memory.mc_latency_s)
+
+    # -- per-stage loads -----------------------------------------------------
+    def stage_loads(self, config: str,
+                    pipelines: int) -> Dict[str, StageLoad]:
+        """Mean per-frame loads of every stage kind in a configuration."""
+        if pipelines < 1:
+            raise ValueError("pipelines must be >= 1")
+        w = self.workload
+        n = pipelines
+        frame_bytes = w.frame_bytes()
+        # Use the widest strip (strips differ by at most one row).
+        strip_bytes = max(w.strip_bytes(p, n) for p in range(n))
+        strip_pixels = max(w.viewport(p, n).pixels for p in range(n))
+        mean_profile = w.mean_full_frame_profile()
+
+        loads: Dict[str, StageLoad] = {}
+
+        if config == "one_renderer":
+            loads["render"] = StageLoad(
+                "render", self.cost.render_seconds(mean_profile),
+                0.0, self.dram_move_s(frame_bytes))
+        elif config == "n_renderers":
+            # Slowest strip renderer: strip culling barely shrinks, so
+            # approximate its triangles with the full set.
+            strip_profile = type(mean_profile)(
+                nodes_visited=mean_profile.nodes_visited,
+                triangles_in_view=mean_profile.triangles_in_view,
+                pixels=strip_pixels,
+                culled_everything=False,
+            )
+            loads["render"] = StageLoad(
+                "render",
+                self.cost.render_seconds(strip_profile, sort_first=True),
+                0.0, self.dram_move_s(strip_bytes))
+        elif config == "mcpc_renderer":
+            datagrams = -(-frame_bytes // self.mcpc.udp.mtu_payload)
+            feed = (self.cost.render_seconds(mean_profile)
+                    / self.mcpc.speedup_vs_scc_core
+                    + frame_bytes / self.mcpc.udp.bandwidth
+                    + datagrams * self.mcpc.udp.per_datagram_overhead)
+            loads["mcpc_feed"] = StageLoad("mcpc_feed", feed, 0.0, 0.0)
+            loads["connect"] = StageLoad(
+                "connect",
+                self.cost.connect_seconds(datagrams, n),
+                0.0,
+                self.dram_move_s(frame_bytes)          # land the frame
+                + self.dram_move_s(frame_bytes))       # push the strips
+        else:
+            raise ValueError(f"unknown config {config!r} "
+                             "(single_core has no pipeline period)")
+
+        for key in FILTER_KEYS:
+            loads[key] = StageLoad(
+                key, self.cost.filter_seconds(key, strip_pixels),
+                self.dram_move_s(strip_bytes),
+                self.dram_move_s(strip_bytes))
+
+        frame_pixels = w.image_side ** 2
+        dl = DOWNLINK_CONFIG
+        send = (frame_bytes / dl.bandwidth
+                + -(-frame_bytes // dl.mtu_payload) * dl.per_datagram_overhead)
+        loads["transfer"] = StageLoad(
+            "transfer",
+            self.cost.assemble_seconds(frame_pixels) + send,
+            self.dram_move_s(frame_bytes) / 1.0, 0.0)
+        return loads
+
+    # -- predictions ------------------------------------------------------------
+    def bottleneck(self, config: str, pipelines: int) -> StageLoad:
+        """The stage with the largest service time."""
+        loads = self.stage_loads(config, pipelines)
+        return max(loads.values(), key=lambda s: s.service_s)
+
+    def predict_period(self, config: str, pipelines: int) -> float:
+        """Steady-state seconds per frame."""
+        return self.bottleneck(config, pipelines).service_s
+
+    def predict_walkthrough(self, config: str, pipelines: int,
+                            frames: Optional[int] = None) -> float:
+        """Predicted walkthrough seconds (period x frames; the fill time
+        is a fraction of a second and ignored)."""
+        n_frames = frames if frames is not None else self.workload.frames
+        return self.predict_period(config, pipelines) * n_frames
+
+    def explain(self, config: str, pipelines: int) -> str:
+        """Human-readable per-stage breakdown."""
+        loads = self.stage_loads(config, pipelines)
+        bottleneck = self.bottleneck(config, pipelines).key
+        lines = [f"{config}, {pipelines} pipeline(s): "
+                 f"predicted period "
+                 f"{self.predict_period(config, pipelines) * 1e3:.1f} ms"]
+        for key, load in sorted(loads.items(),
+                                key=lambda kv: -kv[1].service_s):
+            marker = " <-- bottleneck" if key == bottleneck else ""
+            lines.append(
+                f"  {key:10s} compute {load.compute_s * 1e3:7.1f} ms  "
+                f"in {load.comm_in_s * 1e3:6.1f} ms  "
+                f"out {load.comm_out_s * 1e3:6.1f} ms  "
+                f"= {load.service_s * 1e3:7.1f} ms{marker}")
+        return "\n".join(lines)

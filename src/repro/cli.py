@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``run``
+    Simulate one configuration and print the result summary
+    (optionally an ASCII Gantt chart of stage activity).
+``table1``
+    Regenerate the paper's Table I next to the published numbers.
+``film``
+    Render real frames through the pipeline and write PPM files.
+``dvfs``
+    The §VI-D frequency-tuning study (Figs 16/17).
+``explain``
+    Analytic per-stage breakdown and bottleneck for a configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import PeriodPredictor
+from .cluster import ClusterRunner
+from .pipeline import ARRANGEMENTS, CONFIGURATIONS, PipelineRunner
+from .pipeline.arrangements import dvfs_study_placement
+from .pipeline.workload import WalkthroughWorkload
+from .report import format_table, paper
+from .sim.trace import render_gantt
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel macro pipelining on the simulated Intel SCC",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one configuration")
+    run.add_argument("--config", choices=CONFIGURATIONS,
+                     default="mcpc_renderer")
+    run.add_argument("--pipelines", type=int, default=5)
+    run.add_argument("--arrangement", choices=ARRANGEMENTS, default="ordered")
+    run.add_argument("--frames", type=int, default=400)
+    run.add_argument("--gantt", action="store_true",
+                     help="print an ASCII Gantt chart of stage activity")
+
+    table1 = sub.add_parser("table1", help="regenerate Table I")
+    table1.add_argument("--frames", type=int, default=400)
+    table1.add_argument("--arrangement", choices=ARRANGEMENTS,
+                        default="ordered")
+    table1.add_argument("--max-pipelines", type=int, default=7)
+
+    film = sub.add_parser("film", help="render real frames to PPM files")
+    film.add_argument("--frames", type=int, default=24)
+    film.add_argument("--side", type=int, default=160)
+    film.add_argument("--pipelines", type=int, default=2)
+    film.add_argument("--out", type=pathlib.Path,
+                      default=pathlib.Path("frames"))
+
+    sub.add_parser("dvfs", help="the frequency-tuning study (Figs 16/17)")
+
+    explain = sub.add_parser("explain",
+                             help="analytic bottleneck breakdown")
+    explain.add_argument("--config",
+                         choices=[c for c in CONFIGURATIONS
+                                  if c != "single_core"],
+                         default="mcpc_renderer")
+    explain.add_argument("--pipelines", type=int, default=5)
+
+    describe = sub.add_parser("describe",
+                              help="show a configuration's stage graph")
+    describe.add_argument("--config", choices=CONFIGURATIONS,
+                          default="mcpc_renderer")
+    describe.add_argument("--pipelines", type=int, default=3)
+    describe.add_argument("--arrangement", choices=ARRANGEMENTS,
+                          default="ordered")
+
+    chip = sub.add_parser("chip",
+                          help="run a configuration and print the chip "
+                               "utilization report")
+    chip.add_argument("--config", choices=CONFIGURATIONS,
+                      default="n_renderers")
+    chip.add_argument("--pipelines", type=int, default=3)
+    chip.add_argument("--frames", type=int, default=100)
+
+    tune = sub.add_parser("tune",
+                          help="find the best pipeline count for a "
+                               "configuration")
+    tune.add_argument("--config",
+                      choices=[c for c in CONFIGURATIONS
+                               if c != "single_core"],
+                      default="mcpc_renderer")
+    tune.add_argument("--frames", type=int, default=400)
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    runner = PipelineRunner(config=args.config, pipelines=args.pipelines,
+                            arrangement=args.arrangement, frames=args.frames,
+                            trace=args.gantt)
+    result = runner.run()
+    print(f"config        : {result.config} / {result.arrangement}")
+    print(f"pipelines     : {result.pipelines} "
+          f"({result.cores_used} SCC cores)")
+    print(f"walkthrough   : {result.walkthrough_seconds:.1f} s "
+          f"({result.seconds_per_frame * 1e3:.1f} ms/frame)")
+    print(f"SCC power     : {result.scc_avg_power_w:.1f} W "
+          f"({result.scc_energy_j:.0f} J)")
+    if result.mcpc_energy_above_idle_j > 0:
+        print(f"MCPC energy   : +{result.mcpc_energy_above_idle_j:.0f} J "
+              "above idle")
+    if result.latency_quartiles is not None:
+        print(f"frame latency : {result.latency_quartiles[1] * 1e3:.1f} ms "
+              "median (render start -> display)")
+    if result.idle_quartiles:
+        worst = max(result.idle_quartiles.items(), key=lambda kv: kv[1][1])
+        print(f"idlest stage  : {worst[0]} "
+              f"(median wait {worst[1][1] * 1e3:.1f} ms/frame)")
+    if args.gantt and runner.last_trace is not None:
+        horizon = min(runner.last_trace.horizon,
+                      20 * result.seconds_per_frame)
+        print()
+        print(render_gantt(runner.last_trace, width=72, t1=horizon))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    pipeline_counts = [n for n in paper.TABLE1_PIPELINES
+                       if n <= args.max_pipelines]
+    rows: List[List[str]] = []
+    for config in ("one_renderer", "n_renderers", "mcpc_renderer"):
+        ref = paper.TABLE1[(config, args.arrangement)]
+        measured = [
+            PipelineRunner(config=config, pipelines=n,
+                           arrangement=args.arrangement,
+                           frames=args.frames).run().walkthrough_seconds
+            for n in pipeline_counts
+        ]
+        scale = 400.0 / args.frames
+        rows.append([f"paper {config}",
+                     *[str(ref[n - 1]) for n in pipeline_counts]])
+        rows.append([f"sim   {config}",
+                     *[f"{m * scale:.0f}" for m in measured]])
+    for config in ("external_renderer", "single_renderer",
+                   "parallel_renderer"):
+        ref = paper.TABLE1[(f"hpc_{config}", "cluster")]
+        measured = [
+            ClusterRunner(config=config, pipelines=n,
+                          frames=args.frames).run().walkthrough_seconds
+            for n in pipeline_counts
+        ]
+        scale = 400.0 / args.frames
+        rows.append([f"paper hpc_{config}",
+                     *[str(ref[n - 1]) for n in pipeline_counts]])
+        rows.append([f"sim   hpc_{config}",
+                     *[f"{m * scale:.0f}" for m in measured]])
+    print(format_table(
+        ["row", *[f"{n} pl." for n in pipeline_counts]], rows,
+        title=f"Table I ({args.arrangement}; seconds, scaled to 400 frames)"))
+    return 0
+
+
+def _cmd_film(args: argparse.Namespace) -> int:
+    from .render import write_ppm
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    workload = WalkthroughWorkload(frames=args.frames, image_side=args.side)
+    runner = PipelineRunner(config="mcpc_renderer", pipelines=args.pipelines,
+                            frames=args.frames, image_side=args.side,
+                            workload=workload, payload_mode=True)
+    result = runner.run()
+    for i, frame in enumerate(runner.last_viewer.frames):
+        write_ppm(args.out / f"frame_{i:03d}.ppm", frame)
+    print(f"wrote {len(runner.last_viewer.frames)} frames to {args.out}/ "
+          f"(simulated kit time {result.walkthrough_seconds:.2f} s)")
+    return 0
+
+
+def _cmd_dvfs(_args: argparse.Namespace) -> int:
+    placement = dvfs_study_placement()
+    settings = {
+        "all 533 MHz": None,
+        "blur 800 MHz": {"blur": 800.0},
+        "blur 800 + tail 400 MHz": {"blur": 800.0, "scratch": 400.0,
+                                    "flicker": 400.0, "swap": 400.0,
+                                    "transfer": 400.0},
+    }
+    rows = []
+    for name, plan in settings.items():
+        result = PipelineRunner(config="mcpc_renderer", pipelines=1,
+                                placement=placement,
+                                frequency_plan=plan).run()
+        rows.append([name, f"{result.walkthrough_seconds:.1f}",
+                     f"{result.scc_avg_power_w:.2f}",
+                     f"{result.scc_energy_j:.0f}"])
+    print(format_table(["setting", "time s", "power W", "energy J"], rows,
+                       title="DVFS study (paper Figs 16/17: 236/174/175 s, "
+                             "~40.5/44/39 W)"))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    predictor = PeriodPredictor()
+    print(predictor.explain(args.config, args.pipelines))
+    print(f"\npredicted walkthrough: "
+          f"{predictor.predict_walkthrough(args.config, args.pipelines):.1f} s"
+          " (analytic; the DES adds queueing/rendezvous effects)")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from .pipeline.describe import describe
+
+    print(describe(args.config, args.pipelines, args.arrangement).to_text())
+    return 0
+
+
+def _cmd_chip(args: argparse.Namespace) -> int:
+    from .scc.diagnostics import chip_report
+
+    runner = PipelineRunner(config=args.config, pipelines=args.pipelines,
+                            frames=args.frames)
+    result = runner.run()
+    print(f"walkthrough: {result.walkthrough_seconds:.2f} s "
+          f"({args.frames} frames)\n")
+    print(chip_report(runner.last_chip))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .pipeline.autotune import autotune
+
+    print(autotune(args.config, frames=args.frames).summary())
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "tune": _cmd_tune,
+    "table1": _cmd_table1,
+    "film": _cmd_film,
+    "dvfs": _cmd_dvfs,
+    "explain": _cmd_explain,
+    "describe": _cmd_describe,
+    "chip": _cmd_chip,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""The Mogon HPC cluster comparison platform (Fig. 13)."""
+
+from .mogon import CLUSTER_CONFIGURATIONS, ClusterConfig, ClusterRunner
+
+__all__ = ["ClusterRunner", "ClusterConfig", "CLUSTER_CONFIGURATIONS"]

@@ -1,0 +1,71 @@
+"""Blur stage (BS) — neighborhood averaging into a second buffer.
+
+"The pixels are transformed with respect to the neighboring pixels by
+calculating the average color of these pixels.  To work from the
+original data, a second buffer is required" — a box blur.  This was the
+most time-consuming stage of the paper's pipeline, which is why it is
+the DVFS experiment's target (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import FilterCost, ImageFilter, validate_image
+
+__all__ = ["BlurFilter"]
+
+
+class BlurFilter(ImageFilter):
+    """Box blur of radius ``radius`` (kernel side ``2·radius + 1``).
+
+    Edge pixels average over the in-bounds part of their neighborhood
+    (normalized box filter), so overall brightness is preserved.
+    """
+
+    key = "blur"
+
+    def __init__(self, radius: int = 1) -> None:
+        if radius < 1:
+            raise ValueError("radius must be >= 1")
+        self.radius = radius
+
+    def apply(self, image: np.ndarray,
+              rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        image = validate_image(image)
+        r = self.radius
+        h, w, _ = image.shape
+        # Summed-area approach via cumulative sums: O(pixels), like the
+        # separable loops a careful C implementation would use.
+        padded = np.zeros((h + 1, w + 1, 3), dtype=np.float64)
+        np.cumsum(image, axis=0, out=padded[1:, 1:])
+        np.cumsum(padded[1:, 1:], axis=1, out=padded[1:, 1:])
+
+        ys = np.arange(h)
+        xs = np.arange(w)
+        y0 = np.clip(ys - r, 0, h)
+        y1 = np.clip(ys + r + 1, 0, h)
+        x0 = np.clip(xs - r, 0, w)
+        x1 = np.clip(xs + r + 1, 0, w)
+
+        # Window sums from the integral image.
+        a = padded[y1[:, None], x1[None, :]]
+        b = padded[y0[:, None], x1[None, :]]
+        c = padded[y1[:, None], x0[None, :]]
+        d = padded[y0[:, None], x0[None, :]]
+        sums = a - b - c + d
+        counts = ((y1 - y0)[:, None] * (x1 - x0)[None, :]).astype(np.float64)
+        out = sums / counts[..., None]
+        return out.astype(np.float32)
+
+    @property
+    def cost(self) -> FilterCost:
+        # The kernel re-reads each pixel once per covered row (separable
+        # implementation) and writes the second buffer: the heaviest
+        # per-pixel load of all the filter stages.
+        rows = 2 * self.radius + 1
+        return FilterCost(name="blur", reads_per_pixel=float(rows),
+                          writes_per_pixel=1.0, pattern="sequential",
+                          needs_second_buffer=True)

@@ -1,0 +1,39 @@
+"""Flicker stage (FS) — per-frame global brightness jitter.
+
+"We choose a random number in the interval [−1/10, 1/10].  This value is
+added to all pixels' RGB values and clamped to the [0, 1] interval."
+Sequential full-image touch with a trivial per-pixel operation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import FilterCost, ImageFilter, clamp01, validate_image
+
+__all__ = ["FlickerFilter"]
+
+
+class FlickerFilter(ImageFilter):
+    """Add one uniform random offset in ``[-amplitude, amplitude]``."""
+
+    key = "flicker"
+
+    def __init__(self, amplitude: float = 0.1) -> None:
+        if not 0.0 <= amplitude <= 1.0:
+            raise ValueError("amplitude must be in [0, 1]")
+        self.amplitude = amplitude
+
+    def apply(self, image: np.ndarray,
+              rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        image = validate_image(image)
+        rng = rng if rng is not None else np.random.default_rng()
+        delta = np.float32(rng.uniform(-self.amplitude, self.amplitude))
+        return clamp01(image + delta).astype(np.float32)
+
+    @property
+    def cost(self) -> FilterCost:
+        return FilterCost(name="flicker", reads_per_pixel=1.0,
+                          writes_per_pixel=1.0, pattern="sequential")

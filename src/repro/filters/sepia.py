@@ -1,0 +1,42 @@
+"""Sepia stage (SeS) — the paper's exact color transform.
+
+    S1 = (0.2, 0.05, 0.0)
+    S2 = (1.0, 0.9, 0.5)
+    mix    = clamp(0.3·r + 0.59·g + 0.11·b)
+    rgbnew = clamp(S1·(1 − mix) + S2·mix)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import FilterCost, ImageFilter, clamp01, validate_image
+
+__all__ = ["S1", "S2", "LUMA_WEIGHTS", "SepiaFilter"]
+
+#: the two constant sepia anchor colors from the paper
+S1 = np.array([0.2, 0.05, 0.0], dtype=np.float32)
+S2 = np.array([1.0, 0.9, 0.5], dtype=np.float32)
+#: luminance weights used for the mix value
+LUMA_WEIGHTS = np.array([0.3, 0.59, 0.11], dtype=np.float32)
+
+
+class SepiaFilter(ImageFilter):
+    """Tone the image toward brown, weighted by per-pixel luminance."""
+
+    key = "sepia"
+
+    def apply(self, image: np.ndarray,
+              rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        image = validate_image(image)
+        mix = clamp01(image @ LUMA_WEIGHTS)[..., None]
+        out = S1[None, None, :] * (1.0 - mix) + S2[None, None, :] * mix
+        return clamp01(out).astype(np.float32)
+
+    @property
+    def cost(self) -> FilterCost:
+        # One streaming read and one streaming write per pixel, in place.
+        return FilterCost(name="sepia", reads_per_pixel=1.0,
+                          writes_per_pixel=1.0, pattern="sequential")

@@ -1,0 +1,56 @@
+"""Swap stage (SwS) — flip the image upside-down by row exchange.
+
+The visualization client wants top-down rows while OpenGL produces
+bottom-up frame buffers.  The paper implements it literally with an
+intermediate line buffer: "first line i is copied into an intermediate
+buffer.  Then the corresponding j = #lines − i is copied into line i.
+Afterwards the line in the intermediate buffer is copied to line j."
+The stage exists mostly "to introduce different memory access patterns"
+(two ends of the strip touched simultaneously — strided, not streaming).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import FilterCost, ImageFilter, validate_image
+
+__all__ = ["SwapFilter", "swap_rows_inplace"]
+
+
+def swap_rows_inplace(image: np.ndarray) -> None:
+    """The paper's three-copy row exchange, performed in place.
+
+    Exposed separately so tests can verify the exchange loop itself; the
+    filter's ``apply`` wraps it with a defensive copy.
+    """
+    h = image.shape[0]
+    line_buffer = np.empty_like(image[0])
+    for i in range(h // 2):
+        j = h - 1 - i
+        line_buffer[:] = image[i]
+        image[i] = image[j]
+        image[j] = line_buffer
+
+
+class SwapFilter(ImageFilter):
+    """Vertical mirror via pairwise row swaps."""
+
+    key = "swap"
+
+    def apply(self, image: np.ndarray,
+              rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        image = validate_image(image)
+        out = image.copy()
+        swap_rows_inplace(out)
+        return out
+
+    @property
+    def cost(self) -> FilterCost:
+        # Every pixel is read once and written once, but from both ends
+        # of the strip at once plus the intermediate line buffer — the
+        # "different" access pattern the paper mentions.
+        return FilterCost(name="swap", reads_per_pixel=1.5,
+                          writes_per_pixel=1.5, pattern="strided")

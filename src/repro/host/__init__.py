@@ -1,0 +1,8 @@
+"""Host-side models: the MCPC, UDP links, and the visualization client."""
+
+from .mcpc import MCPC, MCPCConfig
+from .udp import UDPChannel, UDPConfig
+from .viewer import VisualizationClient
+
+__all__ = ["MCPC", "MCPCConfig", "UDPChannel", "UDPConfig",
+           "VisualizationClient"]

@@ -1,0 +1,83 @@
+"""Auto-tuning: pick the best pipeline count for a configuration.
+
+What a user of the original system would actually want: "how many
+pipelines should I run?".  The tuner uses the analytic predictor to
+shortlist candidates (cheap), then verifies the shortlist with real
+simulations (accurate), returning the best verified count — the paper's
+answer (5 for the MCPC configuration, 7 for n-renderers) falls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..analysis import PeriodPredictor
+from .arrangements import max_pipelines
+from .metrics import RunResult
+from .runner import PipelineRunner
+
+__all__ = ["TuneResult", "autotune"]
+
+
+@dataclass
+class TuneResult:
+    """Outcome of an auto-tuning pass."""
+
+    config: str
+    best_pipelines: int
+    best: RunResult
+    #: analytic predictions for every candidate (seconds)
+    predicted: Dict[int, float]
+    #: verified simulations for the shortlisted candidates
+    verified: Dict[int, RunResult]
+
+    def summary(self) -> str:
+        lines = [f"{self.config}: best = {self.best_pipelines} pipeline(s), "
+                 f"{self.best.walkthrough_seconds:.1f} s"]
+        for n in sorted(self.predicted):
+            mark = ""
+            if n in self.verified:
+                mark = (f"  verified {self.verified[n].walkthrough_seconds:.1f} s"
+                        + ("  <-- best" if n == self.best_pipelines else ""))
+            lines.append(f"  n={n}: predicted {self.predicted[n]:.1f} s{mark}")
+        return "\n".join(lines)
+
+
+def autotune(config: str, frames: int = 400, shortlist: int = 3,
+             predictor: Optional[PeriodPredictor] = None,
+             **runner_kwargs) -> TuneResult:
+    """Find the pipeline count minimizing the walkthrough time.
+
+    Parameters
+    ----------
+    config:
+        One of the parallel configurations (``single_core`` has nothing
+        to tune).
+    frames:
+        Walkthrough length for the verification runs.
+    shortlist:
+        How many analytically-best candidates to verify with the DES.
+    """
+    if config == "single_core":
+        raise ValueError("single_core has no pipeline count to tune")
+    if shortlist < 1:
+        raise ValueError("shortlist must be >= 1")
+    predictor = predictor or PeriodPredictor()
+    limit = max_pipelines(per_pipeline_input=(config == "n_renderers"))
+
+    predicted: Dict[int, float] = {}
+    for n in range(1, limit + 1):
+        predicted[n] = predictor.predict_walkthrough(config, n,
+                                                     frames=frames)
+
+    candidates = sorted(predicted, key=predicted.get)[:shortlist]
+    verified: Dict[int, RunResult] = {}
+    for n in candidates:
+        verified[n] = PipelineRunner(config=config, pipelines=n,
+                                     frames=frames, **runner_kwargs).run()
+
+    best_n = min(verified, key=lambda n: verified[n].walkthrough_seconds)
+    return TuneResult(config=config, best_pipelines=best_n,
+                      best=verified[best_n], predicted=predicted,
+                      verified=verified)

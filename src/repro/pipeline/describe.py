@@ -1,0 +1,115 @@
+"""Structured descriptions of the paper's configurations.
+
+``describe(config, pipelines, arrangement)`` returns the stage graph a
+run would build — which stage kinds exist, on which cores, who feeds
+whom — without running anything.  The CLI's ``describe`` subcommand and
+the docs use it; tests cross-check it against the real runner's wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .arrangements import Placement, make_placement
+from .runner import CONFIGURATIONS, FILTER_KEYS
+
+__all__ = ["StageNode", "ConfigDescription", "describe"]
+
+#: human-readable one-liners for each configuration (paper §V)
+_SUMMARIES = {
+    "single_core": "the 382 s baseline: every stage time-shared on one "
+                   "SCC core",
+    "one_renderer": "one SCC render core draws full frames and feeds all "
+                    "pipelines with strips (render-bound beyond ~3 "
+                    "pipelines)",
+    "n_renderers": "sort-first: a render core per pipeline draws only its "
+                   "strip (scales to the 7-pipeline maximum)",
+    "mcpc_renderer": "heterogeneous: the MCPC's Xeon renders and streams "
+                     "frames over UDP into a connect stage (the paper's "
+                     "fastest SCC setup)",
+}
+
+
+@dataclass(frozen=True)
+class StageNode:
+    """One stage instance in the graph."""
+
+    key: str
+    core: Optional[int]           # None = runs on the MCPC
+    feeds: Tuple[str, ...] = ()
+
+
+@dataclass
+class ConfigDescription:
+    """The full stage graph of a configuration."""
+
+    config: str
+    arrangement: str
+    pipelines: int
+    summary: str
+    stages: List[StageNode] = field(default_factory=list)
+    placement: Optional[Placement] = None
+
+    @property
+    def scc_cores_used(self) -> int:
+        return sum(1 for s in self.stages if s.core is not None)
+
+    def stage(self, key: str) -> StageNode:
+        for s in self.stages:
+            if s.key == key:
+                return s
+        raise KeyError(key)
+
+    def to_text(self) -> str:
+        lines = [f"{self.config} ({self.arrangement}), "
+                 f"{self.pipelines} pipeline(s): {self.summary}",
+                 f"SCC cores used: {self.scc_cores_used}"]
+        for s in self.stages:
+            where = "MCPC" if s.core is None else f"core {s.core:2d}"
+            feeds = " -> " + ", ".join(s.feeds) if s.feeds else ""
+            lines.append(f"  {s.key:12s} [{where}]{feeds}")
+        return "\n".join(lines)
+
+
+def describe(config: str, pipelines: int = 1,
+             arrangement: str = "ordered") -> ConfigDescription:
+    """Build the stage graph for a configuration without simulating."""
+    if config not in CONFIGURATIONS:
+        raise ValueError(f"unknown config {config!r}")
+    if config == "single_core":
+        desc = ConfigDescription(config, arrangement, 0,
+                                 _SUMMARIES[config])
+        desc.stages.append(StageNode("single-core", 0, ("viewer",)))
+        return desc
+
+    placement = make_placement(arrangement, pipelines,
+                               per_pipeline_input=(config == "n_renderers"))
+    desc = ConfigDescription(config, arrangement, pipelines,
+                             _SUMMARIES[config], placement=placement)
+
+    first = [chain[0] for chain in placement.filter_cores]
+    if config == "one_renderer":
+        desc.stages.append(StageNode(
+            "render", placement.input_cores[0],
+            tuple(f"sepia[{p}]" for p in range(pipelines))))
+    elif config == "mcpc_renderer":
+        desc.stages.append(StageNode("mcpc-render", None, ("connect",)))
+        desc.stages.append(StageNode(
+            "connect", placement.input_cores[0],
+            tuple(f"sepia[{p}]" for p in range(pipelines))))
+    else:
+        for p in range(pipelines):
+            desc.stages.append(StageNode(
+                f"render[{p}]", placement.input_cores[p],
+                (f"sepia[{p}]",)))
+
+    for p, chain in enumerate(placement.filter_cores):
+        for j, key in enumerate(FILTER_KEYS):
+            feeds = (f"{FILTER_KEYS[j + 1]}[{p}]"
+                     if j + 1 < len(FILTER_KEYS) else "transfer")
+            desc.stages.append(StageNode(f"{key}[{p}]", chain[j], (feeds,)))
+
+    desc.stages.append(StageNode("transfer", placement.transfer_core,
+                                 ("viewer",)))
+    return desc

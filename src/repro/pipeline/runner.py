@@ -1,0 +1,320 @@
+"""The pipeline runner: build a configuration, simulate it, report.
+
+This is the library's main entry point:
+
+>>> from repro.pipeline import PipelineRunner
+>>> result = PipelineRunner(config="mcpc_renderer", pipelines=5).run()
+>>> round(result.walkthrough_seconds)  # doctest: +SKIP
+52
+
+Configurations (paper §V):
+
+* ``"single_core"`` — the 382 s baseline, everything on one core;
+* ``"one_renderer"`` — one SCC render core feeding n pipelines;
+* ``"n_renderers"`` — a sort-first render core per pipeline;
+* ``"mcpc_renderer"`` — the heterogeneous setup: the host renders and
+  streams frames through a connect stage on the SCC.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..host import MCPC, MCPCConfig, UDPChannel, UDPConfig, VisualizationClient
+from ..rcce import RCCEComm
+from ..scc import SCCChip, SCCConfig
+from ..sim import Simulator, Store
+from ..sim.trace import TraceRecorder
+from .arrangements import Placement, make_placement
+from .costmodel import CostModel
+from .metrics import RunMetrics, RunResult
+from .stage import (
+    ConnectStage,
+    FilterStage,
+    MCPCRenderProcess,
+    SingleCoreProcess,
+    SingleRendererStage,
+    StripRendererStage,
+    Stage,
+    StageContext,
+    TransferStage,
+)
+from .workload import WalkthroughWorkload, default_workload
+
+__all__ = ["CONFIGURATIONS", "PipelineRunner", "FILTER_KEYS",
+           "DOWNLINK_CONFIG"]
+
+CONFIGURATIONS = ("single_core", "one_renderer", "n_renderers",
+                  "mcpc_renderer")
+
+#: pipeline stage order within a pipeline
+FILTER_KEYS = ("sepia", "blur", "scratch", "flicker", "swap")
+
+#: SCC → MCPC viewer link: PCIe DMA reads are fast, so the transfer
+#: stage's UDP send of a full frame costs ~20 ms (part of the 25 ms
+#: transfer-stage budget of Fig. 8).
+DOWNLINK_CONFIG = UDPConfig(mtu_payload=1472, bandwidth=40e6,
+                            per_datagram_overhead=10e-6, latency_s=100e-6)
+
+
+class PipelineRunner:
+    """Builds and runs one parallel-macro-pipeline configuration.
+
+    Parameters
+    ----------
+    config:
+        One of :data:`CONFIGURATIONS`.
+    pipelines:
+        Number of parallel pipelines (ignored for ``single_core``).
+    arrangement:
+        ``"unordered"`` / ``"ordered"`` / ``"flipped"``.
+    frames:
+        Walkthrough length (paper: 400).
+    image_side:
+        Square frame side in pixels (paper main runs: 400).
+    workload:
+        Shared workload (defaults to the memoized module-level one so
+        octree profiles are computed once per process).
+    chip_config, cost, mcpc_config:
+        Model parameter overrides for ablations.
+    payload_mode:
+        Push real pixels through the stages (small runs only).
+    power_trace_dt:
+        When set, the result carries the SCC power trace sampled at this
+        period (seconds).
+    seed:
+        RNG seed for the stochastic filters in payload mode.
+    """
+
+    def __init__(
+        self,
+        config: str = "one_renderer",
+        pipelines: int = 1,
+        arrangement: str = "ordered",
+        frames: int = 400,
+        image_side: int = 400,
+        workload: Optional[WalkthroughWorkload] = None,
+        chip_config: Optional[SCCConfig] = None,
+        cost: Optional[CostModel] = None,
+        mcpc_config: Optional[MCPCConfig] = None,
+        payload_mode: bool = False,
+        power_trace_dt: Optional[float] = None,
+        seed: int = 0,
+        placement: Optional[Placement] = None,
+        frequency_plan: Optional[dict] = None,
+        trace: bool = False,
+    ) -> None:
+        if config not in CONFIGURATIONS:
+            raise ValueError(
+                f"unknown config {config!r}; choose from {CONFIGURATIONS}")
+        self.config = config
+        self.pipelines = int(pipelines)
+        self.arrangement = arrangement
+        self.frames = int(frames)
+        if self.frames < 1:
+            raise ValueError("frames must be >= 1")
+        self.image_side = image_side
+        if workload is not None:
+            self.workload = workload
+        elif (frames, image_side) == (400, 400):
+            self.workload = default_workload()
+        else:
+            self.workload = WalkthroughWorkload(frames=self.frames,
+                                                image_side=image_side)
+        if self.workload.frames < self.frames:
+            raise ValueError("workload has fewer frames than requested")
+        self.chip_config = chip_config
+        self.cost = cost or CostModel()
+        self.mcpc_config = mcpc_config
+        self.payload_mode = payload_mode
+        self.power_trace_dt = power_trace_dt
+        self.seed = seed
+        self.placement_override = placement
+        #: stage key -> frequency in MHz, applied to the stage's tile
+        #: before the run (the §VI-D DVFS experiments); unused tiles of
+        #: an affected voltage island follow the island's minimum planned
+        #: frequency so whole islands can change voltage.
+        self.frequency_plan = frequency_plan
+        #: when True, record per-stage busy spans (see repro.sim.trace);
+        #: available as ``self.last_trace`` after the run
+        self.trace = trace
+        #: filled during the build: stage key -> [core ids]
+        self._stage_cores: dict = {}
+
+    # -- build ------------------------------------------------------------
+    def _build_placement(self) -> Placement:
+        if self.placement_override is not None:
+            if self.config == "n_renderers" and \
+                    len(self.placement_override.input_cores) != \
+                    self.placement_override.num_pipelines:
+                raise ValueError("n_renderers needs one input core per "
+                                 "pipeline in the placement")
+            return self.placement_override
+        if self.config == "single_core":
+            return Placement(self.arrangement, input_cores=[0],
+                             filter_cores=[], transfer_core=1)
+        per_pipeline_input = self.config == "n_renderers"
+        return make_placement(self.arrangement, self.pipelines,
+                              per_pipeline_input)
+
+    def run(self) -> RunResult:
+        """Simulate the walkthrough and return the metrics."""
+        sim = Simulator()
+        chip = SCCChip(sim, self.chip_config)
+        comm = RCCEComm(chip)
+        mcpc = MCPC(sim, self.mcpc_config)
+        viewer = VisualizationClient(sim, keep_payloads=self.payload_mode)
+        downlink = UDPChannel(sim, DOWNLINK_CONFIG, name="scc-viewer")
+        metrics = RunMetrics()
+        placement = self._build_placement()
+
+        ctx = StageContext(
+            chip=chip,
+            comm=comm,
+            cost=self.cost,
+            workload=self.workload,
+            metrics=metrics,
+            frames=self.frames,
+            num_pipelines=max(self.pipelines, 1),
+            payload_mode=self.payload_mode,
+            viewer=viewer,
+            downlink=downlink,
+            uplink=mcpc.link,
+            mcpc=mcpc,
+            rng=np.random.default_rng(self.seed),
+            seed=self.seed,
+            trace=TraceRecorder() if self.trace else None,
+        )
+
+        stages: List[Stage] = []
+        if self.config == "single_core":
+            core = placement.input_cores[0]
+            stages.append(SingleCoreProcess(core, ctx))
+            active_cores = [core]
+            self._stage_cores = {"single-core": [core]}
+        else:
+            stages.extend(self._build_parallel(ctx, placement))
+            active_cores = placement.all_cores()
+            self._stage_cores = {}
+            for s in stages:
+                self._stage_cores.setdefault(s.key.split("[")[0], []).append(
+                    s.core_id)
+
+        self._apply_frequency_plan(chip, active_cores)
+        chip.power.set_cores_active(active_cores, True)
+        processes = [s.start() for s in stages]
+        if self.config == "mcpc_renderer":
+            processes.append(self._host_process.start())
+
+        # The transfer stage (or the single core) finishes last.
+        sim.run(until=sim.all_of(processes))
+        end = sim.now
+        chip.power.set_cores_active(active_cores, False)
+
+        #: exposed for post-run inspection (tests, notebooks)
+        self.last_metrics = ctx.metrics
+        self.last_chip = chip
+        self.last_viewer = ctx.viewer
+        self.last_trace = ctx.trace
+        return self._summarize(ctx, placement, end)
+
+    def _build_parallel(self, ctx: StageContext,
+                        placement: Placement) -> List[Stage]:
+        n = placement.num_pipelines
+        ctx.num_pipelines = n
+        stages: List[Stage] = []
+        first_filters = [chain[0] for chain in placement.filter_cores]
+        last_filters = [chain[-1] for chain in placement.filter_cores]
+
+        if self.config == "one_renderer":
+            stages.append(SingleRendererStage(placement.input_cores[0], ctx,
+                                              first_filters))
+            prev_of_first = [placement.input_cores[0]] * n
+        elif self.config == "n_renderers":
+            for p in range(n):
+                stages.append(StripRendererStage(
+                    placement.input_cores[p], ctx, p, first_filters[p]))
+            prev_of_first = list(placement.input_cores)
+        elif self.config == "mcpc_renderer":
+            queue = Store(ctx.sim, capacity=2, name="sif-socket")
+            connect = ConnectStage(placement.input_cores[0], ctx,
+                                   first_filters, queue)
+            stages.append(connect)
+            self._host_process = MCPCRenderProcess(ctx, queue)
+            prev_of_first = [placement.input_cores[0]] * n
+        else:  # pragma: no cover - guarded in __init__
+            raise AssertionError(self.config)
+
+        for p, chain in enumerate(placement.filter_cores):
+            for j, key in enumerate(FILTER_KEYS):
+                prev_core = prev_of_first[p] if j == 0 else chain[j - 1]
+                next_core = (placement.transfer_core
+                             if j == len(FILTER_KEYS) - 1 else chain[j + 1])
+                stages.append(FilterStage(key, chain[j], ctx, p,
+                                          prev_core, next_core))
+
+        stages.append(TransferStage(placement.transfer_core, ctx,
+                                    last_filters))
+        return stages
+
+    def _apply_frequency_plan(self, chip: SCCChip,
+                              active_cores: List[int]) -> None:
+        """Set per-tile frequencies for the §VI-D DVFS experiments."""
+        if not self.frequency_plan:
+            return
+        planned_tiles: dict = {}
+        for key, mhz in self.frequency_plan.items():
+            cores = self._stage_cores.get(key)
+            if not cores:
+                raise ValueError(f"frequency plan names unknown stage {key!r}")
+            for core in cores:
+                tile = chip.topology.core(core).tile.tile_id
+                chip.dvfs.set_tile_frequency(tile, mhz)
+                planned_tiles[tile] = mhz
+        # Let unused tiles of an affected island follow the island's
+        # minimum planned frequency so the island voltage can drop.
+        used_tiles = {chip.topology.core(c).tile.tile_id
+                      for c in active_cores}
+        islands = {chip.topology.tiles[t].voltage_domain: []
+                   for t in planned_tiles}
+        for tile, mhz in planned_tiles.items():
+            islands[chip.topology.tiles[tile].voltage_domain].append(mhz)
+        for domain, freqs in islands.items():
+            floor = min(freqs)
+            for tile in chip.topology.voltage_domain_tiles(domain):
+                if tile.tile_id not in used_tiles:
+                    chip.dvfs.set_tile_frequency(tile.tile_id, floor)
+
+    # -- report ------------------------------------------------------------
+    def _summarize(self, ctx: StageContext, placement: Placement,
+                   end_time: float) -> RunResult:
+        chip = ctx.chip
+        assert ctx.mcpc is not None
+        busy_means = {}
+        for key, acc in ctx.metrics.busy.items():
+            busy_means[key] = acc.mean
+        trace = []
+        if self.power_trace_dt is not None:
+            trace = chip.power.sampled_trace(0.0, end_time,
+                                             self.power_trace_dt)
+        return RunResult(
+            config=self.config,
+            arrangement=placement.arrangement,
+            pipelines=placement.num_pipelines if self.config != "single_core"
+            else 0,
+            frames=self.frames,
+            walkthrough_seconds=end_time,
+            cores_used=(1 if self.config == "single_core"
+                        else placement.cores_used),
+            scc_energy_j=chip.power.energy(0.0, end_time),
+            scc_avg_power_w=chip.power.average_power(0.0, end_time),
+            mcpc_energy_above_idle_j=ctx.mcpc.energy_above_idle(0.0, end_time),
+            idle_quartiles=ctx.metrics.idle_quartiles(),
+            busy_means=busy_means,
+            mc_utilizations=chip.memory.utilizations(),
+            power_trace=trace,
+            latency_quartiles=(ctx.metrics.latency.quartiles()
+                               if len(ctx.metrics.latency) else None),
+        )

@@ -1,0 +1,420 @@
+"""Macro-pipeline stages as discrete-event processes.
+
+Each stage is one simulated SCC core running a loop:
+
+    wait for input → fetch it from the private partition → compute →
+    deposit the result in the successor's partition → repeat
+
+exactly the structure the paper describes for RCCE programs on a chip
+without local memory.  All stages share a :class:`StageContext` carrying
+the chip, the RCCE layer, the cost model, the workload and the metrics
+collector.
+
+Two fidelity levels coexist (DESIGN.md §2): with
+``ctx.payload_mode=True`` real numpy strips flow through the stages and
+the filters actually run; otherwise messages carry only byte counts and
+the DES advances by modeled times alone.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..filters import (
+    BlurFilter,
+    FlickerFilter,
+    ImageFilter,
+    ScratchFilter,
+    SepiaFilter,
+    SwapFilter,
+)
+from ..host import MCPC, UDPChannel, VisualizationClient
+from ..rcce import RCCEComm
+from ..scc import SCCChip
+from ..scc.topology import SIF_LOCATION
+from ..sim import Store
+from ..sim.trace import TraceRecorder
+from .costmodel import CostModel
+from .metrics import RunMetrics
+from .workload import WalkthroughWorkload
+
+__all__ = [
+    "StageContext",
+    "Stage",
+    "SingleRendererStage",
+    "StripRendererStage",
+    "FilterStage",
+    "TransferStage",
+    "ConnectStage",
+    "MCPCRenderProcess",
+    "SingleCoreProcess",
+    "FILTER_CLASSES",
+]
+
+#: functional-level filter implementations per stage key
+FILTER_CLASSES: Dict[str, type] = {
+    "sepia": SepiaFilter,
+    "blur": BlurFilter,
+    "scratch": ScratchFilter,
+    "flicker": FlickerFilter,
+    "swap": SwapFilter,
+}
+
+
+@dataclass
+class StageContext:
+    """Everything a stage needs to run."""
+
+    chip: SCCChip
+    comm: RCCEComm
+    cost: CostModel
+    workload: WalkthroughWorkload
+    metrics: RunMetrics
+    frames: int
+    num_pipelines: int
+    payload_mode: bool = False
+    viewer: Optional[VisualizationClient] = None
+    #: SCC → MCPC link (transfer stage → visualization client)
+    downlink: Optional[UDPChannel] = None
+    #: MCPC → SCC link (host renderer → connect stage)
+    uplink: Optional[UDPChannel] = None
+    mcpc: Optional[MCPC] = None
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0))
+    #: root seed for per-stage RNG streams (payload mode)
+    seed: int = 0
+    #: optional activity recorder (one track per stage instance)
+    trace: Optional[TraceRecorder] = None
+
+    @property
+    def sim(self):
+        return self.chip.sim
+
+    def rng_for(self, stage_key: str, pipeline: int) -> np.random.Generator:
+        """An independent RNG stream for one stage instance.
+
+        Derived from the root seed via SeedSequence spawning, so the
+        stochastic filters' draws do not depend on event interleaving —
+        identical seeds give identical films for every arrangement.
+        """
+        # zlib.crc32 is stable across processes (unlike str hash()).
+        digest = zlib.crc32(f"{stage_key}/{pipeline}".encode("ascii"))
+        return np.random.default_rng(
+            np.random.SeedSequence(entropy=self.seed,
+                                   spawn_key=(digest,)))
+
+
+class Stage:
+    """Base class: owns a core and provides timing helpers."""
+
+    def __init__(self, key: str, core_id: int, ctx: StageContext) -> None:
+        self.key = key
+        self.core_id = core_id
+        self.ctx = ctx
+
+    @property
+    def base_key(self) -> str:
+        """Stage kind without the per-pipeline suffix (metrics key)."""
+        return self.key.split("[")[0]
+
+    # -- helpers ------------------------------------------------------------
+    def compute(self, seconds_at_533: float) -> Generator[Any, Any, None]:
+        """Advance time by a compute burst, scaled to the core's clock."""
+        yield self.ctx.sim.timeout(
+            self.ctx.chip.compute_time(self.core_id, seconds_at_533))
+
+    def run(self) -> Generator[Any, Any, None]:
+        """The stage's process body (override)."""
+        raise NotImplementedError
+
+    def record_busy(self, start: float) -> None:
+        """Log a service interval to the metrics (and trace, if any)."""
+        now = self.ctx.sim.now
+        self.ctx.metrics.record_busy(self.base_key, now - start)
+        if self.ctx.trace is not None:
+            self.ctx.trace.add(self.key, "busy", start, now)
+
+    def start(self):
+        """Spawn the stage on the context's simulator."""
+        return self.ctx.sim.process(self.run(), name=self.key)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.key!r} core={self.core_id}>"
+
+
+# ---------------------------------------------------------------------------
+# render stages
+# ---------------------------------------------------------------------------
+
+class SingleRendererStage(Stage):
+    """Configuration 1's renderer: one core renders the *full* frame,
+    splits it into horizontal strips, and feeds every pipeline."""
+
+    def __init__(self, core_id: int, ctx: StageContext,
+                 first_filter_cores: List[int]) -> None:
+        super().__init__("render", core_id, ctx)
+        self.first_filter_cores = first_filter_cores
+
+    def run(self) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        n = len(self.first_filter_cores)
+        for frame in range(ctx.frames):
+            start = ctx.sim.now
+            ctx.metrics.mark_frame_birth(frame, start)
+            profile = ctx.workload.profile(frame)
+            yield from self.compute(ctx.cost.render_seconds(profile))
+            image = None
+            if ctx.payload_mode:
+                camera = ctx.workload.path.camera_at(frame)
+                image = ctx.workload.renderer.render(
+                    camera, ctx.workload.viewport())
+            for p, dst in enumerate(self.first_filter_cores):
+                nbytes = ctx.workload.strip_bytes(p, n)
+                payload = None
+                if image is not None:
+                    vp = ctx.workload.viewport(p, n)
+                    payload = image[vp.y_start:vp.y_start + vp.height]
+                yield from ctx.comm.send(self.core_id, dst, nbytes,
+                                         tag=frame,
+                                         payload=(frame, p, payload))
+            self.record_busy(start)
+
+
+class StripRendererStage(Stage):
+    """Configuration 2's renderer: one per pipeline, sort-first.
+
+    Culls against its strip sub-frustum (which barely shrinks the
+    triangle set) and rasterizes only its strip's pixels; pays the
+    paper's frustum-adjustment overhead.
+    """
+
+    def __init__(self, core_id: int, ctx: StageContext, pipeline: int,
+                 next_core: int) -> None:
+        super().__init__(f"render[{pipeline}]", core_id, ctx)
+        self.pipeline = pipeline
+        self.next_core = next_core
+
+    def run(self) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        n = ctx.num_pipelines
+        p = self.pipeline
+        for frame in range(ctx.frames):
+            start = ctx.sim.now
+            ctx.metrics.mark_frame_birth(frame, start)
+            profile = ctx.workload.profile(frame, p, n)
+            yield from self.compute(
+                ctx.cost.render_seconds(profile, sort_first=True))
+            payload = None
+            if ctx.payload_mode:
+                camera = ctx.workload.path.camera_at(frame)
+                payload = ctx.workload.renderer.render(
+                    camera, ctx.workload.viewport(p, n),
+                    strip_index=p, num_strips=n)
+            nbytes = ctx.workload.strip_bytes(p, n)
+            yield from ctx.comm.send(self.core_id, self.next_core, nbytes,
+                                     tag=frame, payload=(frame, p, payload))
+            self.record_busy(start)
+
+
+class MCPCRenderProcess:
+    """Configuration 3's renderer: the host renders and streams frames
+    over the UDP uplink into the connect stage's socket."""
+
+    def __init__(self, ctx: StageContext, connect_queue: Store) -> None:
+        if ctx.mcpc is None or ctx.uplink is None:
+            raise ValueError("MCPC rendering needs ctx.mcpc and ctx.uplink")
+        self.ctx = ctx
+        self.connect_queue = connect_queue
+
+    def run(self) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        assert ctx.mcpc is not None and ctx.uplink is not None
+        for frame in range(ctx.frames):
+            ctx.metrics.mark_frame_birth(frame, ctx.sim.now)
+            profile = ctx.workload.profile(frame)
+            # mcpc.compute() takes SCC-core-seconds and applies the
+            # Xeon's speed-up internally.
+            yield from ctx.mcpc.compute(ctx.cost.render_seconds(profile))
+            image = None
+            if ctx.payload_mode:
+                camera = ctx.workload.path.camera_at(frame)
+                image = ctx.workload.renderer.render(
+                    camera, ctx.workload.viewport())
+            yield from ctx.uplink.transfer(ctx.workload.frame_bytes())
+            yield self.connect_queue.put((frame, image))
+
+    def start(self):
+        return self.ctx.sim.process(self.run(), name="mcpc-render")
+
+
+class ConnectStage(Stage):
+    """Receives host-rendered frames off the SIF and carves them into
+    strips for the pipelines — "this stage does nothing besides receiving
+    the frames from the MCPC and distributing them among the pipelines"
+    (but the UDP datagram processing on a P54C is anything but free).
+    """
+
+    def __init__(self, core_id: int, ctx: StageContext,
+                 first_filter_cores: List[int],
+                 connect_queue: Store) -> None:
+        super().__init__("connect", core_id, ctx)
+        self.first_filter_cores = first_filter_cores
+        self.connect_queue = connect_queue
+
+    def run(self) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        assert ctx.uplink is not None
+        n = len(self.first_filter_cores)
+        frame_bytes = ctx.workload.frame_bytes()
+        datagrams = ctx.uplink.datagrams_for(frame_bytes)
+        for _ in range(ctx.frames):
+            wait_start = ctx.sim.now
+            frame, image = yield self.connect_queue.get()
+            ctx.metrics.record_idle(self.key, ctx.sim.now - wait_start)
+            start = ctx.sim.now
+            # The frame enters the chip at the system interface router
+            # and crosses the mesh to this core...
+            yield from ctx.chip.mesh.transfer(
+                SIF_LOCATION, ctx.chip.topology.core(self.core_id).coord,
+                frame_bytes)
+            # ...then kernel/UDP processing of the fragments, then
+            # landing the frame in the private partition.
+            yield from self.compute(ctx.cost.connect_seconds(datagrams, n))
+            yield from ctx.chip.memory.write_own(self.core_id, frame_bytes)
+            for p, dst in enumerate(self.first_filter_cores):
+                nbytes = ctx.workload.strip_bytes(p, n)
+                payload = None
+                if image is not None:
+                    vp = ctx.workload.viewport(p, n)
+                    payload = image[vp.y_start:vp.y_start + vp.height]
+                yield from ctx.comm.send(self.core_id, dst, nbytes,
+                                         tag=frame,
+                                         payload=(frame, p, payload))
+            self.record_busy(start)
+
+
+# ---------------------------------------------------------------------------
+# filter stages
+# ---------------------------------------------------------------------------
+
+class FilterStage(Stage):
+    """One of the five silent-film filters on one core of one pipeline."""
+
+    def __init__(self, filter_key: str, core_id: int, ctx: StageContext,
+                 pipeline: int, prev_core: int, next_core: int) -> None:
+        super().__init__(f"{filter_key}[{pipeline}]", core_id, ctx)
+        self.pipeline = pipeline
+        self.prev_core = prev_core
+        self.next_core = next_core
+        self._filter: Optional[ImageFilter] = None
+        self._rng = ctx.rng_for(filter_key, pipeline)
+        if ctx.payload_mode:
+            self._filter = FILTER_CLASSES[filter_key]()
+
+    def run(self) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        n = ctx.num_pipelines
+        pixels = ctx.workload.viewport(self.pipeline, n).pixels
+        service = ctx.cost.filter_seconds(self.base_key, pixels)
+        for _ in range(ctx.frames):
+            msg = yield from ctx.comm.recv(
+                self.core_id, self.prev_core,
+                idle_cb=lambda d: ctx.metrics.record_idle(self.base_key, d))
+            start = ctx.sim.now
+            yield from self.compute(service)
+            payload = msg.payload
+            if ctx.payload_mode and payload is not None:
+                frame, strip, image = payload
+                if image is not None and self._filter is not None:
+                    image = self._filter.apply(image, self._rng)
+                payload = (frame, strip, image)
+            yield from ctx.comm.send(self.core_id, self.next_core,
+                                     msg.nbytes, tag=msg.tag,
+                                     payload=payload)
+            self.record_busy(start)
+
+
+# ---------------------------------------------------------------------------
+# transfer stage
+# ---------------------------------------------------------------------------
+
+class TransferStage(Stage):
+    """Collects the strips of each frame from all pipelines, assembles
+    the frame and ships it to the visualization client over UDP.  There
+    is always exactly one transfer stage."""
+
+    def __init__(self, core_id: int, ctx: StageContext,
+                 last_filter_cores: List[int]) -> None:
+        super().__init__("transfer", core_id, ctx)
+        self.last_filter_cores = last_filter_cores
+
+    def run(self) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        assert ctx.downlink is not None and ctx.viewer is not None
+        n = len(self.last_filter_cores)
+        frame_pixels = ctx.workload.image_side ** 2
+        frame_bytes = ctx.workload.frame_bytes()
+        for frame in range(ctx.frames):
+            strips: List[Any] = [None] * n
+            wait_start = ctx.sim.now
+            for p, src in enumerate(self.last_filter_cores):
+                msg = yield from ctx.comm.recv(
+                    self.core_id, src,
+                    idle_cb=(
+                        (lambda d: ctx.metrics.record_idle(self.key, d))
+                        if p == 0 else None))
+                if msg.payload is not None:
+                    _, strip_idx, image = msg.payload
+                    strips[strip_idx] = image
+            start = ctx.sim.now
+            yield from self.compute(ctx.cost.assemble_seconds(frame_pixels))
+            assembled = None
+            if ctx.payload_mode and all(s is not None for s in strips):
+                # Strips arrive swap-flipped (top-down); the frame is
+                # stacked in reverse strip order to stay top-down overall.
+                assembled = np.vstack(list(reversed(strips)))
+            yield from ctx.downlink.transfer(frame_bytes)
+            ctx.viewer.display(frame, assembled)
+            ctx.metrics.record_frame_done(frame, ctx.sim.now)
+            self.record_busy(start)
+
+
+# ---------------------------------------------------------------------------
+# single-core baseline
+# ---------------------------------------------------------------------------
+
+class SingleCoreProcess(Stage):
+    """The 382 s baseline: the whole pipeline on one core.
+
+    Hand-offs between stages stay in the core's own partition and caches,
+    so only compute plus the final UDP send to the viewer is charged.
+    """
+
+    def __init__(self, core_id: int, ctx: StageContext) -> None:
+        super().__init__("single-core", core_id, ctx)
+
+    def run(self) -> Generator[Any, Any, None]:
+        ctx = self.ctx
+        assert ctx.downlink is not None and ctx.viewer is not None
+        frame_bytes = ctx.workload.frame_bytes()
+        for frame in range(ctx.frames):
+            start = ctx.sim.now
+            ctx.metrics.mark_frame_birth(frame, start)
+            profile = ctx.workload.profile(frame)
+            yield from self.compute(
+                ctx.cost.single_core_frame_seconds(profile))
+            image = None
+            if ctx.payload_mode:
+                camera = ctx.workload.path.camera_at(frame)
+                image = ctx.workload.renderer.render(
+                    camera, ctx.workload.viewport())
+                for key in ("sepia", "blur", "scratch", "flicker", "swap"):
+                    image = FILTER_CLASSES[key]().apply(image, ctx.rng)
+            yield from ctx.downlink.transfer(frame_bytes)
+            ctx.viewer.display(frame, image)
+            ctx.metrics.record_frame_done(frame, ctx.sim.now)
+            self.record_busy(start)

@@ -1,0 +1,71 @@
+"""Parameter sweeps: the experiment campaigns behind the figures.
+
+Thin, tested wrappers that run :class:`PipelineRunner` /
+:class:`~repro.cluster.ClusterRunner` across a parameter axis and
+return the results as ordered structures.  The CLI and notebooks use
+these instead of re-implementing loops; the benches keep their own
+caching layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .arrangements import ARRANGEMENTS
+from .metrics import RunResult
+from .runner import PipelineRunner
+from .workload import WalkthroughWorkload
+
+__all__ = ["sweep_pipelines", "sweep_arrangements", "sweep_image_sizes",
+           "series"]
+
+
+def sweep_pipelines(config: str, pipelines: Iterable[int],
+                    arrangement: str = "ordered", frames: int = 400,
+                    **runner_kwargs) -> List[RunResult]:
+    """One run per pipeline count, in the given order."""
+    results = []
+    for n in pipelines:
+        results.append(PipelineRunner(config=config, pipelines=n,
+                                      arrangement=arrangement, frames=frames,
+                                      **runner_kwargs).run())
+    return results
+
+
+def sweep_arrangements(config: str, pipelines: int, frames: int = 400,
+                       arrangements: Sequence[str] = ARRANGEMENTS,
+                       **runner_kwargs) -> Dict[str, RunResult]:
+    """One run per arrangement at a fixed pipeline count."""
+    return {
+        arr: PipelineRunner(config=config, pipelines=pipelines,
+                            arrangement=arr, frames=frames,
+                            **runner_kwargs).run()
+        for arr in arrangements
+    }
+
+
+def sweep_image_sizes(sides: Iterable[int], config: str = "mcpc_renderer",
+                      pipelines: int = 1, frames: int = 400,
+                      **runner_kwargs) -> Dict[int, RunResult]:
+    """The Fig. 12 axis: one run per frame side length.
+
+    Each size gets its own workload (strip geometry changes with the
+    frame size).
+    """
+    out: Dict[int, RunResult] = {}
+    for side in sides:
+        workload = WalkthroughWorkload(frames=frames, image_side=side)
+        out[side] = PipelineRunner(config=config, pipelines=pipelines,
+                                   frames=frames, image_side=side,
+                                   workload=workload, **runner_kwargs).run()
+    return out
+
+
+def series(results: Iterable[RunResult],
+           attribute: str = "walkthrough_seconds") -> List[float]:
+    """Extract one numeric attribute from each result, in order."""
+    out = []
+    for r in results:
+        value = getattr(r, attribute)
+        out.append(float(value() if callable(value) else value))
+    return out

@@ -1,0 +1,135 @@
+"""RCCE_comm-style collectives built on blocking point-to-point.
+
+Real RCCE ships a small collectives layer (``RCCE_comm``: bcast,
+scatter, gather, allreduce) implemented naively over send/recv — no
+topology-aware trees, because the chip's 48 ranks make flat loops
+acceptable.  We mirror that: every collective is a root-rooted loop of
+sends/recvs, so its cost model inherits the point-to-point semantics
+(and its contention) for free.
+
+Usage follows the split-phase style of the rest of the kernel: each
+participating core runs its side as a process fragment, e.g.
+
+    # on the root
+    yield from coll.scatter_root(root, members, chunks)
+    # on every member
+    mine = yield from coll.scatter_member(member, root)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Sequence
+
+from .comm import RCCEComm
+
+__all__ = ["Collectives"]
+
+
+class Collectives:
+    """Collective operations over an :class:`RCCEComm`."""
+
+    def __init__(self, comm: RCCEComm) -> None:
+        self.comm = comm
+
+    # -- scatter ------------------------------------------------------------
+    def scatter_root(self, root: int, members: Sequence[int],
+                     chunks: Sequence[Any], nbytes_each: int,
+                     via: str = "dram") -> Generator[Any, Any, Any]:
+        """Root side: send ``chunks[i]`` to ``members[i]``.
+
+        The root's own chunk (if it appears in ``members``) is returned
+        without communication.
+        """
+        if len(chunks) != len(members):
+            raise ValueError("one chunk per member required")
+        own: Any = None
+        for member, chunk in zip(members, chunks):
+            if member == root:
+                own = chunk
+                continue
+            yield from self.comm.send(root, member, nbytes_each,
+                                      payload=chunk, via=via)
+        return own
+
+    def scatter_member(self, member: int,
+                       root: int) -> Generator[Any, Any, Any]:
+        """Member side: receive this rank's chunk."""
+        msg = yield from self.comm.recv(member, root)
+        return msg.payload
+
+    # -- gather ------------------------------------------------------------
+    def gather_root(self, root: int, members: Sequence[int],
+                    nbytes_each: int,
+                    own: Any = None) -> Generator[Any, Any, List[Any]]:
+        """Root side: collect one payload from every member, in order."""
+        out: List[Any] = []
+        for member in members:
+            if member == root:
+                out.append(own)
+                continue
+            msg = yield from self.comm.recv(root, member)
+            out.append(msg.payload)
+        return out
+
+    def gather_member(self, member: int, root: int, nbytes: int,
+                      payload: Any = None,
+                      via: str = "dram") -> Generator[Any, Any, None]:
+        """Member side: contribute one payload."""
+        yield from self.comm.send(member, root, nbytes, payload=payload,
+                                  via=via)
+
+    # -- reduce ------------------------------------------------------------
+    def reduce_root(self, root: int, members: Sequence[int],
+                    nbytes_each: int, op: Callable[[Any, Any], Any],
+                    own: Any) -> Generator[Any, Any, Any]:
+        """Root side: fold member contributions with ``op``.
+
+        ``op`` must be associative; contributions fold in member order
+        (RCCE's deterministic reduction order).
+        """
+        acc = own
+        for member in members:
+            if member == root:
+                continue
+            msg = yield from self.comm.recv(root, member)
+            acc = op(acc, msg.payload)
+        return acc
+
+    reduce_member = gather_member  # identical wire behaviour
+
+    # -- broadcast with reply (barrier-ish handshake) -------------------------
+    def bcast_root(self, root: int, members: Sequence[int], nbytes: int,
+                   payload: Any = None,
+                   via: str = "dram") -> Generator[Any, Any, None]:
+        """Root side of RCCE's naive broadcast (sequential sends)."""
+        yield from self.comm.bcast(root, members, nbytes, payload=payload,
+                                   via=via)
+
+    def bcast_member(self, member: int,
+                     root: int) -> Generator[Any, Any, Any]:
+        """Member side of broadcast."""
+        msg = yield from self.comm.recv(member, root)
+        return msg.payload
+
+    # -- allgather (flat: gather at min rank, then broadcast) ------------------
+    def allgather(self, core: int, members: Sequence[int], nbytes: int,
+                  payload: Any = None) -> Generator[Any, Any, List[Any]]:
+        """Symmetric allgather; every member runs this same fragment.
+
+        Flat algorithm (gather to the lowest rank, broadcast back), as
+        RCCE's reference implementation does.
+        """
+        members = list(members)
+        if core not in members:
+            raise ValueError("core must be one of the members")
+        root = min(members)
+        if core == root:
+            gathered = yield from self.gather_root(root, members, nbytes,
+                                                   own=payload)
+            yield from self.bcast_root(root, members,
+                                       nbytes * len(members),
+                                       payload=gathered)
+            return gathered
+        yield from self.gather_member(core, root, nbytes, payload=payload)
+        result = yield from self.bcast_member(core, root)
+        return result

@@ -1,0 +1,119 @@
+"""Cameras and the 400-frame walkthrough path.
+
+The paper's workload is "a virtual walkthrough through a 3D model ...
+The complete walkthrough consists of 400 individual frames."  We recreate
+it as a smooth loop through the procedural city: the camera circles the
+scene at street-canyon height while panning toward the center, so frame
+content (and therefore visible-triangle counts) varies over the run just
+as a real walkthrough's would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from .math3d import look_at, perspective
+
+__all__ = ["Camera", "WalkthroughPath", "DEFAULT_FRAME_COUNT"]
+
+#: the paper's walkthrough length
+DEFAULT_FRAME_COUNT = 400
+
+
+@dataclass
+class Camera:
+    """A pinhole camera.
+
+    Attributes
+    ----------
+    eye, target, up:
+        World-space placement.
+    fov_y_deg, aspect, near, far:
+        Projection parameters.
+    """
+
+    eye: np.ndarray
+    target: np.ndarray
+    up: np.ndarray = (0.0, 1.0, 0.0)
+    fov_y_deg: float = 60.0
+    aspect: float = 1.0
+    near: float = 0.1
+    far: float = 500.0
+
+    def view_matrix(self) -> np.ndarray:
+        return look_at(self.eye, self.target, self.up)
+
+    def projection_matrix(self) -> np.ndarray:
+        return perspective(self.fov_y_deg, self.aspect, self.near, self.far)
+
+    def view_proj(self) -> np.ndarray:
+        """Combined view-projection matrix."""
+        return self.projection_matrix() @ self.view_matrix()
+
+
+class WalkthroughPath:
+    """Generates the camera for each of the walkthrough's frames.
+
+    Parameters
+    ----------
+    frames:
+        Number of frames (paper: 400).
+    radius:
+        Orbit radius around the scene center.
+    height:
+        Camera height above the ground plane.
+    center:
+        Scene center the camera looks toward.
+    aspect:
+        Camera aspect ratio (square images in the paper's size sweep).
+    """
+
+    def __init__(self, frames: int = DEFAULT_FRAME_COUNT,
+                 radius: float = 60.0, height: float = 8.0,
+                 center=(0.0, 0.0, 0.0), aspect: float = 1.0) -> None:
+        if frames < 1:
+            raise ValueError("need at least one frame")
+        if radius <= 0:
+            raise ValueError("radius must be > 0")
+        self.frames = frames
+        self.radius = radius
+        self.height = height
+        self.center = np.asarray(center, dtype=np.float64)
+        self.aspect = aspect
+
+    def camera_at(self, frame: int) -> Camera:
+        """Camera for frame ``frame`` (0-based)."""
+        if not 0 <= frame < self.frames:
+            raise ValueError(f"frame {frame} out of 0..{self.frames - 1}")
+        t = frame / self.frames
+        angle = 2.0 * np.pi * t
+        # The orbit breathes (radius modulation) and bobs slightly so the
+        # visible working set changes frame to frame.
+        r = self.radius * (1.0 + 0.25 * np.sin(2.0 * angle))
+        eye = self.center + np.array([
+            r * np.cos(angle),
+            self.height * (1.0 + 0.3 * np.sin(3.0 * angle)),
+            r * np.sin(angle),
+        ])
+        # Look ahead along the path rather than dead center: a walkthrough.
+        ahead = angle + 0.35
+        target = self.center + np.array([
+            0.3 * r * np.cos(ahead),
+            0.5 * self.height,
+            0.3 * r * np.sin(ahead),
+        ])
+        return Camera(eye=eye, target=target, aspect=self.aspect)
+
+    def __iter__(self) -> Iterator[Camera]:
+        for f in range(self.frames):
+            yield self.camera_at(f)
+
+    def __len__(self) -> int:
+        return self.frames
+
+    def cameras(self) -> List[Camera]:
+        """All cameras as a list."""
+        return list(self)

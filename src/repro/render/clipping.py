@@ -1,0 +1,122 @@
+"""Near-plane clipping (Sutherland–Hodgman in clip space).
+
+The minimal rasterizer rejects any triangle with a vertex behind the
+camera; during the walkthrough the camera flies close to buildings, so
+foreground geometry would pop.  This module clips triangles against the
+``w = epsilon`` plane in homogeneous clip space, producing one or two
+triangles whose vertices all have positive ``w`` and can be safely
+perspective-divided.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["clip_triangle_near", "clip_triangles_near", "NEAR_W_EPSILON"]
+
+#: clip boundary: keep the half-space w >= epsilon
+NEAR_W_EPSILON = 1e-5
+
+
+def _lerp(a: np.ndarray, b: np.ndarray, t: float) -> np.ndarray:
+    return a + (b - a) * t
+
+
+def clip_triangle_near(clip_vertices: np.ndarray,
+                       epsilon: float = NEAR_W_EPSILON) -> np.ndarray:
+    """Clip one triangle (``(3, 4)`` clip-space vertices) at ``w = eps``.
+
+    Returns ``(k, 3, 4)`` with k in {0, 1, 2}: zero triangles when fully
+    behind the plane, one when fully in front or when one vertex
+    survives, two when two vertices survive (the clipped quad is
+    fan-triangulated).
+    """
+    v = np.asarray(clip_vertices, dtype=np.float64)
+    if v.shape != (3, 4):
+        raise ValueError("expected a (3, 4) clip-space triangle")
+    inside = v[:, 3] >= epsilon
+    n_in = int(inside.sum())
+
+    if n_in == 3:
+        return v[None, :, :]
+    if n_in == 0:
+        return np.empty((0, 3, 4))
+
+    # Sutherland–Hodgman against the single plane w = epsilon.
+    out: List[np.ndarray] = []
+    for i in range(3):
+        a, b = v[i], v[(i + 1) % 3]
+        a_in = inside[i]
+        b_in = inside[(i + 1) % 3]
+        if a_in:
+            out.append(a)
+        if a_in != b_in:
+            # Intersection where w(t) = epsilon along the edge a->b.
+            t = (epsilon - a[3]) / (b[3] - a[3])
+            out.append(_lerp(a, b, t))
+    if len(out) == 3:
+        return np.asarray(out)[None, :, :]
+    assert len(out) == 4, "single-plane clip yields 3 or 4 vertices"
+    quad = np.asarray(out)
+    return np.stack([quad[[0, 1, 2]], quad[[0, 2, 3]]])
+
+
+def clip_triangles_near(vertices: np.ndarray, faces: np.ndarray,
+                        colors: np.ndarray, view_proj: np.ndarray,
+                        epsilon: float = NEAR_W_EPSILON,
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Clip a whole mesh; returns flat clip-space geometry.
+
+    Returns
+    -------
+    clip_vertices:
+        ``(3k, 4)`` clip-space vertices of the surviving triangles.
+    out_faces:
+        ``(k, 3)`` indices into ``clip_vertices`` (trivially
+        ``[[0,1,2],[3,4,5],...]``; returned for caller convenience).
+    out_colors:
+        ``(k, 3)`` per-face colors (clip products inherit their parent's
+        color).
+    """
+    vertices = np.asarray(vertices, dtype=np.float64)
+    faces = np.asarray(faces, dtype=np.int64)
+    colors = np.asarray(colors, dtype=np.float64)
+    if len(faces) != len(colors):
+        raise ValueError("faces and colors must pair up")
+
+    homo = np.empty((len(vertices), 4))
+    homo[:, :3] = vertices
+    homo[:, 3] = 1.0
+    clip = homo @ np.asarray(view_proj, dtype=np.float64).T
+
+    tri_w = clip[faces][:, :, 3] if len(faces) else np.empty((0, 3))
+    all_in = np.all(tri_w >= epsilon, axis=1) if len(faces) else \
+        np.empty(0, dtype=bool)
+    any_in = np.any(tri_w >= epsilon, axis=1) if len(faces) else \
+        np.empty(0, dtype=bool)
+
+    out_tris: List[np.ndarray] = []
+    out_colors: List[np.ndarray] = []
+
+    # Fast path: fully-inside triangles in bulk.
+    full = np.nonzero(all_in)[0]
+    for f_idx in full:
+        out_tris.append(clip[faces[f_idx]])
+        out_colors.append(colors[f_idx])
+
+    # Slow path: straddling triangles, clipped one by one.
+    straddling = np.nonzero(any_in & ~all_in)[0]
+    for f_idx in straddling:
+        for tri in clip_triangle_near(clip[faces[f_idx]], epsilon):
+            out_tris.append(tri)
+            out_colors.append(colors[f_idx])
+
+    if not out_tris:
+        return (np.empty((0, 4)), np.empty((0, 3), dtype=np.int64),
+                np.empty((0, 3)))
+    flat = np.concatenate(out_tris).reshape(-1, 4)
+    k = len(out_tris)
+    out_faces = np.arange(3 * k, dtype=np.int64).reshape(k, 3)
+    return flat, out_faces, np.asarray(out_colors)

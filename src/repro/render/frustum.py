@@ -1,0 +1,123 @@
+"""View frustum extraction and culling tests.
+
+The render stage "determines the objects placed within the horizontal
+strip [by] a frustum culling" — so besides the full-camera frustum we
+support *strip sub-frusta*: the part of the view volume that projects to
+one horizontal band of the image, which is what each sort-first renderer
+culls against.
+
+Planes come from the Gribb/Hartmann rows-of-the-matrix method; every
+plane normal points *into* the frustum, so a point is inside iff all six
+signed distances are >= 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mesh3d import AABB
+
+__all__ = ["Frustum", "strip_view_proj"]
+
+
+class Frustum:
+    """Six inward-facing planes stored as a ``(6, 4)`` array ``(n, d)``
+    with the convention ``n·p + d >= 0`` ⇔ inside."""
+
+    def __init__(self, planes: np.ndarray) -> None:
+        planes = np.asarray(planes, dtype=np.float64)
+        if planes.shape != (6, 4):
+            raise ValueError("a frustum needs exactly six (n, d) planes")
+        # Normalize so distances are metric.
+        norms = np.linalg.norm(planes[:, :3], axis=1, keepdims=True)
+        if np.any(norms < 1e-12):
+            raise ValueError("degenerate frustum plane")
+        self.planes = planes / norms
+
+    @classmethod
+    def from_view_proj(cls, view_proj: np.ndarray) -> "Frustum":
+        """Extract the six planes from a combined view-projection matrix."""
+        m = np.asarray(view_proj, dtype=np.float64)
+        if m.shape != (4, 4):
+            raise ValueError("view_proj must be 4x4")
+        rows = [
+            m[3] + m[0],   # left
+            m[3] - m[0],   # right
+            m[3] + m[1],   # bottom
+            m[3] - m[1],   # top
+            m[3] + m[2],   # near
+            m[3] - m[2],   # far
+        ]
+        return cls(np.vstack(rows))
+
+    # -- queries ------------------------------------------------------------
+    def contains_point(self, p: np.ndarray) -> bool:
+        """True when the point is inside (or on) all six planes."""
+        p = np.asarray(p, dtype=np.float64)
+        d = self.planes[:, :3] @ p + self.planes[:, 3]
+        return bool(np.all(d >= -1e-9))
+
+    def intersects_aabb(self, box: AABB) -> bool:
+        """Conservative AABB test (p-vertex): no false negatives.
+
+        Standard culling test: for each plane take the box corner most
+        in the plane's direction; if even that corner is outside, the
+        whole box is outside.
+        """
+        normals = self.planes[:, :3]
+        d = self.planes[:, 3]
+        # positive vertex per plane: hi where n >= 0 else lo
+        pv = np.where(normals >= 0.0, box.hi[None, :], box.lo[None, :])
+        dist = np.einsum("ij,ij->i", normals, pv) + d
+        return bool(np.all(dist >= -1e-9))
+
+    def classify_aabbs(self, los: np.ndarray, his: np.ndarray) -> np.ndarray:
+        """Vectorized p-vertex test for many boxes.
+
+        Parameters
+        ----------
+        los, his:
+            ``(N, 3)`` box corners.
+
+        Returns
+        -------
+        ``(N,)`` bool mask — True where the box potentially intersects.
+        """
+        los = np.asarray(los, dtype=np.float64)
+        his = np.asarray(his, dtype=np.float64)
+        if los.shape != his.shape or los.ndim != 2 or los.shape[1] != 3:
+            raise ValueError("los/his must both be (N, 3)")
+        normals = self.planes[:, :3]                       # (6, 3)
+        d = self.planes[:, 3]                              # (6,)
+        # (N, 6, 3): pick hi where the plane normal component is >= 0
+        pick_hi = normals[None, :, :] >= 0.0
+        pv = np.where(pick_hi, his[:, None, :], los[:, None, :])
+        dist = np.einsum("nij,ij->ni", pv, normals) + d[None, :]
+        return np.all(dist >= -1e-9, axis=1)
+
+
+def strip_view_proj(view_proj: np.ndarray, strip_index: int,
+                    num_strips: int) -> np.ndarray:
+    """View-projection matrix restricted to one horizontal image strip.
+
+    Sort-first parallel rendering splits the screen into ``num_strips``
+    horizontal bands; renderer ``strip_index`` only needs geometry whose
+    projection falls into NDC ``y ∈ [y0, y1]``.  We compose a "window"
+    transform that maps that band onto the full ``[-1, 1]`` NDC range, so
+    the standard six-plane extraction yields the sub-frustum.
+
+    Strips are indexed bottom-up (strip 0 = bottom of the image in NDC).
+    """
+    if num_strips <= 0:
+        raise ValueError("num_strips must be >= 1")
+    if not 0 <= strip_index < num_strips:
+        raise ValueError("strip_index out of range")
+    y0 = -1.0 + 2.0 * strip_index / num_strips
+    y1 = -1.0 + 2.0 * (strip_index + 1) / num_strips
+    # Map [y0, y1] -> [-1, 1]: y' = (2y - (y0+y1)) / (y1-y0)
+    scale = 2.0 / (y1 - y0)
+    offset = -(y0 + y1) / (y1 - y0)
+    window = np.eye(4)
+    window[1, 1] = scale
+    window[1, 3] = offset
+    return window @ np.asarray(view_proj, dtype=np.float64)

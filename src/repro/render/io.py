@@ -1,0 +1,84 @@
+"""Image I/O: binary PPM (P6) read/write plus small comparison helpers.
+
+The visualization client of the original system displays frames; ours
+writes them to disk.  PPM is chosen because it needs no dependencies and
+every viewer/ffmpeg understands it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Tuple, Union
+
+import numpy as np
+
+__all__ = ["write_ppm", "read_ppm", "image_diff", "to_uint8", "to_float"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def to_uint8(image: np.ndarray) -> np.ndarray:
+    """Convert a float [0,1] RGB image to uint8 (with clipping)."""
+    image = np.asarray(image)
+    if image.dtype == np.uint8:
+        return image
+    return (np.clip(image, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+
+
+def to_float(image: np.ndarray) -> np.ndarray:
+    """Convert a uint8 RGB image to float32 [0,1]."""
+    image = np.asarray(image)
+    if image.dtype != np.uint8:
+        return image.astype(np.float32)
+    return (image.astype(np.float32) / 255.0)
+
+
+def write_ppm(path: PathLike, image: np.ndarray) -> None:
+    """Write an ``(H, W, 3)`` image (float [0,1] or uint8) as binary PPM."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got {image.shape}")
+    data = to_uint8(image)
+    height, width, _ = data.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        fh.write(np.ascontiguousarray(data).tobytes())
+
+
+def read_ppm(path: PathLike) -> np.ndarray:
+    """Read a binary PPM back as a float32 [0,1] image."""
+    raw = pathlib.Path(path).read_bytes()
+    # Header: magic, width, height, maxval — whitespace/comment separated.
+    header = []
+    pos = 0
+    while len(header) < 4:
+        match = re.match(rb"\s*(#[^\n]*\n|\S+)", raw[pos:])
+        if match is None:
+            raise ValueError(f"{path}: truncated PPM header")
+        token = match.group(1)
+        pos += match.end()
+        if not token.startswith(b"#"):
+            header.append(token)
+    magic, width_b, height_b, maxval_b = header
+    if magic != b"P6":
+        raise ValueError(f"{path}: not a binary PPM (magic {magic!r})")
+    width, height, maxval = int(width_b), int(height_b), int(maxval_b)
+    if maxval != 255:
+        raise ValueError(f"{path}: only maxval 255 supported")
+    # Exactly one whitespace byte separates the header from the pixels.
+    data = raw[pos + 1:pos + 1 + width * height * 3]
+    if len(data) != width * height * 3:
+        raise ValueError(f"{path}: pixel data truncated")
+    pixels = np.frombuffer(data, dtype=np.uint8)
+    return to_float(pixels.reshape(height, width, 3))
+
+
+def image_diff(a: np.ndarray, b: np.ndarray) -> Tuple[float, float]:
+    """Return ``(mean_abs_error, max_abs_error)`` between two images."""
+    a = to_float(np.asarray(a))
+    b = to_float(np.asarray(b))
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    diff = np.abs(a.astype(np.float64) - b.astype(np.float64))
+    return float(diff.mean()), float(diff.max())

@@ -1,0 +1,134 @@
+"""Small 3D math toolkit (column-vector, right-handed, OpenGL-style).
+
+Everything is plain numpy — vectors are shape ``(3,)`` / ``(4,)`` arrays,
+point sets are ``(N, 3)``, matrices are ``(4, 4)`` float64.  Conventions
+match classic OpenGL (the paper renders with os-mesa): camera looks down
+-Z in view space, clip space is ``[-1, 1]^3`` after perspective divide.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "normalize",
+    "look_at",
+    "perspective",
+    "translation",
+    "rotation_y",
+    "transform_points",
+    "project_points",
+]
+
+
+def normalize(v: np.ndarray) -> np.ndarray:
+    """Return ``v`` scaled to unit length.
+
+    Raises
+    ------
+    ValueError
+        If ``v`` is (numerically) the zero vector.
+    """
+    v = np.asarray(v, dtype=np.float64)
+    n = float(np.linalg.norm(v))
+    if n < 1e-12:
+        raise ValueError("cannot normalize the zero vector")
+    return v / n
+
+
+def look_at(eye: np.ndarray, target: np.ndarray,
+            up: np.ndarray = (0.0, 1.0, 0.0)) -> np.ndarray:
+    """View matrix placing the camera at ``eye`` looking at ``target``."""
+    eye = np.asarray(eye, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    forward = normalize(target - eye)
+    right = normalize(np.cross(forward, np.asarray(up, dtype=np.float64)))
+    true_up = np.cross(right, forward)
+    view = np.eye(4)
+    view[0, :3] = right
+    view[1, :3] = true_up
+    view[2, :3] = -forward
+    view[0, 3] = -float(right @ eye)
+    view[1, 3] = -float(true_up @ eye)
+    view[2, 3] = float(forward @ eye)
+    return view
+
+
+def perspective(fov_y_deg: float, aspect: float, near: float,
+                far: float) -> np.ndarray:
+    """Perspective projection matrix (gluPerspective semantics)."""
+    if near <= 0 or far <= near:
+        raise ValueError("need 0 < near < far")
+    if aspect <= 0:
+        raise ValueError("aspect must be > 0")
+    if not 0 < fov_y_deg < 180:
+        raise ValueError("fov must be in (0, 180) degrees")
+    f = 1.0 / np.tan(np.radians(fov_y_deg) / 2.0)
+    proj = np.zeros((4, 4))
+    proj[0, 0] = f / aspect
+    proj[1, 1] = f
+    proj[2, 2] = (far + near) / (near - far)
+    proj[2, 3] = 2.0 * far * near / (near - far)
+    proj[3, 2] = -1.0
+    return proj
+
+
+def translation(offset: np.ndarray) -> np.ndarray:
+    """Translation matrix."""
+    m = np.eye(4)
+    m[:3, 3] = np.asarray(offset, dtype=np.float64)
+    return m
+
+
+def rotation_y(angle_rad: float) -> np.ndarray:
+    """Rotation about the world Y axis."""
+    c, s = np.cos(angle_rad), np.sin(angle_rad)
+    m = np.eye(4)
+    m[0, 0] = c
+    m[0, 2] = s
+    m[2, 0] = -s
+    m[2, 2] = c
+    return m
+
+
+def transform_points(matrix: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Apply a 4x4 matrix to ``(N, 3)`` points; returns ``(N, 3)``.
+
+    No perspective divide — use :func:`project_points` for that.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"expected (N, 3) points, got {points.shape}")
+    homo = np.empty((points.shape[0], 4))
+    homo[:, :3] = points
+    homo[:, 3] = 1.0
+    out = homo @ matrix.T
+    return out[:, :3]
+
+
+def project_points(view_proj: np.ndarray,
+                   points: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Project ``(N, 3)`` world points through a view-projection matrix.
+
+    Returns
+    -------
+    ndc:
+        ``(N, 3)`` normalized device coordinates (x, y in [-1, 1] when on
+        screen, z for depth ordering).
+    w:
+        ``(N,)`` clip-space w (``w <= 0`` means behind the camera; such
+        points get NaN NDC and must be handled by the caller).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"expected (N, 3) points, got {points.shape}")
+    homo = np.empty((points.shape[0], 4))
+    homo[:, :3] = points
+    homo[:, 3] = 1.0
+    clip = homo @ view_proj.T
+    w = clip[:, 3]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ndc = np.where(w[:, None] > 1e-12, clip[:, :3] / w[:, None], np.nan)
+    return ndc, w

@@ -1,0 +1,179 @@
+"""Triangle meshes: the CAD data fed to the render stage.
+
+A :class:`TriangleMesh` is a flat soup of colored triangles — "a large
+amount of colored triangles" is all the paper's renderer consumes.  The
+class carries vertices, faces, per-face colors and cached geometry used
+by the octree (triangle centroids and bounding boxes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = ["AABB", "TriangleMesh", "make_box"]
+
+
+@dataclass(frozen=True)
+class AABB:
+    """Axis-aligned bounding box."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        lo = np.asarray(self.lo, dtype=np.float64)
+        hi = np.asarray(self.hi, dtype=np.float64)
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        if lo.shape != (3,) or hi.shape != (3,):
+            raise ValueError("AABB corners must be 3-vectors")
+        if np.any(hi < lo):
+            raise ValueError("AABB hi must dominate lo")
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def extent(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    def contains_point(self, p: np.ndarray) -> bool:
+        p = np.asarray(p, dtype=np.float64)
+        return bool(np.all(p >= self.lo) and np.all(p <= self.hi))
+
+    def union(self, other: "AABB") -> "AABB":
+        return AABB(np.minimum(self.lo, other.lo),
+                    np.maximum(self.hi, other.hi))
+
+    def corners(self) -> np.ndarray:
+        """The eight corner points, shape ``(8, 3)``."""
+        lo, hi = self.lo, self.hi
+        return np.array([
+            [lo[0], lo[1], lo[2]], [hi[0], lo[1], lo[2]],
+            [lo[0], hi[1], lo[2]], [hi[0], hi[1], lo[2]],
+            [lo[0], lo[1], hi[2]], [hi[0], lo[1], hi[2]],
+            [lo[0], hi[1], hi[2]], [hi[0], hi[1], hi[2]],
+        ])
+
+    def octant(self, index: int) -> "AABB":
+        """One of the eight child boxes of an octree split."""
+        if not 0 <= index < 8:
+            raise ValueError("octant index must be 0..7")
+        c = self.center
+        lo = self.lo.copy()
+        hi = self.hi.copy()
+        for axis in range(3):
+            if index >> axis & 1:
+                lo[axis] = c[axis]
+            else:
+                hi[axis] = c[axis]
+        return AABB(lo, hi)
+
+
+class TriangleMesh:
+    """A soup of colored triangles.
+
+    Parameters
+    ----------
+    vertices:
+        ``(V, 3)`` float array.
+    faces:
+        ``(F, 3)`` int array of vertex indices.
+    colors:
+        ``(F, 3)`` float array of per-face RGB in [0, 1].
+    """
+
+    def __init__(self, vertices: np.ndarray, faces: np.ndarray,
+                 colors: np.ndarray) -> None:
+        self.vertices = np.asarray(vertices, dtype=np.float64)
+        self.faces = np.asarray(faces, dtype=np.int64)
+        self.colors = np.asarray(colors, dtype=np.float64)
+        if self.vertices.ndim != 2 or self.vertices.shape[1] != 3:
+            raise ValueError("vertices must be (V, 3)")
+        if self.faces.ndim != 2 or self.faces.shape[1] != 3:
+            raise ValueError("faces must be (F, 3)")
+        if self.colors.shape != (len(self.faces), 3):
+            raise ValueError("colors must be (F, 3), one RGB per face")
+        if len(self.faces) and (self.faces.min() < 0
+                                or self.faces.max() >= len(self.vertices)):
+            raise ValueError("face indices out of range")
+
+    # -- derived geometry -----------------------------------------------------
+    @property
+    def num_triangles(self) -> int:
+        return len(self.faces)
+
+    def triangle_vertices(self) -> np.ndarray:
+        """``(F, 3, 3)`` — the three corners of every face."""
+        return self.vertices[self.faces]
+
+    def centroids(self) -> np.ndarray:
+        """``(F, 3)`` triangle centroids."""
+        return self.triangle_vertices().mean(axis=1)
+
+    def bounds(self) -> AABB:
+        """Bounding box of the whole mesh."""
+        if len(self.vertices) == 0:
+            raise ValueError("empty mesh has no bounds")
+        return AABB(self.vertices.min(axis=0), self.vertices.max(axis=0))
+
+    def triangle_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-face lo/hi corners, each ``(F, 3)``."""
+        tv = self.triangle_vertices()
+        return tv.min(axis=1), tv.max(axis=1)
+
+    # -- composition ------------------------------------------------------------
+    @staticmethod
+    def merge(meshes: Iterable["TriangleMesh"]) -> "TriangleMesh":
+        """Concatenate several meshes into one."""
+        meshes = list(meshes)
+        if not meshes:
+            raise ValueError("nothing to merge")
+        verts: List[np.ndarray] = []
+        faces: List[np.ndarray] = []
+        colors: List[np.ndarray] = []
+        offset = 0
+        for m in meshes:
+            verts.append(m.vertices)
+            faces.append(m.faces + offset)
+            colors.append(m.colors)
+            offset += len(m.vertices)
+        return TriangleMesh(np.vstack(verts), np.vstack(faces),
+                            np.vstack(colors))
+
+    def __repr__(self) -> str:
+        return (
+            f"<TriangleMesh V={len(self.vertices)} "
+            f"F={self.num_triangles}>"
+        )
+
+
+def make_box(center, size, color) -> TriangleMesh:
+    """An axis-aligned box as 12 triangles (the city's building block)."""
+    center = np.asarray(center, dtype=np.float64)
+    size = np.asarray(size, dtype=np.float64)
+    if np.any(size <= 0):
+        raise ValueError("box size must be positive")
+    half = size / 2.0
+    signs = np.array([
+        [-1, -1, -1], [1, -1, -1], [-1, 1, -1], [1, 1, -1],
+        [-1, -1, 1], [1, -1, 1], [-1, 1, 1], [1, 1, 1],
+    ], dtype=np.float64)
+    vertices = center + signs * half
+    faces = np.array([
+        [0, 2, 1], [1, 2, 3],  # z- face
+        [4, 5, 6], [5, 7, 6],  # z+ face
+        [0, 1, 4], [1, 5, 4],  # y- face
+        [2, 6, 3], [3, 6, 7],  # y+ face
+        [0, 4, 2], [2, 4, 6],  # x- face
+        [1, 3, 5], [3, 7, 5],  # x+ face
+    ], dtype=np.int64)
+    color = np.asarray(color, dtype=np.float64)
+    # Slightly shade the faces by orientation so buildings look 3D.
+    shade = np.array([0.75, 0.75, 0.55, 1.0, 0.65, 0.9])
+    colors = np.repeat(shade, 2)[:, None] * color[None, :]
+    return TriangleMesh(vertices, faces, np.clip(colors, 0.0, 1.0))

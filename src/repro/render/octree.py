@@ -1,0 +1,189 @@
+"""Octree spatial index over a triangle mesh.
+
+The render stage "loads the scene and organizes the different objects in
+a hierarchical data structure known as an octree ... the octree is
+traversed [for frustum culling], causing significant memory accesses."
+The traversal statistics (:class:`TraversalStats`) are exactly what the
+timing cost model charges for — the octree walk is the irregular,
+pointer-chasing memory pattern that makes the render stage expensive on
+a cache-starved P54C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .frustum import Frustum
+from .mesh3d import AABB, TriangleMesh
+
+__all__ = ["TraversalStats", "OctreeNode", "Octree"]
+
+
+@dataclass
+class TraversalStats:
+    """Counters from one culling traversal (drives the render cost model)."""
+
+    nodes_visited: int = 0
+    nodes_culled: int = 0
+    triangles_collected: int = 0
+
+    def merged_with(self, other: "TraversalStats") -> "TraversalStats":
+        return TraversalStats(
+            self.nodes_visited + other.nodes_visited,
+            self.nodes_culled + other.nodes_culled,
+            self.triangles_collected + other.triangles_collected,
+        )
+
+
+class OctreeNode:
+    """One octree cell: either a leaf holding triangle indices, or eight
+    children (sparse — empty octants are ``None``)."""
+
+    __slots__ = ("bounds", "triangle_indices", "children")
+
+    def __init__(self, bounds: AABB) -> None:
+        self.bounds = bounds
+        self.triangle_indices: Optional[np.ndarray] = None
+        self.children: Optional[List[Optional["OctreeNode"]]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class Octree:
+    """Octree over the triangles of a mesh.
+
+    Triangles are binned by centroid; each node's bounds are padded to
+    enclose its triangles fully (loose octree), so a frustum query never
+    misses geometry.
+
+    Parameters
+    ----------
+    mesh:
+        The scene geometry.
+    max_triangles_per_leaf:
+        Split threshold.
+    max_depth:
+        Hard depth cap (protects against degenerate input).
+    """
+
+    def __init__(self, mesh: TriangleMesh, max_triangles_per_leaf: int = 64,
+                 max_depth: int = 10) -> None:
+        if mesh.num_triangles == 0:
+            raise ValueError("cannot index an empty mesh")
+        if max_triangles_per_leaf < 1:
+            raise ValueError("max_triangles_per_leaf must be >= 1")
+        if max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        self.mesh = mesh
+        self.max_triangles_per_leaf = max_triangles_per_leaf
+        self.max_depth = max_depth
+        self._centroids = mesh.centroids()
+        self._tri_lo, self._tri_hi = mesh.triangle_bounds()
+        self.root = OctreeNode(mesh.bounds())
+        self.node_count = 1
+        self.leaf_count = 0
+        self._build(self.root, np.arange(mesh.num_triangles), depth=0)
+
+    # -- construction -----------------------------------------------------------
+    def _build(self, node: OctreeNode, indices: np.ndarray,
+               depth: int) -> None:
+        if len(indices) <= self.max_triangles_per_leaf or depth >= self.max_depth:
+            node.triangle_indices = indices
+            # Loose bounds: grow to cover the binned triangles entirely.
+            if len(indices):
+                node.bounds = AABB(
+                    np.minimum(node.bounds.lo,
+                               self._tri_lo[indices].min(axis=0)),
+                    np.maximum(node.bounds.hi,
+                               self._tri_hi[indices].max(axis=0)),
+                )
+            self.leaf_count += 1
+            return
+        node.children = [None] * 8
+        center = node.bounds.center
+        cent = self._centroids[indices]
+        octant = ((cent[:, 0] >= center[0]).astype(np.int64)
+                  | ((cent[:, 1] >= center[1]).astype(np.int64) << 1)
+                  | ((cent[:, 2] >= center[2]).astype(np.int64) << 2))
+        for o in range(8):
+            sub = indices[octant == o]
+            if len(sub) == 0:
+                continue
+            child = OctreeNode(node.bounds.octant(o))
+            node.children[o] = child
+            self.node_count += 1
+            self._build(child, sub, depth + 1)
+
+    # -- queries ------------------------------------------------------------
+    def query_frustum(self, frustum: Frustum,
+                      stats: Optional[TraversalStats] = None) -> np.ndarray:
+        """Triangle indices of every leaf intersecting the frustum.
+
+        ``stats`` (if given) accumulates visited/culled node counts for
+        the cost model.
+        """
+        stats = stats if stats is not None else TraversalStats()
+        collected: List[np.ndarray] = []
+        self._query(self.root, frustum, collected, stats)
+        if not collected:
+            return np.empty(0, dtype=np.int64)
+        out = np.concatenate(collected)
+        stats.triangles_collected = len(out)
+        return out
+
+    def _query(self, node: OctreeNode, frustum: Frustum,
+               collected: List[np.ndarray], stats: TraversalStats) -> None:
+        stats.nodes_visited += 1
+        if not frustum.intersects_aabb(node.bounds):
+            stats.nodes_culled += 1
+            return
+        if node.is_leaf:
+            if node.triangle_indices is not None and len(node.triangle_indices):
+                collected.append(node.triangle_indices)
+            return
+        assert node.children is not None
+        for child in node.children:
+            if child is not None:
+                self._query(child, frustum, collected, stats)
+
+    def all_triangles(self) -> np.ndarray:
+        """Every triangle index, in tree order (sanity checks)."""
+        out: List[np.ndarray] = []
+
+        def walk(node: OctreeNode) -> None:
+            if node.is_leaf:
+                if node.triangle_indices is not None:
+                    out.append(node.triangle_indices)
+                return
+            assert node.children is not None
+            for child in node.children:
+                if child is not None:
+                    walk(child)
+
+        walk(self.root)
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(out)
+
+    @property
+    def depth(self) -> int:
+        """Actual maximum depth of the built tree."""
+
+        def walk(node: OctreeNode) -> int:
+            if node.is_leaf:
+                return 0
+            assert node.children is not None
+            return 1 + max(walk(c) for c in node.children if c is not None)
+
+        return walk(self.root)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Octree tris={self.mesh.num_triangles} nodes={self.node_count} "
+            f"leaves={self.leaf_count}>"
+        )

@@ -1,0 +1,231 @@
+"""A z-buffered software rasterizer (numpy, per-triangle vectorized).
+
+Supports optional flat Lambert shading: with a ``light`` direction the
+per-face color is scaled by ``ambient + (1-ambient)·max(0, n·l)`` using
+the face normal, which is what gives the city its sun-lit look in the
+silent-film example.
+
+Stands in for os-mesa: flat-shaded triangles into an RGB float32 frame
+buffer with a float32 depth buffer.  Each triangle's bounding-box pixels
+are tested with vectorized barycentric coordinates — fast enough in
+Python for the functional examples and tests; the 400-frame timing runs
+use the cost model instead (see DESIGN.md's two fidelity levels).
+
+Supports rendering a *horizontal strip* of the full image, which is how
+the sort-first configurations split work: the strip owns rows
+``[y_start, y_start + height)`` of the conceptual full frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .math3d import project_points
+
+__all__ = ["Viewport", "RasterStats", "rasterize", "face_normals",
+           "lambert_shade"]
+
+
+def face_normals(vertices: np.ndarray, faces: np.ndarray) -> np.ndarray:
+    """Unit normals of each face, ``(F, 3)`` (degenerate faces get 0)."""
+    vertices = np.asarray(vertices, dtype=np.float64)
+    faces = np.asarray(faces, dtype=np.int64)
+    tri = vertices[faces]
+    n = np.cross(tri[:, 1] - tri[:, 0], tri[:, 2] - tri[:, 0])
+    length = np.linalg.norm(n, axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        unit = np.where(length > 1e-12, n / length, 0.0)
+    return unit
+
+
+def lambert_shade(colors: np.ndarray, normals: np.ndarray,
+                  light: np.ndarray, ambient: float = 0.35) -> np.ndarray:
+    """Scale per-face colors by a one-light Lambert term.
+
+    Faces are treated as two-sided (|n·l|), matching the box meshes'
+    mixed winding.
+    """
+    if not 0.0 <= ambient <= 1.0:
+        raise ValueError("ambient must be in [0, 1]")
+    light_dir = np.asarray(light, dtype=np.float64)
+    norm = np.linalg.norm(light_dir)
+    if norm < 1e-12:
+        raise ValueError("light direction must be non-zero")
+    light_dir = light_dir / norm
+    diffuse = np.abs(np.asarray(normals) @ light_dir)
+    factor = ambient + (1.0 - ambient) * diffuse
+    return np.clip(np.asarray(colors) * factor[:, None], 0.0, 1.0)
+
+
+@dataclass(frozen=True)
+class Viewport:
+    """A render target region.
+
+    ``full_width`` x ``full_height`` is the conceptual image;
+    the strip covers rows ``y_start .. y_start + height - 1``
+    (bottom-up, matching NDC).  A full-image viewport has
+    ``y_start=0, height=full_height``.
+    """
+
+    full_width: int
+    full_height: int
+    y_start: int = 0
+    height: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        h = self.full_height if self.height is None else self.height
+        object.__setattr__(self, "height", h)
+        if self.full_width <= 0 or self.full_height <= 0:
+            raise ValueError("image dimensions must be positive")
+        if not 0 <= self.y_start < self.full_height:
+            raise ValueError("y_start outside the image")
+        if h <= 0 or self.y_start + h > self.full_height:
+            raise ValueError("strip exceeds the image")
+
+    @property
+    def width(self) -> int:
+        return self.full_width
+
+    @property
+    def pixels(self) -> int:
+        return self.full_width * int(self.height)
+
+    @property
+    def bytes_rgba(self) -> int:
+        """Frame-buffer footprint at the paper's 4 bytes/pixel."""
+        return self.pixels * 4
+
+
+@dataclass
+class RasterStats:
+    """Counters from one rasterization pass (feed the cost model)."""
+
+    triangles_in: int = 0
+    triangles_rasterized: int = 0
+    pixels_tested: int = 0
+    pixels_shaded: int = 0
+
+
+def rasterize(
+    vertices: np.ndarray,
+    faces: np.ndarray,
+    colors: np.ndarray,
+    view_proj: np.ndarray,
+    viewport: Viewport,
+    background: Tuple[float, float, float] = (0.35, 0.55, 0.9),
+    stats: Optional[RasterStats] = None,
+    clip_near: bool = True,
+    light: Optional[Tuple[float, float, float]] = None,
+) -> np.ndarray:
+    """Render triangles into a strip image.
+
+    Parameters
+    ----------
+    vertices, faces, colors:
+        Geometry (``(V,3)`` float, ``(F,3)`` int, ``(F,3)`` float RGB).
+    view_proj:
+        Combined camera matrix for the *full* image.
+    viewport:
+        Which strip of the full image to produce.
+    background:
+        Clear color.
+    stats:
+        Optional counter sink.
+    clip_near:
+        Clip triangles at the near plane (Sutherland–Hodgman) so
+        geometry partially behind the camera still draws; when False,
+        such triangles are rejected whole (the cheap fallback).
+
+    Returns
+    -------
+    ``(height, width, 3)`` float32 image, row 0 = *bottom* of the strip
+    (OpenGL orientation — hence the paper's swap stage to flip it for
+    the viewer).
+    """
+    stats = stats if stats is not None else RasterStats()
+    W = viewport.full_width
+    H_full = viewport.full_height
+    H = int(viewport.height)
+    y0 = viewport.y_start
+
+    color_buf = np.empty((H, W, 3), dtype=np.float32)
+    color_buf[:] = np.asarray(background, dtype=np.float32)
+    depth_buf = np.full((H, W), np.inf, dtype=np.float32)
+
+    faces = np.asarray(faces, dtype=np.int64)
+    stats.triangles_in += len(faces)
+    if len(faces) == 0:
+        return color_buf
+
+    if light is not None:
+        colors = lambert_shade(colors, face_normals(vertices, faces), light)
+
+    if clip_near:
+        from .clipping import clip_triangles_near
+
+        clip, faces, colors = clip_triangles_near(vertices, faces, colors,
+                                                  view_proj)
+        if len(faces) == 0:
+            return color_buf
+        w = clip[:, 3]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ndc = clip[:, :3] / w[:, None]
+    else:
+        ndc, w = project_points(view_proj,
+                                np.asarray(vertices, dtype=np.float64))
+    # Screen coordinates over the FULL image, then offset into the strip.
+    sx = (ndc[:, 0] + 1.0) * 0.5 * W
+    sy = (ndc[:, 1] + 1.0) * 0.5 * H_full - y0
+    sz = ndc[:, 2]
+
+    tri_w = w[faces]
+    # Post-clip all w are positive; the fallback path still rejects
+    # triangles that touch the camera plane.
+    visible = np.all(tri_w > 1e-9, axis=1)
+
+    for f_idx in np.nonzero(visible)[0]:
+        i0, i1, i2 = faces[f_idx]
+        x0, y0_, z0 = sx[i0], sy[i0], sz[i0]
+        x1, y1_, z1 = sx[i1], sy[i1], sz[i1]
+        x2, y2_, z2 = sx[i2], sy[i2], sz[i2]
+
+        min_x = max(int(np.floor(min(x0, x1, x2))), 0)
+        max_x = min(int(np.ceil(max(x0, x1, x2))), W - 1)
+        min_y = max(int(np.floor(min(y0_, y1_, y2_))), 0)
+        max_y = min(int(np.ceil(max(y0_, y1_, y2_))), H - 1)
+        if min_x > max_x or min_y > max_y:
+            continue
+
+        area = (x1 - x0) * (y2_ - y0_) - (x2 - x0) * (y1_ - y0_)
+        if abs(area) < 1e-12:
+            continue
+        stats.triangles_rasterized += 1
+
+        xs = np.arange(min_x, max_x + 1) + 0.5
+        ys = np.arange(min_y, max_y + 1) + 0.5
+        px, py = np.meshgrid(xs, ys)
+        stats.pixels_tested += px.size
+
+        w0 = ((x1 - x0) * (py - y0_) - (px - x0) * (y1_ - y0_)) / area
+        w1 = ((px - x0) * (y2_ - y0_) - (x2 - x0) * (py - y0_)) / area
+        # Note: w0 is the barycentric weight of vertex 2, w1 of vertex 1.
+        w2 = 1.0 - w0 - w1
+        inside = (w0 >= 0) & (w1 >= 0) & (w2 >= 0)
+        if not inside.any():
+            continue
+
+        z = w2 * z0 + w1 * z1 + w0 * z2
+        region_depth = depth_buf[min_y:max_y + 1, min_x:max_x + 1]
+        write = inside & (z < region_depth)
+        n_shaded = int(write.sum())
+        if n_shaded == 0:
+            continue
+        stats.pixels_shaded += n_shaded
+        region_depth[write] = z[write].astype(np.float32)
+        region_color = color_buf[min_y:max_y + 1, min_x:max_x + 1]
+        region_color[write] = np.asarray(colors[f_idx], dtype=np.float32)
+
+    return color_buf

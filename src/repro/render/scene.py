@@ -1,0 +1,102 @@
+"""Procedural city scene.
+
+The paper renders a walkthrough of "NYC Model by Mehdi M." — a CAD city
+we cannot redistribute.  The substitution (DESIGN.md §2) is a procedural
+Manhattan-style block grid: a ground plane plus a lattice of box
+buildings with height variation and a park-like clearing, producing the
+same cost structure (thousands of colored triangles, strong depth
+complexity down street canyons, wide frustum-culling variance along the
+orbit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .mesh3d import TriangleMesh, make_box
+
+__all__ = ["CityConfig", "build_city"]
+
+
+@dataclass(frozen=True)
+class CityConfig:
+    """Parameters of the procedural city."""
+
+    #: number of city blocks along each axis
+    blocks: int = 12
+    #: street-to-street pitch (world units)
+    pitch: float = 10.0
+    #: building footprint within a block
+    footprint: float = 6.0
+    #: minimum / maximum building height
+    min_height: float = 4.0
+    max_height: float = 40.0
+    #: fraction of lots left empty (parks/plazas)
+    vacancy: float = 0.12
+    #: RNG seed for reproducible geometry
+    seed: int = 20130520  # IPDPSW 2013
+    #: ground plane margin beyond the last block
+    ground_margin: float = 20.0
+
+
+def build_city(config: Optional[CityConfig] = None) -> TriangleMesh:
+    """Generate the city mesh.
+
+    Deterministic for a given config (seeded RNG), centered on the
+    origin, ground at y=0.
+    """
+    cfg = config or CityConfig()
+    if cfg.blocks < 1:
+        raise ValueError("need at least one block")
+    if not 0.0 <= cfg.vacancy < 1.0:
+        raise ValueError("vacancy must be in [0, 1)")
+    if cfg.min_height <= 0 or cfg.max_height < cfg.min_height:
+        raise ValueError("heights must satisfy 0 < min <= max")
+
+    rng = np.random.default_rng(cfg.seed)
+    half = (cfg.blocks - 1) * cfg.pitch / 2.0
+    pieces = []
+
+    # Ground slab.
+    extent = half + cfg.ground_margin
+    pieces.append(make_box(
+        center=(0.0, -0.5, 0.0),
+        size=(2 * extent, 1.0, 2 * extent),
+        color=(0.30, 0.32, 0.30),
+    ))
+
+    palette = np.array([
+        (0.75, 0.72, 0.65),   # sandstone
+        (0.55, 0.58, 0.62),   # concrete
+        (0.45, 0.50, 0.58),   # glass-blue
+        (0.70, 0.45, 0.35),   # brick
+        (0.62, 0.65, 0.60),   # grey
+    ])
+
+    for i in range(cfg.blocks):
+        for j in range(cfg.blocks):
+            if rng.random() < cfg.vacancy:
+                continue
+            x = -half + i * cfg.pitch
+            z = -half + j * cfg.pitch
+            # Downtown effect: taller toward the center.
+            dist = np.hypot(x, z) / (half + 1e-9)
+            height = float(
+                cfg.min_height
+                + (cfg.max_height - cfg.min_height)
+                * (1.0 - 0.7 * dist)
+                * rng.uniform(0.3, 1.0)
+            )
+            height = max(height, cfg.min_height)
+            footprint = cfg.footprint * rng.uniform(0.6, 1.0)
+            color = palette[rng.integers(len(palette))] * rng.uniform(0.8, 1.1)
+            pieces.append(make_box(
+                center=(x, height / 2.0, z),
+                size=(footprint, height, footprint),
+                color=np.clip(color, 0.0, 1.0),
+            ))
+
+    return TriangleMesh.merge(pieces)

@@ -1,0 +1,30 @@
+"""Paper reference data and ASCII reporting helpers for the benches."""
+
+from . import paper
+from .export import (
+    result_to_dict,
+    results_from_json,
+    results_to_csv,
+    results_to_json,
+)
+from .plots import ascii_chart, sparkline
+from .tables import (
+    deviation_pct,
+    format_comparison,
+    format_series,
+    format_table,
+)
+
+__all__ = [
+    "paper",
+    "format_table",
+    "format_series",
+    "format_comparison",
+    "deviation_pct",
+    "ascii_chart",
+    "sparkline",
+    "result_to_dict",
+    "results_to_json",
+    "results_from_json",
+    "results_to_csv",
+]

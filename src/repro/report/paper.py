@@ -1,0 +1,105 @@
+"""Reference values transcribed from the paper.
+
+Every bench compares its simulated output against these numbers.  They
+are data, not assertions: the reproduction targets the *shape* (who
+wins, by what factor, where curves flatten or cross), not exact seconds
+measured on 2012 silicon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "TABLE1",
+    "TABLE1_PIPELINES",
+    "BASELINE_SINGLE_CORE_S",
+    "RENDER_ONLY_S",
+    "RENDER_TRANSFER_ONLY_S",
+    "FIG8_STAGE_SECONDS",
+    "FIG12_SIDES",
+    "FIG15_IDLE_MS",
+    "FIG16_WALKTHROUGH_S",
+    "FIG17_POWER_W",
+    "ENERGY_HYBRID_J",
+    "ENERGY_NREND_J",
+    "POWER_IDLE_W",
+    "POWER_MCPC_5PL_W",
+    "POWER_NREND_7PL_W",
+    "MCPC_RENDER_SECONDS",
+    "MCPC_IDLE_W",
+    "MCPC_RENDER_W",
+    "SPEEDUPS",
+]
+
+#: pipeline counts of Table I's columns
+TABLE1_PIPELINES = (1, 2, 3, 4, 5, 6, 7)
+
+#: Table I, seconds per walkthrough; rows keyed (config, arrangement)
+TABLE1: Dict[Tuple[str, str], List[int]] = {
+    ("one_renderer", "unordered"): [207, 107, 102, 102, 102, 101, 101],
+    ("one_renderer", "ordered"): [208, 108, 104, 103, 102, 101, 101],
+    ("one_renderer", "flipped"): [208, 107, 102, 102, 102, 101, 101],
+    ("n_renderers", "unordered"): [235, 117, 78, 69, 65, 62, 58],
+    ("n_renderers", "ordered"): [236, 118, 79, 68, 65, 61, 58],
+    ("n_renderers", "flipped"): [236, 117, 79, 68, 65, 61, 59],
+    ("mcpc_renderer", "unordered"): [231, 113, 72, 54, 54, 55, 54],
+    ("mcpc_renderer", "ordered"): [231, 112, 70, 54, 53, 55, 54],
+    ("mcpc_renderer", "flipped"): [232, 113, 72, 54, 51, 54, 54],
+    ("hpc_external_renderer", "cluster"): [32, 24, 20, 20, 19, 20, 18],
+    ("hpc_single_renderer", "cluster"): [26, 14, 10, 7, 6, 5, 4],
+    ("hpc_parallel_renderer", "cluster"): [25, 14, 10, 8, 6, 5, 4],
+}
+
+#: §VI-A anchors: the whole pipeline on one core, and reduced pipelines
+BASELINE_SINGLE_CORE_S = 382.0
+RENDER_ONLY_S = 94.0
+RENDER_TRANSFER_ONLY_S = 104.0
+
+#: Fig. 8 per-stage seconds-per-frame on one core (derived in
+#: DESIGN.md §5 from the text's anchors; the figure itself is unlabeled)
+FIG8_STAGE_SECONDS: Dict[str, float] = {
+    "render": 0.235,
+    "sepia": 0.095,
+    "blur": 0.465,
+    "scratch": 0.015,
+    "flicker": 0.075,
+    "swap": 0.055,
+    "transfer": 0.025,
+}
+
+#: Fig. 12 image side lengths (the x axis, with its "data in kb" labels)
+FIG12_SIDES = (50, 100, 150, 200, 250, 300, 350, 400)
+
+#: Fig. 15 median idle times (ms) with the MCPC renderer, 7 pipelines;
+#: blur and scratch are quoted in the text, the rest read off the plot
+FIG15_IDLE_MS: Dict[str, float] = {
+    "sepia": 110.0,
+    "blur": 58.0,
+    "scratch": 133.0,
+    "flicker": 120.0,
+    "swap": 95.0,
+}
+
+#: Fig. 16: walkthrough seconds for the three §VI-D frequency settings
+FIG16_WALKTHROUGH_S = {"all_533": 236.0, "blur_800": 174.0, "mixed": 175.0}
+
+#: Fig. 17: approximate steady power (W) for the same three settings
+FIG17_POWER_W = {"all_533": 40.5, "blur_800": 44.0, "mixed": 39.0}
+
+#: §VI-B energy arithmetic
+ENERGY_HYBRID_J = 2642.0     # 3.3 s · 28 W + 51 s · 50 W
+ENERGY_NREND_J = 3364.0      # 58 s · 58 W
+POWER_IDLE_W = 22.0
+POWER_MCPC_5PL_W = 50.0
+POWER_NREND_7PL_W = 58.0
+MCPC_RENDER_SECONDS = 3.3
+MCPC_IDLE_W = 52.0
+MCPC_RENDER_W = 80.0
+
+#: speed-ups quoted in §VI-A (w.r.t. one pipeline, w.r.t. one core)
+SPEEDUPS: Dict[str, Dict[str, float]] = {
+    "one_renderer": {"max_vs_pipeline": 2.06, "max_vs_core": 3.44},
+    "n_renderers": {"max_vs_pipeline": 4.05, "max_vs_core": 6.89},
+    "mcpc_renderer": {"max_vs_pipeline": 4.57, "max_vs_core": 7.49},
+}

@@ -1,0 +1,94 @@
+"""Simulated Intel Single-chip Cloud Computer (SCC).
+
+The substrate of the reproduction: a 48-core / 24-tile chip on a 6x4
+mesh with four memory controllers, per-tile message-passing buffers,
+per-tile frequency and per-island voltage control, and a calibrated
+power model.  See DESIGN.md §2 for the substitution argument (real
+silicon → discrete-event model).
+"""
+
+from .cache import (
+    AnalyticCacheModel,
+    CacheHierarchy,
+    CacheStats,
+    SetAssociativeCache,
+)
+from .chip import SCCChip, SCCConfig
+from .dram import AccessStats, DRAMBankModel, DRAMTimings
+from .dvfs import (
+    DEFAULT_FREQUENCY_MHZ,
+    DVFSController,
+    VOLTAGE_TABLE,
+    required_voltage,
+)
+from .memory import MemoryConfig, MemoryController, MemorySystem
+from .mesh import Link, Mesh, MeshConfig, xy_route
+from .mpb import MPB_BYTES_PER_CORE, MessagePassingBuffer, MPBSystem
+from .power import PowerConfig, PowerModel
+from .wormhole import WormholeConfig, WormholeMesh
+from .topology import (
+    CACHE_LINE_BYTES,
+    CACHE_WAYS,
+    CORES_PER_TILE,
+    GRID_HEIGHT,
+    GRID_WIDTH,
+    L1_BYTES,
+    L2_BYTES,
+    MC_LOCATIONS,
+    MPB_BYTES_PER_TILE,
+    NUM_CORES,
+    NUM_MEMORY_CONTROLLERS,
+    NUM_TILES,
+    SIF_LOCATION,
+    Core,
+    SCCTopology,
+    Tile,
+    manhattan,
+)
+
+__all__ = [
+    "SCCChip",
+    "SCCConfig",
+    "SCCTopology",
+    "Tile",
+    "Core",
+    "manhattan",
+    "Mesh",
+    "MeshConfig",
+    "Link",
+    "xy_route",
+    "MemorySystem",
+    "MemoryConfig",
+    "MemoryController",
+    "MPBSystem",
+    "MessagePassingBuffer",
+    "MPB_BYTES_PER_CORE",
+    "DVFSController",
+    "required_voltage",
+    "VOLTAGE_TABLE",
+    "DEFAULT_FREQUENCY_MHZ",
+    "PowerModel",
+    "PowerConfig",
+    "WormholeMesh",
+    "WormholeConfig",
+    "DRAMBankModel",
+    "DRAMTimings",
+    "AccessStats",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "CacheStats",
+    "AnalyticCacheModel",
+    "GRID_WIDTH",
+    "GRID_HEIGHT",
+    "NUM_TILES",
+    "NUM_CORES",
+    "CORES_PER_TILE",
+    "NUM_MEMORY_CONTROLLERS",
+    "MC_LOCATIONS",
+    "SIF_LOCATION",
+    "MPB_BYTES_PER_TILE",
+    "L1_BYTES",
+    "L2_BYTES",
+    "CACHE_WAYS",
+    "CACHE_LINE_BYTES",
+]

@@ -1,0 +1,245 @@
+"""Set-associative cache models (P54C L1 / SCC L2).
+
+Two complementary models live here:
+
+* :class:`SetAssociativeCache` — an exact, address-accurate LRU cache
+  simulator.  Used by unit tests, by the Fig. 12 analysis example and to
+  justify the analytic parameters below.
+* :class:`CacheHierarchy` — L1 in front of L2 with inclusive semantics.
+* :class:`AnalyticCacheModel` — closed-form miss-rate estimates for the
+  access-pattern classes the pipeline stages exhibit (sequential
+  streaming, strided, random/pointer-chasing).  The stage cost models use
+  this; simulating every byte of a 400-frame walkthrough would be
+  hopeless in Python and adds nothing for streaming workloads.
+
+Why Fig. 12 shows no cache-size jump: the filter stages *stream* — each
+pixel is touched once per frame — so the miss rate is ``line_size``
+-limited (compulsory misses only) no matter whether the strip fits in L2.
+The analytic model makes that explicit; the exact simulator demonstrates
+it empirically in ``tests/scc/test_cache.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .topology import CACHE_LINE_BYTES, CACHE_WAYS, L1_BYTES, L2_BYTES
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "AnalyticCacheModel",
+]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            raise ValueError("no accesses recorded")
+        return self.misses / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        return 1.0 - self.miss_rate
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.writebacks = 0
+
+
+class SetAssociativeCache:
+    """Exact LRU set-associative cache with write-back/write-allocate.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity (must be ``ways * line_bytes * n_sets``).
+    ways:
+        Associativity.
+    line_bytes:
+        Cache-line size.
+    name:
+        Label for diagnostics.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int = L2_BYTES,
+        ways: int = CACHE_WAYS,
+        line_bytes: int = CACHE_LINE_BYTES,
+        name: str = "cache",
+    ) -> None:
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ValueError("cache dimensions must be positive")
+        if size_bytes % (ways * line_bytes) != 0:
+            raise ValueError(
+                f"size {size_bytes} not divisible by ways*line "
+                f"({ways}*{line_bytes})"
+            )
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.n_sets = size_bytes // (ways * line_bytes)
+        self.name = name
+        # Per set: list of (tag, dirty) in LRU order (front = LRU).
+        self._sets: List[List[Tuple[int, bool]]] = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.n_sets, line // self.n_sets
+
+    def access(self, address: int, write: bool = False) -> bool:
+        """Touch one address; returns True on hit.
+
+        On a miss the line is allocated (write-allocate); a dirty victim
+        increments ``stats.writebacks``.
+        """
+        if address < 0:
+            raise ValueError("address must be >= 0")
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        for i, (t, dirty) in enumerate(ways):
+            if t == tag:
+                ways.pop(i)
+                ways.append((tag, dirty or write))
+                self.stats.hits += 1
+                return True
+        # Miss: allocate, evicting LRU if the set is full.
+        self.stats.misses += 1
+        if len(ways) >= self.ways:
+            _, victim_dirty = ways.pop(0)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+        ways.append((tag, write))
+        return False
+
+    def access_range(self, start: int, nbytes: int, write: bool = False,
+                     stride: int = 1) -> CacheStats:
+        """Touch ``nbytes`` starting at ``start`` with byte ``stride``.
+
+        Returns the stats delta for this range (total stats also update).
+        """
+        if stride <= 0:
+            raise ValueError("stride must be > 0")
+        before = (self.stats.hits, self.stats.misses)
+        addr = start
+        end = start + nbytes
+        while addr < end:
+            self.access(addr, write)
+            addr += stride
+        delta = CacheStats()
+        delta.hits = self.stats.hits - before[0]
+        delta.misses = self.stats.misses - before[1]
+        return delta
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty lines."""
+        dirty = sum(1 for ways in self._sets for (_, d) in ways if d)
+        self._sets = [[] for _ in range(self.n_sets)]
+        return dirty
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently cached."""
+        return sum(len(ways) for ways in self._sets) * self.line_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cache {self.name!r} {self.size_bytes // 1024}KiB "
+            f"{self.ways}-way line={self.line_bytes}>"
+        )
+
+
+class CacheHierarchy:
+    """P54C-style two-level hierarchy: L1 backed by L2.
+
+    ``access`` touches L1 first; on an L1 miss L2 is consulted; an L2
+    miss counts as a DRAM access.  Returns the level that served the
+    access: ``"l1"``, ``"l2"`` or ``"mem"``.
+    """
+
+    def __init__(
+        self,
+        l1_bytes: int = L1_BYTES,
+        l2_bytes: int = L2_BYTES,
+        ways: int = CACHE_WAYS,
+        line_bytes: int = CACHE_LINE_BYTES,
+    ) -> None:
+        self.l1 = SetAssociativeCache(l1_bytes, ways, line_bytes, name="L1")
+        self.l2 = SetAssociativeCache(l2_bytes, ways, line_bytes, name="L2")
+        self.dram_accesses = 0
+
+    def access(self, address: int, write: bool = False) -> str:
+        if self.l1.access(address, write):
+            return "l1"
+        if self.l2.access(address, write):
+            return "l2"
+        self.dram_accesses += 1
+        return "mem"
+
+    def amat(self, l1_time: float, l2_time: float, mem_time: float) -> float:
+        """Average memory access time from the recorded stats."""
+        total = self.l1.stats.accesses
+        if total == 0:
+            raise ValueError("no accesses recorded")
+        l1_hits = self.l1.stats.hits
+        l2_hits = self.l2.stats.hits
+        mem = self.dram_accesses
+        return (l1_hits * l1_time + l2_hits * l2_time + mem * mem_time) / total
+
+
+@dataclass(frozen=True)
+class AnalyticCacheModel:
+    """Closed-form miss-rate estimates per access-pattern class.
+
+    The three classes cover every stage in the paper's pipeline:
+
+    * ``sequential`` — filters stream the strip once: only compulsory
+      misses, rate = ``1 / lines_per_touch`` where a touch is one pixel
+      (4 bytes), independent of working-set size (the Fig. 12 result);
+    * ``strided`` — the swap stage walks rows from both ends: same
+      compulsory behaviour, slightly worse L1 reuse;
+    * ``random`` — octree traversal: with working set ``w`` bytes in a
+      cache of ``c`` bytes, hit probability ≈ ``min(1, c / w)``.
+    """
+
+    line_bytes: int = CACHE_LINE_BYTES
+    element_bytes: int = 4  # one RGBA pixel
+
+    def sequential_miss_rate(self) -> float:
+        """Per-element miss rate of a streaming pass."""
+        return self.element_bytes / self.line_bytes
+
+    def strided_miss_rate(self, stride_bytes: int) -> float:
+        """Per-element miss rate when touching every ``stride_bytes``."""
+        if stride_bytes <= 0:
+            raise ValueError("stride must be > 0")
+        return min(1.0, stride_bytes / self.line_bytes)
+
+    def random_miss_rate(self, working_set_bytes: int,
+                         cache_bytes: int = L2_BYTES) -> float:
+        """Per-access miss rate of uniform random touches."""
+        if working_set_bytes <= 0:
+            raise ValueError("working set must be > 0")
+        return max(0.0, 1.0 - min(1.0, cache_bytes / working_set_bytes))
+
+    def streaming_dram_bytes(self, nbytes: int) -> int:
+        """DRAM traffic of streaming over ``nbytes`` once (all lines)."""
+        lines = -(-nbytes // self.line_bytes)
+        return lines * self.line_bytes

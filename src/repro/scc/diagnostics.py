@@ -1,0 +1,75 @@
+"""Chip diagnostics: a textual health/utilization report.
+
+``chip_report(chip)`` summarizes a simulated chip's state after (or
+during) a run — topology, DVFS/power state, controller and mesh
+utilization, traffic leaders.  The CLI's ``chip`` subcommand prints it;
+the arrangement-study example uses pieces of it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .chip import SCCChip
+from .topology import NUM_CORES, NUM_TILES
+
+__all__ = ["chip_report", "frequency_map", "mc_summary", "mesh_summary"]
+
+
+def frequency_map(chip: SCCChip) -> str:
+    """Per-tile frequency/voltage grid (rows north to south)."""
+    lines = ["tile frequencies (MHz) / island voltages (V):"]
+    for y in reversed(range(4)):
+        cells = []
+        for x in range(6):
+            tile = chip.topology.tile_at((x, y))
+            f = chip.dvfs.tile_frequency(tile.tile_id)
+            v = chip.dvfs.island_voltage(tile.voltage_domain)
+            cells.append(f"{f:4.0f}@{v:.1f}")
+        lines.append("  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def mc_summary(chip: SCCChip) -> str:
+    """Per-controller service totals and busy fractions."""
+    lines = ["memory controllers:"]
+    for mc in chip.memory.controllers:
+        lines.append(
+            f"  MC{mc.index} at {mc.coord}: "
+            f"{mc.bytes_served / 1e6:8.1f} MB in {mc.requests:6d} requests, "
+            f"busy {mc.utilization * 100:5.1f}%")
+    return "\n".join(lines)
+
+
+def mesh_summary(chip: SCCChip, top: int = 3) -> str:
+    """Aggregate mesh traffic and the hottest links."""
+    lines = [
+        f"mesh: {chip.mesh.messages} messages, "
+        f"{chip.mesh.bytes_moved / 1e6:.1f} MB moved"
+    ]
+    for link in chip.mesh.hottest_links(top):
+        if link.messages == 0:
+            continue
+        lines.append(
+            f"  {link.src} -> {link.dst}: "
+            f"{link.bytes_carried / 1e6:8.1f} MB, "
+            f"busy {link.utilization * 100:5.1f}%")
+    return "\n".join(lines)
+
+
+def chip_report(chip: SCCChip) -> str:
+    """The full report."""
+    active = sorted(chip.power.active_cores)
+    lines: List[str] = [
+        f"SCC: {NUM_CORES} cores / {NUM_TILES} tiles, "
+        f"t = {chip.sim.now:.3f} s simulated",
+        f"power: {chip.power.current_power():.2f} W "
+        f"({len(active)} cores marked active)",
+        "",
+        frequency_map(chip),
+        "",
+        mc_summary(chip),
+        "",
+        mesh_summary(chip),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""The SCC's 2D mesh network-on-chip.
+
+Routers form a 6x4 grid; packets use dimension-ordered (XY) routing —
+first along the row to the destination column, then along the column.
+Each directed link is a single-server FIFO resource, so two messages
+crossing the same link serialize; that is the contention mechanism the
+paper's arrangement experiments (ordered vs flipped pipelines) try to
+exploit.
+
+We model transfers at flow level: a message holds each link on its path
+for ``bytes / link_bandwidth`` plus a per-hop router latency.  This is a
+virtual-cut-through approximation — accurate enough for the strip-sized
+(tens-to-hundreds of KiB) messages of the macro pipeline, and orders of
+magnitude faster to simulate than flit-level wormhole routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ..sim import Resource, Simulator
+from .topology import GRID_HEIGHT, GRID_WIDTH, Coord
+
+__all__ = ["MeshConfig", "Link", "Mesh", "xy_route"]
+
+
+@dataclass(frozen=True)
+class MeshConfig:
+    """Tunable parameters of the NoC.
+
+    Defaults follow the SCC EAS: the mesh runs at 800 MHz (2 GHz-class
+    routers were an option we ignore); a hop costs four mesh cycles of
+    latency; link width is 16 bytes per cycle of raw bandwidth, of which
+    the cores' slow network interfaces exploit only a fraction — the
+    *effective* bandwidth below is what RCCE-level transfers observe.
+    """
+
+    #: per-hop router+link latency in seconds (4 cycles @ 800 MHz, padded
+    #: for the network-interface crossing)
+    hop_latency_s: float = 50e-9
+    #: effective per-link bandwidth in bytes/second seen by core transfers
+    link_bandwidth: float = 1.6e9
+    #: when False, links are pure delays (no serialization) — ablation B
+    model_contention: bool = True
+
+
+def xy_route(src: Coord, dst: Coord) -> List[Tuple[Coord, Coord]]:
+    """Return the XY route as a list of directed hops ``(from, to)``.
+
+    X is fully resolved before Y — the SCC's deadlock-free routing
+    function.  An empty list means source and destination share a router.
+    """
+    hops: List[Tuple[Coord, Coord]] = []
+    x, y = src
+    while x != dst[0]:
+        nx = x + (1 if dst[0] > x else -1)
+        hops.append(((x, y), (nx, y)))
+        x = nx
+    while y != dst[1]:
+        ny = y + (1 if dst[1] > y else -1)
+        hops.append(((x, y), (x, ny)))
+        y = ny
+    return hops
+
+
+class Link:
+    """One directed router-to-router link."""
+
+    __slots__ = ("src", "dst", "resource", "bytes_carried", "messages")
+
+    def __init__(self, sim: Simulator, src: Coord, dst: Coord) -> None:
+        self.src = src
+        self.dst = dst
+        self.resource = Resource(sim, capacity=1, name=f"link{src}->{dst}")
+        self.bytes_carried = 0
+        self.messages = 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of simulated time this link was carrying data."""
+        return self.resource.utilization_until_now
+
+    def __repr__(self) -> str:
+        return f"<Link {self.src}->{self.dst} msgs={self.messages}>"
+
+
+class Mesh:
+    """The simulated network-on-chip.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    config:
+        Timing/behaviour knobs; see :class:`MeshConfig`.
+
+    Notes
+    -----
+    The mesh knows nothing about cores or memory controllers — it moves
+    bytes between router coordinates.  Higher layers (memory system, MPB,
+    RCCE) translate core ids into coordinates.
+    """
+
+    def __init__(self, sim: Simulator, config: Optional[MeshConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or MeshConfig()
+        self._links: Dict[Tuple[Coord, Coord], Link] = {}
+        for x in range(GRID_WIDTH):
+            for y in range(GRID_HEIGHT):
+                for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                    nx, ny = x + dx, y + dy
+                    if 0 <= nx < GRID_WIDTH and 0 <= ny < GRID_HEIGHT:
+                        key = ((x, y), (nx, ny))
+                        self._links[key] = Link(sim, *key)
+        #: total messages moved (monitoring)
+        self.messages = 0
+        #: total payload bytes moved (monitoring)
+        self.bytes_moved = 0
+
+    # -- structure -----------------------------------------------------------
+    def link(self, src: Coord, dst: Coord) -> Link:
+        """The directed link between two *adjacent* routers."""
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise ValueError(f"no link {src}->{dst} (not adjacent?)")
+
+    def links_on_path(self, src: Coord, dst: Coord) -> List[Link]:
+        """All links an XY-routed message from ``src`` to ``dst`` crosses."""
+        return [self._links[hop] for hop in xy_route(src, dst)]
+
+    # -- data movement -----------------------------------------------------
+    def transfer_time_uncontended(self, src: Coord, dst: Coord,
+                                  nbytes: int) -> float:
+        """Zero-load latency of a transfer (analytic; used by tests)."""
+        hops = xy_route(src, dst)
+        per_hop = self.config.hop_latency_s
+        serialization = nbytes / self.config.link_bandwidth
+        # Cut-through: payload streams, so serialization is paid once, and
+        # the head flit pays the per-hop latency on every hop.
+        return len(hops) * per_hop + serialization * max(len(hops), 1)
+
+    def transfer(self, src: Coord, dst: Coord,
+                 nbytes: int) -> Generator[Any, Any, None]:
+        """Process fragment moving ``nbytes`` from ``src`` to ``dst``.
+
+        Use as ``yield from mesh.transfer(a, b, n)``.  Holds each link on
+        the path, in order, for the serialization time — so concurrent
+        messages sharing a link queue up behind each other.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self.messages += 1
+        self.bytes_moved += nbytes
+        hops = xy_route(src, dst)
+        hold = nbytes / self.config.link_bandwidth + self.config.hop_latency_s
+        if not hops:
+            # Same router (core to its sibling or to its own MPB): only the
+            # local crossing latency applies.
+            yield self.sim.timeout(self.config.hop_latency_s)
+            return
+        if not self.config.model_contention:
+            yield self.sim.timeout(len(hops) * hold)
+            return
+        for link in (self._links[h] for h in hops):
+            link.messages += 1
+            link.bytes_carried += nbytes
+            yield from link.resource.acquire(hold)
+
+    # -- monitoring ------------------------------------------------------------
+    def hottest_links(self, n: int = 5) -> List[Link]:
+        """The ``n`` links that carried the most bytes (hotspot analysis)."""
+        return sorted(self._links.values(),
+                      key=lambda l: l.bytes_carried, reverse=True)[:n]
+
+    def total_link_count(self) -> int:
+        return len(self._links)
+
+    def __repr__(self) -> str:
+        return f"<Mesh {GRID_WIDTH}x{GRID_HEIGHT} msgs={self.messages}>"

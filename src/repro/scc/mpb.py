@@ -1,0 +1,92 @@
+"""Message-passing buffers (MPB).
+
+Each SCC tile carries 16 KiB of on-die SRAM next to its router; RCCE
+splits it evenly, giving every core an 8 KiB window that other cores can
+write into directly over the mesh.  Large messages are pumped through the
+window in chunks — the reason the paper's image transfers "cannot be sent
+as a single message".
+
+The buffer is modeled as free *space* (a :class:`~repro.sim.Container`):
+senders reserve space before pushing a chunk, receivers release it after
+draining.  This gives the correct back-pressure behaviour: a slow
+receiver stalls the sender once the window fills.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim import Container, Simulator
+from .topology import CORES_PER_TILE, MPB_BYTES_PER_TILE, NUM_CORES, SCCTopology
+
+__all__ = ["MPB_BYTES_PER_CORE", "MessagePassingBuffer", "MPBSystem"]
+
+#: RCCE's even split of the tile MPB between its two cores
+MPB_BYTES_PER_CORE = MPB_BYTES_PER_TILE // CORES_PER_TILE
+
+
+class MessagePassingBuffer:
+    """One core's MPB window.
+
+    ``reserve``/``release`` manage space; actual data movement timing is
+    handled by the caller (RCCE) because it depends on the path taken.
+    """
+
+    def __init__(self, sim: Simulator, core_id: int,
+                 capacity: int = MPB_BYTES_PER_CORE) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        self.core_id = core_id
+        self.capacity = capacity
+        self._space = Container(sim, capacity=float(capacity),
+                                init=float(capacity),
+                                name=f"mpb[{core_id}]")
+        self.bytes_through = 0
+
+    @property
+    def free_bytes(self) -> float:
+        """Currently unreserved space."""
+        return self._space.level
+
+    def reserve(self, nbytes: int):
+        """Claim ``nbytes`` of window space (blocks while unavailable)."""
+        if nbytes > self.capacity:
+            raise ValueError(
+                f"chunk of {nbytes} B exceeds the {self.capacity} B window"
+            )
+        self.bytes_through += nbytes
+        return self._space.get(float(nbytes))
+
+    def release(self, nbytes: int):
+        """Return ``nbytes`` of window space after draining a chunk."""
+        return self._space.put(float(nbytes))
+
+    def __repr__(self) -> str:
+        return (
+            f"<MPB core={self.core_id} free={self.free_bytes:.0f}/"
+            f"{self.capacity}>"
+        )
+
+
+class MPBSystem:
+    """All 48 per-core MPB windows."""
+
+    def __init__(self, sim: Simulator, topology: SCCTopology,
+                 capacity_per_core: int = MPB_BYTES_PER_CORE) -> None:
+        self.sim = sim
+        self.topology = topology
+        self._buffers: Dict[int, MessagePassingBuffer] = {
+            core_id: MessagePassingBuffer(sim, core_id, capacity_per_core)
+            for core_id in range(NUM_CORES)
+        }
+
+    def of(self, core_id: int) -> MessagePassingBuffer:
+        """The MPB window belonging to ``core_id``."""
+        try:
+            return self._buffers[core_id]
+        except KeyError:
+            raise ValueError(f"no MPB for core {core_id}")
+
+    def total_bytes_through(self) -> int:
+        """Aggregate traffic through all windows (monitoring)."""
+        return sum(b.bytes_through for b in self._buffers.values())

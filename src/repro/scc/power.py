@@ -1,0 +1,148 @@
+"""Chip power model and power-trace recording.
+
+Calibrated against every power number the paper reports:
+
+* 22 W while the chip idles at 533 MHz / 1.1 V (§II);
+* ~50 W with 27 cores working (MCPC config, 5 pipelines, §VI-B);
+* ~58 W with 43 cores working (n-renderer config, 7 pipelines, §VI-B);
+* ~+4..5 W when one voltage island rises to 1.3 V for the 800 MHz blur
+  tile (§VI-D);
+* ~39 W — *below* the all-533 baseline — when the post-blur stages drop
+  to 400 MHz / 0.7 V (§VI-D, Fig. 17).
+
+The model is affine in the active-core set with island-voltage leakage:
+
+``P = P_idle + [P_uncore if workload active] + Σ_active κ·f·V² +
+Σ_all λ·(V² − V_nom²)``
+
+The ``P_uncore`` term captures mesh/controller/polling activity that
+appears as soon as *any* pipeline runs — it is what makes the measured
+1-pipeline power (~40 W) sit far above idle, while keeping the slope per
+extra pipeline small, exactly as in Fig. 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sim import Simulator, TimeSeries
+from .dvfs import DEFAULT_FREQUENCY_MHZ, DVFSController
+from .topology import NUM_CORES, SCCTopology
+
+__all__ = ["PowerConfig", "PowerModel"]
+
+#: nominal island voltage (533 MHz operating point)
+V_NOMINAL = 1.1
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Coefficients of the SCC power model (watts / volts / MHz)."""
+
+    #: whole-kit idle power at the nominal operating point (paper §II)
+    p_idle: float = 22.0
+    #: uncore (mesh, MCs, flag polling) adder while a workload runs
+    p_uncore: float = 14.5
+    #: dynamic coefficient: watts per (MHz · V²) per active core, set so
+    #: an active 533 MHz / 1.1 V core draws 0.5 W
+    kappa: float = 0.5 / (DEFAULT_FREQUENCY_MHZ * V_NOMINAL**2)
+    #: leakage sensitivity: watts per V² (per core) around V_nominal
+    lam: float = 0.833
+    #: MCPC host: idle and rendering power (paper §VI-B)
+    mcpc_idle: float = 52.0
+    mcpc_render: float = 80.0
+
+
+class PowerModel:
+    """Tracks per-core activity and records the chip power trace.
+
+    The pipeline runner marks cores active/idle; the DVFS controller
+    notifies on frequency changes; every state change appends a point to
+    the :class:`~repro.sim.TimeSeries`, so energy is the exact integral
+    of the step signal (used for the 2642 J vs 3364 J comparison).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: SCCTopology,
+        dvfs: DVFSController,
+        config: Optional[PowerConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.dvfs = dvfs
+        self.config = config or PowerConfig()
+        self._active: Set[int] = set()
+        self.trace = TimeSeries("scc_power", initial=self.config.p_idle)
+        dvfs.subscribe(self._on_change)
+
+    # -- state ------------------------------------------------------------
+    @property
+    def active_cores(self) -> Set[int]:
+        """Cores currently marked as running pipeline work."""
+        return set(self._active)
+
+    def set_core_active(self, core_id: int, active: bool) -> None:
+        """Mark a core as busy (computing *or* polling) or idle."""
+        self.topology.core(core_id)  # validate
+        if active:
+            self._active.add(core_id)
+        else:
+            self._active.discard(core_id)
+        self._on_change()
+
+    def set_cores_active(self, core_ids, active: bool) -> None:
+        """Bulk version of :meth:`set_core_active` (one trace point)."""
+        for core_id in core_ids:
+            self.topology.core(core_id)
+            if active:
+                self._active.add(core_id)
+            else:
+                self._active.discard(core_id)
+        self._on_change()
+
+    def _on_change(self) -> None:
+        self.trace.record(self.sim.now, self.current_power())
+
+    # -- the model ------------------------------------------------------------
+    def current_power(self) -> float:
+        """Instantaneous SCC power in watts."""
+        cfg = self.config
+        power = cfg.p_idle
+        if self._active:
+            power += cfg.p_uncore
+        # Per-island voltages are shared by all cores of the island.
+        island_v: Dict[int, float] = {}
+        for core_id in range(NUM_CORES):
+            domain = self.topology.core(core_id).tile.voltage_domain
+            v = island_v.get(domain)
+            if v is None:
+                v = self.dvfs.island_voltage(domain)
+                island_v[domain] = v
+            # Leakage deviation applies to every core, active or not.
+            power += cfg.lam * (v * v - V_NOMINAL * V_NOMINAL)
+            if core_id in self._active:
+                f = self.dvfs.core_frequency(core_id)
+                power += cfg.kappa * f * v * v
+        return power
+
+    # -- reporting ------------------------------------------------------------
+    def energy(self, t0: float = 0.0, t1: Optional[float] = None) -> float:
+        """Joules consumed over ``[t0, t1]`` (defaults to the whole run)."""
+        end = t1 if t1 is not None else self.sim.now
+        return self.trace.integrate(t0, end)
+
+    def average_power(self, t0: float = 0.0,
+                      t1: Optional[float] = None) -> float:
+        """Mean power over ``[t0, t1]`` in watts."""
+        end = t1 if t1 is not None else self.sim.now
+        if end <= t0:
+            raise ValueError("empty interval")
+        return self.energy(t0, end) / (end - t0)
+
+    def sampled_trace(self, t0: float, t1: float,
+                      dt: float = 1.0) -> List[Tuple[float, float]]:
+        """The power signal resampled on a grid (Figs 14 and 17)."""
+        return self.trace.sample(t0, t1, dt)

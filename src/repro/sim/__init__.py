@@ -1,0 +1,54 @@
+"""Deterministic discrete-event simulation kernel.
+
+A small, simpy-flavoured DES used as the substrate for the SCC chip model:
+generator-based processes, one-shot events, FIFO resources/stores and the
+measurement helpers the paper's evaluation needs (quartiles, step-signal
+integration for energy).
+
+Quick example
+-------------
+>>> from repro.sim import Simulator
+>>> sim = Simulator()
+>>> def worker(sim, results):
+...     yield sim.timeout(1.5)
+...     results.append(sim.now)
+>>> results = []
+>>> _ = sim.process(worker(sim, results))
+>>> sim.run()
+>>> results
+[1.5]
+"""
+
+from .core import Infinity, Simulator
+from .errors import DeadlockError, Interrupt, SimulationError, StopSimulation
+from .events import AllOf, AnyOf, ConditionValue, Event, Timeout
+from .monitor import IntervalRecorder, StatAccumulator, TimeSeries, quantile
+from .process import Process
+from .resources import Container, Request, Resource, Store
+from .trace import Span, TraceRecorder, render_gantt
+
+__all__ = [
+    "Simulator",
+    "Infinity",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "ConditionValue",
+    "Process",
+    "Resource",
+    "Request",
+    "Store",
+    "Container",
+    "SimulationError",
+    "StopSimulation",
+    "Interrupt",
+    "DeadlockError",
+    "StatAccumulator",
+    "TimeSeries",
+    "IntervalRecorder",
+    "quantile",
+    "Span",
+    "TraceRecorder",
+    "render_gantt",
+]

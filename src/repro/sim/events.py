@@ -1,0 +1,255 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence on the simulated timeline.  It
+starts *pending*, may later be *triggered* with a value (success) or an
+exception (failure), and once *processed* its callbacks have run and
+waiting processes have been resumed.
+
+The design follows the classic simpy/SystemC structure: processes are
+generators that ``yield`` events; the kernel resumes a process when the
+yielded event is processed.  Composite events (:class:`AllOf`,
+:class:`AnyOf`) let a process wait on several conditions at once, which the
+pipeline runner uses for fork/join points (e.g. the transfer stage waiting
+for a strip from every parallel pipeline).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .core import Simulator
+
+__all__ = ["PENDING", "Event", "Timeout", "AllOf", "AnyOf", "ConditionValue"]
+
+
+class _PendingType:
+    """Sentinel marking an event that has not been triggered yet."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<PENDING>"
+
+
+PENDING = _PendingType()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.core.Simulator`.
+
+    Notes
+    -----
+    Events deliberately expose a tiny mutable surface:
+
+    * :meth:`succeed` / :meth:`fail` trigger the event;
+    * :attr:`callbacks` is the list of functions invoked (with the event as
+      sole argument) when the kernel processes the event.
+
+    Triggering an already-triggered event raises ``RuntimeError`` — silent
+    double-triggers hide race conditions in models.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._scheduled = False
+        self._defused = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled for processing."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (``callbacks`` is then ``None``)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful if triggered)."""
+        if self._value is PENDING:
+            raise RuntimeError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with.
+
+        For failed events this is the exception instance.
+        """
+        if self._value is PENDING:
+            raise RuntimeError("event not yet triggered")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on this
+        event, unless :meth:`defused` is set by a handler first.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event.
+
+        Used as a callback to chain events together.
+        """
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    # -- failure propagation control --------------------------------------
+    @property
+    def defused(self) -> bool:
+        """Whether a failure has been marked as handled."""
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel does not crash."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = (
+            "pending"
+            if self._value is PENDING
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after ``delay`` time units.
+
+    ``delay`` must be non-negative; zero-delay timeouts are legal and are
+    processed after all events already scheduled at the current instant
+    (FIFO within a timestamp).
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay=delay)
+
+
+class ConditionValue:
+    """Result of a composite condition: an ordered event→value mapping."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: List[Event]) -> None:
+        self.events = events
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(str(key))
+        return key._value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+    def todict(self) -> dict:
+        """Return a plain ``{event: value}`` dict."""
+        return {event: event._value for event in self.events}
+
+
+class _Condition(Event):
+    """Common machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.sim is not sim:
+                raise ValueError("cannot mix events from different simulators")
+        # Check already-processed events immediately; subscribe to the rest.
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+        if not self._events and self._value is PENDING:
+            self.succeed(ConditionValue([]))
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._satisfied(self._count, len(self._events)):
+            # Use `processed` rather than `triggered`: a Timeout is
+            # "triggered" from birth (its value is pre-set), but it has
+            # only *happened* once the kernel ran its callbacks.
+            done = [e for e in self._events if e.callbacks is None]
+            self.succeed(ConditionValue(done))
+
+
+class AllOf(_Condition):
+    """Composite event that succeeds once *all* component events succeed."""
+
+    __slots__ = ()
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        return count == total
+
+
+class AnyOf(_Condition):
+    """Composite event that succeeds once *any* component event succeeds."""
+
+    __slots__ = ()
+
+    def _satisfied(self, count: int, total: int) -> bool:
+        return count >= 1

@@ -1,0 +1,147 @@
+"""Generator-based processes for the discrete-event kernel.
+
+A *process* is a Python generator that yields :class:`~repro.sim.events.Event`
+objects.  When the yielded event is processed the kernel resumes the
+generator, sending the event's value back in (or throwing its exception).
+This is the co-routine style used throughout the SCC model: every simulated
+core, router, memory controller and pipeline stage is one process.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .errors import Interrupt
+from .events import PENDING, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Simulator
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """Wraps a generator and drives it through the event loop.
+
+    A ``Process`` is itself an :class:`Event`: it triggers when the
+    generator returns (successfully, with the ``return`` value) or raises
+    (failure).  This makes ``yield some_process`` a natural join operation.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    generator:
+        The generator to execute.
+    name:
+        Optional human-readable name used in tracebacks and repr.
+    """
+
+    __slots__ = ("_generator", "name", "_target")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Bootstrap: resume the process at the current simulation instant.
+        init = Event(sim)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        sim._schedule(init)
+
+    # -- public API --------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not terminated."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for (if any)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.sim.errors.Interrupt` into the process.
+
+        The interrupt is delivered at the current simulation time, before
+        any other scheduled event.  Interrupting a dead process raises
+        ``RuntimeError``.
+        """
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.sim.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+
+        event = Event(self.sim)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.sim._schedule(event, priority=self.sim.PRIORITY_URGENT)
+        # Unsubscribe from the event we were waiting on: we will re-wait if
+        # the process yields it again.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+            self._target = None
+
+    # -- kernel plumbing -----------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        sim = self.sim
+        sim._active_process = self
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    result = self._generator.send(event._value)
+                else:
+                    # The exception is being delivered; consider it handled.
+                    event._defused = True
+                    result = self._generator.throw(event._value)
+            except StopIteration as exc:
+                sim._active_process = None
+                self._ok = True
+                self._value = exc.value
+                sim._schedule(self)
+                return
+            except BaseException as exc:
+                sim._active_process = None
+                self._ok = False
+                self._value = exc
+                sim._schedule(self)
+                return
+
+            if not isinstance(result, Event):
+                sim._active_process = None
+                self._generator.throw(
+                    RuntimeError(
+                        f"process {self.name!r} yielded a non-event: {result!r}"
+                    )
+                )
+                return
+
+            if result.callbacks is not None:
+                # Event still pending or scheduled: wait for it.
+                result.callbacks.append(self._resume)
+                self._target = result
+                sim._active_process = None
+                return
+
+            # Event already processed: feed its outcome straight back in.
+            event = result
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name!r} {state}>"

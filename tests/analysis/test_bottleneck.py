@@ -1,0 +1,81 @@
+"""Tests for the analytic period predictor."""
+
+import pytest
+
+from repro.analysis import PeriodPredictor, StageLoad
+from repro.pipeline import PipelineRunner
+from repro.scc import MemoryConfig
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return PeriodPredictor()
+
+
+def test_stage_load_service_sum():
+    load = StageLoad("x", 0.1, 0.02, 0.03)
+    assert load.service_s == pytest.approx(0.15)
+
+
+def test_validation(predictor):
+    with pytest.raises(ValueError):
+        predictor.stage_loads("one_renderer", 0)
+    with pytest.raises(ValueError):
+        predictor.stage_loads("single_core", 1)
+    with pytest.raises(ValueError):
+        predictor.stage_loads("warp_drive", 1)
+
+
+def test_bottlenecks_match_paper_narrative(predictor):
+    """Blur bounds small pipeline counts; the shared input stage bounds
+    the saturated regimes."""
+    assert predictor.bottleneck("one_renderer", 1).key == "blur"
+    assert predictor.bottleneck("one_renderer", 5).key == "render"
+    assert predictor.bottleneck("n_renderers", 2).key == "blur"
+    assert predictor.bottleneck("n_renderers", 7).key == "render"
+    assert predictor.bottleneck("mcpc_renderer", 2).key == "blur"
+    assert predictor.bottleneck("mcpc_renderer", 6).key == "connect"
+
+
+@pytest.mark.parametrize("config,n", [
+    ("one_renderer", 1), ("one_renderer", 4), ("one_renderer", 7),
+    ("n_renderers", 2), ("n_renderers", 5), ("n_renderers", 7),
+    ("mcpc_renderer", 3), ("mcpc_renderer", 5), ("mcpc_renderer", 7),
+])
+def test_predictions_match_des_within_8pct(predictor, config, n):
+    pred = predictor.predict_walkthrough(config, n)
+    des = PipelineRunner(config=config,
+                         pipelines=n).run().walkthrough_seconds
+    assert pred == pytest.approx(des, rel=0.08)
+
+
+def test_predictor_is_optimistic_vs_des(predictor):
+    """It ignores queueing/rendezvous, so it never predicts slower than
+    the DES by more than noise."""
+    for config, n in (("one_renderer", 3), ("n_renderers", 4),
+                      ("mcpc_renderer", 5)):
+        pred = predictor.predict_walkthrough(config, n)
+        des = PipelineRunner(config=config,
+                             pipelines=n).run().walkthrough_seconds
+        assert pred <= des * 1.02
+
+
+def test_local_memory_shrinks_handoffs():
+    base = PeriodPredictor()
+    local = PeriodPredictor(memory=MemoryConfig(local_memory=True))
+    assert local.dram_move_s(640_000) < base.dram_move_s(640_000) / 5
+    assert (local.predict_period("n_renderers", 1)
+            < base.predict_period("n_renderers", 1))
+
+
+def test_predict_walkthrough_scales_with_frames(predictor):
+    p400 = predictor.predict_walkthrough("n_renderers", 3)
+    p100 = predictor.predict_walkthrough("n_renderers", 3, frames=100)
+    assert p400 == pytest.approx(4 * p100)
+
+
+def test_explain_names_the_bottleneck(predictor):
+    text = predictor.explain("mcpc_renderer", 5)
+    assert "<-- bottleneck" in text
+    assert "connect" in text
+    assert "blur" in text

@@ -1,0 +1,285 @@
+"""Tests for the silent-film filter stages (paper §IV formulas)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.filters import (
+    FILTER_ORDER,
+    BlurFilter,
+    FlickerFilter,
+    LUMA_WEIGHTS,
+    S1,
+    S2,
+    ScratchFilter,
+    SepiaFilter,
+    SwapFilter,
+    default_filter_chain,
+    swap_rows_inplace,
+    validate_image,
+)
+
+images = hnp.arrays(
+    dtype=np.float32,
+    shape=st.tuples(st.integers(2, 16), st.integers(2, 16), st.just(3)),
+    elements=st.floats(0.0, 1.0, width=32),
+)
+
+
+def solid(h, w, color):
+    img = np.empty((h, w, 3), dtype=np.float32)
+    img[:] = color
+    return img
+
+
+# ---------------------------------------------------------------------------
+# validation helpers
+# ---------------------------------------------------------------------------
+
+def test_validate_image_shape_and_dtype():
+    with pytest.raises(ValueError):
+        validate_image(np.zeros((4, 4), dtype=np.float32))
+    with pytest.raises(ValueError):
+        validate_image(np.zeros((4, 4, 3), dtype=np.float64))
+    img = np.zeros((4, 4, 3), dtype=np.float32)
+    assert validate_image(img) is img
+
+
+# ---------------------------------------------------------------------------
+# sepia
+# ---------------------------------------------------------------------------
+
+def test_sepia_black_maps_to_s1():
+    out = SepiaFilter().apply(solid(4, 4, (0, 0, 0)))
+    assert out[0, 0] == pytest.approx(S1)
+
+
+def test_sepia_white_maps_to_s2():
+    out = SepiaFilter().apply(solid(4, 4, (1, 1, 1)))
+    assert out[0, 0] == pytest.approx(S2)
+
+
+def test_sepia_formula_exact():
+    img = solid(1, 1, (0.5, 0.25, 0.75))
+    mix = min(0.3 * 0.5 + 0.59 * 0.25 + 0.11 * 0.75, 1.0)
+    expected = np.clip(S1 * (1 - mix) + S2 * mix, 0, 1)
+    out = SepiaFilter().apply(img)
+    assert out[0, 0] == pytest.approx(expected, rel=1e-5)
+
+
+def test_sepia_luma_weights_are_papers():
+    assert LUMA_WEIGHTS == pytest.approx([0.3, 0.59, 0.11])
+
+
+@given(images)
+@settings(max_examples=40)
+def test_sepia_output_in_range_and_pure(img):
+    before = img.copy()
+    out = SepiaFilter().apply(img)
+    assert np.array_equal(img, before)  # input untouched
+    assert out.dtype == np.float32
+    assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+
+@given(images)
+@settings(max_examples=40)
+def test_sepia_is_idempotent_in_tone_direction(img):
+    """Sepia output always lies on the S1-S2 segment."""
+    out = SepiaFilter().apply(img)
+    # For any output pixel p = S1 + t(S2-S1): solve t from red channel.
+    t = (out[..., 0] - S1[0]) / (S2[0] - S1[0])
+    recon = S1[None, None, :] + t[..., None] * (S2 - S1)[None, None, :]
+    assert np.allclose(out, np.clip(recon, 0, 1), atol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# blur
+# ---------------------------------------------------------------------------
+
+def test_blur_validation():
+    with pytest.raises(ValueError):
+        BlurFilter(radius=0)
+
+
+def test_blur_uniform_image_unchanged():
+    img = solid(8, 8, (0.3, 0.6, 0.9))
+    out = BlurFilter().apply(img)
+    assert np.allclose(out, img, atol=1e-6)
+
+
+def test_blur_averages_neighborhood_exactly():
+    img = np.zeros((5, 5, 3), dtype=np.float32)
+    img[2, 2] = 1.0
+    out = BlurFilter(radius=1).apply(img)
+    # Center 3x3 pixels all see the single bright pixel over 9 samples.
+    assert out[2, 2, 0] == pytest.approx(1.0 / 9.0, rel=1e-5)
+    assert out[1, 1, 0] == pytest.approx(1.0 / 9.0, rel=1e-5)
+    assert out[0, 0, 0] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_blur_edge_normalization():
+    """Edge pixels average over their in-bounds neighborhood only."""
+    img = solid(4, 4, (1.0, 1.0, 1.0))
+    out = BlurFilter(radius=1).apply(img)
+    assert np.allclose(out, 1.0, atol=1e-6)
+
+
+def test_blur_matches_naive_reference():
+    rng = np.random.default_rng(3)
+    img = rng.random((9, 7, 3)).astype(np.float32)
+    out = BlurFilter(radius=1).apply(img)
+    h, w, _ = img.shape
+    for y in (0, 3, 8):
+        for x in (0, 2, 6):
+            y0, y1 = max(y - 1, 0), min(y + 2, h)
+            x0, x1 = max(x - 1, 0), min(x + 2, w)
+            ref = img[y0:y1, x0:x1].mean(axis=(0, 1))
+            assert out[y, x] == pytest.approx(ref, rel=1e-4, abs=1e-5)
+
+
+@given(images)
+@settings(max_examples=40)
+def test_blur_preserves_range_and_reduces_contrast(img):
+    out = BlurFilter().apply(img)
+    assert out.min() >= img.min() - 1e-5
+    assert out.max() <= img.max() + 1e-5
+
+
+def test_blur_needs_second_buffer_flag():
+    assert BlurFilter().cost.needs_second_buffer is True
+
+
+# ---------------------------------------------------------------------------
+# scratch
+# ---------------------------------------------------------------------------
+
+def test_scratch_validation():
+    with pytest.raises(ValueError):
+        ScratchFilter(max_scratches=-1)
+
+
+def test_scratch_draws_vertical_columns():
+    rng = np.random.default_rng(5)
+    img = solid(16, 16, (0.0, 0.0, 0.0))
+    out = ScratchFilter(max_scratches=6).apply(img, rng)
+    changed_cols = np.nonzero(np.any(out != img, axis=(0, 2)))[0]
+    for x in changed_cols:
+        col = out[:, x, :]
+        # Whole column has a single uniform grey color.
+        assert np.all(col == col[0])
+        assert col[0, 0] == col[0, 1] == col[0, 2]
+    assert len(changed_cols) <= 6
+
+
+def test_scratch_zero_scratches_possible():
+    # With max_scratches=0 the filter is the identity.
+    img = solid(8, 8, (0.5, 0.5, 0.5))
+    out = ScratchFilter(max_scratches=0).apply(img, np.random.default_rng(0))
+    assert np.array_equal(out, img)
+
+
+def test_scratch_deterministic_given_rng():
+    img = solid(16, 16, (0.2, 0.2, 0.2))
+    out1 = ScratchFilter().apply(img, np.random.default_rng(42))
+    out2 = ScratchFilter().apply(img, np.random.default_rng(42))
+    assert np.array_equal(out1, out2)
+
+
+def test_scratch_input_not_mutated():
+    img = solid(8, 8, (0.1, 0.1, 0.1))
+    before = img.copy()
+    ScratchFilter().apply(img, np.random.default_rng(1))
+    assert np.array_equal(img, before)
+
+
+# ---------------------------------------------------------------------------
+# flicker
+# ---------------------------------------------------------------------------
+
+def test_flicker_validation():
+    with pytest.raises(ValueError):
+        FlickerFilter(amplitude=1.5)
+
+
+def test_flicker_adds_uniform_offset():
+    img = solid(8, 8, (0.5, 0.5, 0.5))
+    out = FlickerFilter(amplitude=0.1).apply(img, np.random.default_rng(9))
+    deltas = np.unique((out - img).round(6))
+    assert len(deltas) == 1
+    assert -0.1 <= deltas[0] <= 0.1
+
+
+def test_flicker_clamps():
+    img = solid(4, 4, (0.99, 0.99, 0.99))
+    # Force a positive delta by trying seeds until one is positive; with
+    # a fixed seed this is deterministic.
+    rng = np.random.default_rng(2)
+    out = FlickerFilter(amplitude=0.1).apply(img, rng)
+    assert out.max() <= 1.0
+    assert out.min() >= 0.0
+
+
+@given(images)
+@settings(max_examples=40)
+def test_flicker_range_invariant(img):
+    out = FlickerFilter().apply(img, np.random.default_rng(0))
+    assert np.all(out >= 0.0) and np.all(out <= 1.0)
+    assert out.dtype == np.float32
+
+
+# ---------------------------------------------------------------------------
+# swap
+# ---------------------------------------------------------------------------
+
+def test_swap_equals_flipud():
+    rng = np.random.default_rng(4)
+    img = rng.random((7, 5, 3)).astype(np.float32)
+    out = SwapFilter().apply(img)
+    assert np.array_equal(out, img[::-1])
+
+
+def test_swap_rows_inplace_loop():
+    img = np.arange(12, dtype=np.float32).reshape(4, 1, 3)
+    swap_rows_inplace(img)
+    assert np.array_equal(img[:, 0, 0], [9.0, 6.0, 3.0, 0.0])
+
+
+@given(images)
+@settings(max_examples=40)
+def test_swap_is_involution(img):
+    f = SwapFilter()
+    assert np.array_equal(f.apply(f.apply(img)), img)
+
+
+def test_swap_odd_height_middle_row_fixed():
+    rng = np.random.default_rng(8)
+    img = rng.random((5, 3, 3)).astype(np.float32)
+    out = SwapFilter().apply(img)
+    assert np.array_equal(out[2], img[2])
+
+
+# ---------------------------------------------------------------------------
+# chain / descriptors
+# ---------------------------------------------------------------------------
+
+def test_default_chain_matches_paper_order():
+    chain = default_filter_chain()
+    assert tuple(f.key for f in chain) == FILTER_ORDER
+
+
+def test_cost_descriptors_traffic():
+    blur_cost = BlurFilter().cost
+    assert blur_cost.bytes_read(1000) == 3 * 4 * 1000
+    assert blur_cost.bytes_written(1000) == 4 * 1000
+    scratch_cost = ScratchFilter().cost
+    assert scratch_cost.bytes_written(1000) < 4 * 1000  # sparse
+
+
+def test_full_chain_on_real_image_stays_valid():
+    rng = np.random.default_rng(0)
+    img = rng.random((32, 32, 3)).astype(np.float32)
+    for f in default_filter_chain():
+        img = f.apply(img, rng)
+        assert img.dtype == np.float32
+        assert np.all(img >= 0.0) and np.all(img <= 1.0)

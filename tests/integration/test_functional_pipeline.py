@@ -1,0 +1,135 @@
+"""Integration: payload mode pushes *real pixels* through the pipeline.
+
+The same event graph that produces the timing results can carry actual
+numpy frames: the renderer rasterizes, the filters run their real
+kernels, the transfer stage reassembles — and the result must equal the
+sequential reference computation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.filters import default_filter_chain
+from repro.pipeline import PipelineRunner, WalkthroughWorkload
+
+FRAMES = 4
+SIDE = 64
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WalkthroughWorkload(frames=FRAMES, image_side=SIDE)
+
+
+def reference_frames(workload, seed=0):
+    """Sequentially computed frames: render -> filters (single RNG)."""
+    rng = np.random.default_rng(seed)
+    frames = []
+    for f in range(FRAMES):
+        camera = workload.path.camera_at(f)
+        image = workload.renderer.render(camera, workload.viewport())
+        for filt in default_filter_chain():
+            image = filt.apply(image, rng)
+        frames.append(image)
+    return frames
+
+
+def run_payload(config, pipelines, workload, seed=0):
+    runner = PipelineRunner(config=config, pipelines=pipelines,
+                            frames=FRAMES, image_side=SIDE,
+                            workload=workload, payload_mode=True, seed=seed)
+    runner.run()
+    return runner.last_viewer.frames
+
+
+def test_single_core_payload_matches_reference(workload):
+    frames = run_payload("single_core", 1, workload)
+    ref = reference_frames(workload)
+    assert len(frames) == FRAMES
+    for got, want in zip(frames, ref):
+        assert got.shape == want.shape
+        assert np.allclose(got, want)
+
+
+def test_parallel_pipeline_payload_geometry(workload):
+    """With n pipelines the assembled frames must be complete images of
+    the right shape, independent of the strip split."""
+    frames = run_payload("one_renderer", 3, workload)
+    assert len(frames) == FRAMES
+    for img in frames:
+        assert img.shape == (SIDE, SIDE, 3)
+        assert img.dtype == np.float32
+        assert np.all(img >= 0.0) and np.all(img <= 1.0)
+
+
+def test_parallel_payload_deterministic_content_matches_render(workload):
+    """The deterministic stages (render, sepia, blur, swap) commute with
+    strip splitting; only scratch/flicker are stochastic.  Disable the
+    stochastic filters' effect by comparing two parallel runs with the
+    same seed: they must agree exactly."""
+    a = run_payload("one_renderer", 2, workload, seed=7)
+    b = run_payload("one_renderer", 2, workload, seed=7)
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)
+
+
+def test_mcpc_payload_runs_end_to_end(workload):
+    frames = run_payload("mcpc_renderer", 2, workload)
+    assert len(frames) == FRAMES
+    for img in frames:
+        assert img.shape == (SIDE, SIDE, 3)
+
+
+def test_n_renderers_payload_covers_every_strip(workload):
+    """Sort-first strips rendered independently still assemble into a
+    full frame whose content matches a full render in the deterministic
+    prefix (render+sepia only regions won't match exactly because blur
+    mixes rows across strip borders — so check coverage, not equality)."""
+    frames = run_payload("n_renderers", 2, workload)
+    for img in frames:
+        assert img.shape == (SIDE, SIDE, 3)
+        # Both halves contain scene content (not all background).
+        top, bottom = img[:SIDE // 2], img[SIDE // 2:]
+        assert np.unique(top.reshape(-1, 3), axis=0).shape[0] > 1
+        assert np.unique(bottom.reshape(-1, 3), axis=0).shape[0] > 1
+
+
+def test_viewer_receives_frames_in_order(workload):
+    runner = PipelineRunner(config="one_renderer", pipelines=2,
+                            frames=FRAMES, image_side=SIDE,
+                            workload=workload, payload_mode=True)
+    runner.run()
+    assert runner.last_viewer.out_of_order_count == 0
+    indices = [f for f, _ in runner.last_viewer.arrivals]
+    assert indices == list(range(FRAMES))
+
+
+def test_film_identical_across_arrangements(workload):
+    """Per-stage RNG streams make the film a pure function of the seed:
+    changing the core placement (arrangement) must not change a pixel."""
+    films = {}
+    for arrangement in ("unordered", "ordered", "flipped"):
+        runner = PipelineRunner(config="one_renderer", pipelines=2,
+                                frames=FRAMES, image_side=SIDE,
+                                workload=workload, payload_mode=True,
+                                arrangement=arrangement, seed=5)
+        runner.run()
+        films[arrangement] = runner.last_viewer.frames
+    for a, b in zip(films["unordered"], films["ordered"]):
+        assert np.array_equal(a, b)
+    for a, b in zip(films["ordered"], films["flipped"]):
+        assert np.array_equal(a, b)
+
+
+def test_film_changes_with_seed(workload):
+    """Different seeds give different scratches/flicker."""
+    def film(seed):
+        runner = PipelineRunner(config="one_renderer", pipelines=1,
+                                frames=FRAMES, image_side=SIDE,
+                                workload=workload, payload_mode=True,
+                                seed=seed)
+        runner.run()
+        return runner.last_viewer.frames
+
+    a, b = film(1), film(2)
+    assert any(not np.array_equal(x, y) for x, y in zip(a, b))

@@ -1,0 +1,40 @@
+"""Tests for the pipeline-count autotuner."""
+
+import pytest
+
+from repro.pipeline.autotune import autotune
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        autotune("single_core")
+    with pytest.raises(ValueError):
+        autotune("n_renderers", shortlist=0)
+
+
+def test_autotune_mcpc_finds_the_paper_optimum():
+    """The paper's best MCPC setting is ~5 pipelines."""
+    result = autotune("mcpc_renderer", frames=400)
+    assert result.best_pipelines in (4, 5, 6)
+    assert result.best.walkthrough_seconds < 60.0
+    assert len(result.verified) == 3
+    assert set(result.predicted) == set(range(1, 10))
+
+
+def test_autotune_nrenderers_prefers_the_maximum():
+    result = autotune("n_renderers", frames=400, shortlist=2)
+    assert result.best_pipelines in (6, 7)
+
+
+def test_autotune_one_renderer_saturates_flat():
+    """Anything >= 3 pipelines is within noise; the tuner must pick a
+    saturated point, not 1 or 2."""
+    result = autotune("one_renderer", frames=400)
+    assert result.best_pipelines >= 3
+
+
+def test_summary_mentions_best():
+    result = autotune("mcpc_renderer", frames=100, shortlist=2)
+    text = result.summary()
+    assert "<-- best" in text
+    assert "predicted" in text

@@ -1,0 +1,110 @@
+"""Tests for the calibrated cost model."""
+
+import pytest
+
+from repro.pipeline import CostModel, FILTER_SECONDS_FULL_FRAME, FULL_FRAME_PIXELS
+from repro.render import RenderProfile
+
+
+def full_profile(nodes=80, tris=1330):
+    return RenderProfile(nodes_visited=nodes, triangles_in_view=tris,
+                         pixels=FULL_FRAME_PIXELS, culled_everything=False)
+
+
+def test_blur_is_the_most_expensive_filter():
+    assert FILTER_SECONDS_FULL_FRAME["blur"] == max(
+        FILTER_SECONDS_FULL_FRAME.values())
+
+
+def test_filter_ordering_matches_fig8():
+    f = FILTER_SECONDS_FULL_FRAME
+    assert f["blur"] > f["sepia"] > f["flicker"] > f["swap"] > f["scratch"]
+
+
+def test_filter_seconds_scale_with_pixels():
+    cost = CostModel()
+    full = cost.filter_seconds("blur", FULL_FRAME_PIXELS)
+    half = cost.filter_seconds("blur", FULL_FRAME_PIXELS // 2)
+    # Linear up to the fixed per-frame overhead.
+    assert half == pytest.approx(
+        (full - cost.stage_overhead_s) / 2 + cost.stage_overhead_s)
+
+
+def test_blur_full_frame_near_465ms():
+    cost = CostModel()
+    assert cost.filter_seconds("blur", FULL_FRAME_PIXELS) == pytest.approx(
+        0.465, abs=0.002)
+
+
+def test_filter_seconds_validation():
+    cost = CostModel()
+    with pytest.raises(ValueError):
+        cost.filter_seconds("mystery", 100)
+    with pytest.raises(ValueError):
+        cost.filter_seconds("blur", -1)
+
+
+def test_render_seconds_components():
+    cost = CostModel()
+    p = full_profile()
+    t = cost.render_seconds(p)
+    expected = (cost.cull_per_node_s * p.nodes_visited
+                + cost.cull_per_triangle_s * p.triangles_in_view
+                + cost.raster_per_pixel_s * p.pixels
+                + cost.stage_overhead_s)
+    assert t == pytest.approx(expected)
+    # Full-frame render lands near the paper's 235 ms.
+    assert t == pytest.approx(0.235, abs=0.02)
+
+
+def test_sort_first_adds_adjustment():
+    cost = CostModel()
+    p = full_profile()
+    assert cost.render_seconds(p, sort_first=True) == pytest.approx(
+        cost.render_seconds(p) + cost.sort_first_adjust_s)
+
+
+def test_single_core_frame_is_near_955ms():
+    """The 382 s baseline: 955 ms of compute per frame (§VI-A)."""
+    cost = CostModel()
+    t = cost.single_core_frame_seconds(full_profile())
+    assert t == pytest.approx(0.955 - 0.020, abs=0.03)  # minus the UDP send
+
+
+def test_connect_seconds_scales_with_datagrams_and_strips():
+    cost = CostModel()
+    a = cost.connect_seconds(100, 1)
+    b = cost.connect_seconds(200, 1)
+    c = cost.connect_seconds(100, 4)
+    assert b - a == pytest.approx(100 * cost.scc_udp_per_datagram_s)
+    assert c - a == pytest.approx(3 * cost.dispatch_per_strip_s)
+    with pytest.raises(ValueError):
+        cost.connect_seconds(-1, 1)
+    with pytest.raises(ValueError):
+        cost.connect_seconds(10, 0)
+
+
+def test_assemble_seconds_validation():
+    cost = CostModel()
+    assert cost.assemble_seconds(FULL_FRAME_PIXELS) == pytest.approx(
+        0.0055, abs=1e-4)
+    with pytest.raises(ValueError):
+        cost.assemble_seconds(-1)
+
+
+def test_with_overrides_returns_modified_copy():
+    cost = CostModel()
+    fast_blur = cost.with_overrides(blur_per_pixel_s=0.0)
+    assert fast_blur.filter_seconds("blur", 1000) == pytest.approx(
+        cost.stage_overhead_s)
+    # Original untouched (frozen dataclass semantics).
+    assert cost.filter_seconds("blur", 1000) > fast_blur.filter_seconds(
+        "blur", 1000)
+
+
+def test_dvfs_blur_arithmetic():
+    """Blur at 800 MHz saves blur·(1 − 533/800) ≈ 155 ms per frame —
+    the paper's 236 s → 174 s experiment, as pure compute scaling."""
+    blur = FILTER_SECONDS_FULL_FRAME["blur"]
+    saving = blur * (1 - 533.0 / 800.0)
+    assert saving * 400 == pytest.approx(62.0, abs=2.0)

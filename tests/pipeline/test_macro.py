@@ -1,0 +1,122 @@
+"""Tests for the generic MacroPipeline public API."""
+
+import pytest
+
+from repro.pipeline.macro import MacroPipeline, MacroStageSpec, WorkItem
+from repro.scc import SCCChip
+from repro.sim import Simulator
+
+
+def test_requires_stages_and_items():
+    pipe = MacroPipeline()
+    with pytest.raises(ValueError):
+        pipe.run([1000])
+    pipe.add_stage("a", 0.001)
+    with pytest.raises(ValueError):
+        pipe.run([])
+
+
+def test_duplicate_stage_names_rejected():
+    pipe = MacroPipeline().add_stage("a", 0.001)
+    with pytest.raises(ValueError):
+        pipe.add_stage("a", 0.002)
+
+
+def test_negative_item_size_rejected():
+    pipe = MacroPipeline().add_stage("a", 0.001)
+    with pytest.raises(ValueError):
+        pipe.run([-1])
+
+
+def test_negative_service_time_rejected():
+    spec = MacroStageSpec("s", -0.5)
+    with pytest.raises(ValueError):
+        spec.service_for(WorkItem(0, 10))
+
+
+def test_all_items_complete():
+    pipe = MacroPipeline().add_stage("a", 0.001).add_stage("b", 0.002)
+    result = pipe.run([1000] * 20)
+    assert result.items_completed == 20
+    assert result.makespan_s > 0
+    assert result.throughput == pytest.approx(20 / result.makespan_s)
+
+
+def test_throughput_bounded_by_slowest_stage():
+    pipe = (MacroPipeline()
+            .add_stage("fast", 0.001)
+            .add_stage("slow", 0.050)
+            .add_stage("fast2", 0.001))
+    result = pipe.run([100] * 40)
+    # Period >= slow stage service; allow hand-off overhead on top.
+    assert result.makespan_s >= 40 * 0.050
+    assert result.stage_busy_means["slow"] >= 0.050
+
+
+def test_idle_times_concentrate_downstream_of_bottleneck():
+    pipe = (MacroPipeline()
+            .add_stage("slow", 0.050)
+            .add_stage("fast", 0.001))
+    result = pipe.run([100] * 30)
+    assert result.stage_idle_means["fast"] > result.stage_idle_means["slow"]
+
+
+def test_callable_service_time():
+    pipe = MacroPipeline().add_stage("scale", lambda it: it.nbytes * 1e-6)
+    small = pipe_run_makespan([1000] * 10, pipe)
+    pipe2 = MacroPipeline().add_stage("scale", lambda it: it.nbytes * 1e-6)
+    big = pipe_run_makespan([100_000] * 10, pipe2)
+    assert big > small
+
+
+def pipe_run_makespan(items, pipe):
+    return pipe.run(items).makespan_s
+
+
+def test_functional_transforms_flow_through():
+    pipe = (MacroPipeline()
+            .add_stage("double", 0.0, func=lambda x: x * 2)
+            .add_stage("inc", 0.0, func=lambda x: x + 1))
+    result = pipe.run([(8, 1), (8, 2), (8, 3)])
+    assert result.outputs == [3, 5, 7]
+
+
+def test_explicit_cores_respected():
+    chip = SCCChip(Simulator())
+    pipe = MacroPipeline(chip, cores=[5, 9])
+    pipe.add_stage("a", 0.001).add_stage("b", 0.001)
+    result = pipe.run([100] * 5)
+    assert result.items_completed == 5
+
+
+def test_explicit_cores_length_mismatch():
+    pipe = MacroPipeline(cores=[1, 2, 3]).add_stage("a", 0.001)
+    with pytest.raises(ValueError):
+        pipe.run([100])
+
+
+def test_duplicate_cores_rejected():
+    pipe = MacroPipeline(cores=[4, 4]).add_stage("a", 0.001).add_stage("b", 0.001)
+    with pytest.raises(ValueError):
+        pipe.run([100])
+
+
+def test_per_stage_core_pinning():
+    pipe = MacroPipeline()
+    pipe.add_stage("pinned", 0.001, core_id=30)
+    pipe.add_stage("auto", 0.001)
+    result = pipe.run([10] * 3)
+    assert result.items_completed == 3
+
+
+def test_energy_accounted():
+    result = MacroPipeline().add_stage("a", 0.010).run([1000] * 10)
+    assert result.energy_j > 0
+
+
+def test_pipelining_beats_serial_execution():
+    """Two balanced stages overlap: makespan well under the serial sum."""
+    pipe = MacroPipeline().add_stage("a", 0.020).add_stage("b", 0.020)
+    result = pipe.run([100] * 50)
+    serial = 50 * 0.040
+    assert result.makespan_s < 0.75 * serial

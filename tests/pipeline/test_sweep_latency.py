@@ -1,0 +1,85 @@
+"""Tests for the sweep helpers and the frame-latency metric."""
+
+import pytest
+
+from repro.pipeline import (
+    PipelineRunner,
+    series,
+    sweep_arrangements,
+    sweep_image_sizes,
+    sweep_pipelines,
+)
+
+FRAMES = 20
+
+
+# ---------------------------------------------------------------------------
+# sweeps
+# ---------------------------------------------------------------------------
+
+def test_sweep_pipelines_order_and_results():
+    results = sweep_pipelines("n_renderers", [1, 3], frames=FRAMES)
+    assert [r.pipelines for r in results] == [1, 3]
+    assert results[0].walkthrough_seconds > results[1].walkthrough_seconds
+
+
+def test_sweep_arrangements_keys():
+    results = sweep_arrangements("one_renderer", 2, frames=FRAMES)
+    assert set(results) == {"unordered", "ordered", "flipped"}
+    times = [r.walkthrough_seconds for r in results.values()]
+    assert max(times) / min(times) < 1.05
+
+
+def test_sweep_image_sizes_monotone():
+    results = sweep_image_sizes([64, 128], frames=FRAMES)
+    assert set(results) == {64, 128}
+    assert (results[64].walkthrough_seconds
+            < results[128].walkthrough_seconds)
+
+
+def test_series_extracts_attributes():
+    results = sweep_pipelines("n_renderers", [1, 2], frames=FRAMES)
+    times = series(results)
+    assert times == [r.walkthrough_seconds for r in results]
+    energies = series(results, "total_energy_j")
+    assert all(e > 0 for e in energies)
+
+
+# ---------------------------------------------------------------------------
+# frame latency
+# ---------------------------------------------------------------------------
+
+def test_latency_recorded_for_all_configs():
+    for config in ("single_core", "one_renderer", "n_renderers",
+                   "mcpc_renderer"):
+        result = PipelineRunner(config=config, pipelines=2,
+                                frames=FRAMES).run()
+        assert result.latency_quartiles is not None
+        q1, med, q3 = result.latency_quartiles
+        assert 0 < q1 <= med <= q3
+
+
+def test_latency_at_least_one_period_times_depth():
+    """A frame traverses 7 stages, so its latency exceeds several
+    pipeline periods in the parallel configurations."""
+    result = PipelineRunner(config="mcpc_renderer", pipelines=5,
+                            frames=FRAMES).run()
+    _, med, _ = result.latency_quartiles
+    assert med > 3 * result.seconds_per_frame
+
+
+def test_latency_close_to_frame_time_on_single_core():
+    """On one core a frame displays right after it is computed."""
+    result = PipelineRunner(config="single_core", frames=FRAMES).run()
+    _, med, _ = result.latency_quartiles
+    assert med == pytest.approx(result.seconds_per_frame, rel=0.10)
+
+
+def test_latency_exported():
+    from repro.report import result_to_dict
+
+    result = PipelineRunner(config="one_renderer", pipelines=2,
+                            frames=FRAMES).run()
+    d = result_to_dict(result)
+    assert d["latency_quartiles"] is not None
+    assert len(d["latency_quartiles"]) == 3

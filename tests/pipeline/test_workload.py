@@ -1,0 +1,96 @@
+"""Tests for the walkthrough workload and strip geometry."""
+
+import pytest
+
+from repro.pipeline import WalkthroughWorkload, default_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WalkthroughWorkload(frames=16, image_side=400)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        WalkthroughWorkload(frames=0)
+    with pytest.raises(ValueError):
+        WalkthroughWorkload(image_side=0)
+
+
+def test_viewport_strips_cover_frame(workload):
+    for n in (1, 2, 3, 5, 7, 8):
+        total_rows = 0
+        prev_end = 0
+        for s in range(n):
+            vp = workload.viewport(s, n)
+            assert vp.y_start == prev_end
+            prev_end = vp.y_start + vp.height
+            total_rows += vp.height
+        assert total_rows == 400
+
+
+def test_viewport_validation(workload):
+    with pytest.raises(ValueError):
+        workload.viewport(0, 0)
+    with pytest.raises(ValueError):
+        workload.viewport(3, 3)
+
+
+def test_strip_bytes_sum_to_frame(workload):
+    for n in (1, 3, 7):
+        total = sum(workload.strip_bytes(s, n) for s in range(n))
+        assert total == workload.frame_bytes() == 400 * 400 * 4
+
+
+def test_uneven_split_spreads_remainder(workload):
+    # 400 rows over 7 strips: 57*3 + 57... -> heights differ by <= 1.
+    heights = [workload.viewport(s, 7).height for s in range(7)]
+    assert sum(heights) == 400
+    assert max(heights) - min(heights) <= 1
+
+
+def test_profile_bounds(workload):
+    with pytest.raises(ValueError):
+        workload.profile(16)
+    p = workload.profile(0)
+    assert p.pixels == 160_000
+    assert p.triangles_in_view > 0
+
+
+def test_profile_memoized(workload):
+    a = workload.profile(1, 0, 4)
+    b = workload.profile(1, 0, 4)
+    assert a is b
+
+
+def test_strip_profiles_smaller_pixels(workload):
+    full = workload.profile(2)
+    strip = workload.profile(2, 0, 4)
+    assert strip.pixels == full.pixels // 4
+
+
+def test_strip_culling_barely_shrinks_triangles(workload):
+    """The calibration assumption: a strip sub-frustum still collects
+    nearly all visible triangles (tall buildings cross every strip)."""
+    full = workload.profile(3)
+    worst = max(workload.profile(3, s, 7).triangles_in_view
+                for s in range(7))
+    assert worst >= 0.85 * full.triangles_in_view
+
+
+def test_mean_full_frame_profile(workload):
+    mean = workload.mean_full_frame_profile()
+    assert mean.pixels == 160_000
+    assert 0 < mean.triangles_in_view <= workload.renderer.mesh.num_triangles
+
+
+def test_default_workload_is_shared():
+    a = default_workload()
+    b = default_workload()
+    assert a is b
+    assert a.frames == 400
+    assert a.image_side == 400
+
+
+def test_workload_repr(workload):
+    assert "side=400" in repr(workload)

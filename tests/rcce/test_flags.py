@@ -1,0 +1,137 @@
+"""Tests for RCCE flag variables."""
+
+import pytest
+
+from repro.rcce import FlagAllocator, FlagVariable
+from repro.scc import MPB_BYTES_PER_CORE, SCCChip
+from repro.scc.topology import CACHE_LINE_BYTES
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def chip():
+    return SCCChip(Simulator())
+
+
+def test_initial_value(chip):
+    flag = FlagVariable(chip, owner=3, initial=7)
+    assert flag.value == 7
+    with pytest.raises(ValueError):
+        FlagVariable(chip, owner=99)
+
+
+def test_wait_returns_immediately_when_already_set(chip):
+    flag = FlagVariable(chip, owner=0, initial=1)
+    got = []
+
+    def waiter():
+        v = yield from flag.wait_until(1)
+        got.append((v, chip.sim.now))
+
+    chip.sim.process(waiter())
+    chip.sim.run()
+    assert got == [(1, 0.0)]
+
+
+def test_write_wakes_waiters(chip):
+    flag = FlagVariable(chip, owner=5)
+    got = []
+
+    def waiter(tag):
+        v = yield from flag.wait_until(1)
+        got.append((tag, v, chip.sim.now))
+
+    def writer():
+        yield chip.sim.timeout(2.0)
+        yield from flag.write(0, 1)
+
+    chip.sim.process(waiter("a"))
+    chip.sim.process(waiter("b"))
+    chip.sim.process(writer())
+    chip.sim.run()
+    assert len(got) == 2
+    assert all(v == 1 and t >= 2.0 for _, v, t in got)
+    assert flag.writes == 1
+
+
+def test_waiter_for_other_value_stays_asleep(chip):
+    flag = FlagVariable(chip, owner=5)
+    got = []
+
+    def waiter():
+        v = yield from flag.wait_until(2)
+        got.append(v)
+
+    def writer():
+        yield from flag.write(0, 1)   # not the awaited value
+        yield chip.sim.timeout(1.0)
+        yield from flag.write(0, 2)
+
+    chip.sim.process(waiter())
+    chip.sim.process(writer())
+    chip.sim.run()
+    assert got == [2]
+
+
+def test_remote_write_crosses_the_mesh(chip):
+    flag = FlagVariable(chip, owner=47)   # far corner
+
+    def writer():
+        yield from flag.write(0, 1)
+
+    chip.sim.process(writer())
+    chip.sim.run()
+    assert chip.mesh.messages == 1
+    assert chip.mesh.bytes_moved == CACHE_LINE_BYTES
+
+
+def test_local_write_is_free_of_mesh_traffic(chip):
+    flag = FlagVariable(chip, owner=4)
+
+    def writer():
+        yield from flag.write(4, 1)
+
+    chip.sim.process(writer())
+    chip.sim.run()
+    assert chip.mesh.messages == 0
+    assert flag.value == 1
+
+
+def test_producer_consumer_handshake(chip):
+    """The RCCE data-ready / ack protocol, built from two flags."""
+    ready = FlagVariable(chip, owner=1)
+    ack = FlagVariable(chip, owner=0)
+    log = []
+
+    def producer():
+        for i in range(3):
+            yield from ready.write(0, 1)
+            yield from ack.wait_until(1)
+            yield from ack.write(0, 0)
+            log.append(("produced", i, chip.sim.now))
+
+    def consumer():
+        for i in range(3):
+            yield from ready.wait_until(1)
+            yield from ready.write(1, 0)
+            yield chip.sim.timeout(0.5)   # "work"
+            yield from ack.write(1, 1)
+
+    chip.sim.process(producer())
+    chip.sim.process(consumer())
+    chip.sim.run()
+    assert [e[1] for e in log] == [0, 1, 2]
+    assert chip.sim.now >= 1.5
+
+
+def test_allocator_respects_mpb_capacity(chip):
+    alloc = FlagAllocator(chip)
+    n_fit = MPB_BYTES_PER_CORE // CACHE_LINE_BYTES
+    for _ in range(n_fit):
+        alloc.alloc(owner=2)
+    assert alloc.allocated_bytes(2) == MPB_BYTES_PER_CORE
+    with pytest.raises(MemoryError):
+        alloc.alloc(owner=2)
+    # Other cores' windows are unaffected.
+    assert alloc.allocated_bytes(3) == 0
+    alloc.alloc(owner=3)

@@ -1,0 +1,191 @@
+"""Tests for near-plane clipping and PPM I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.render import (
+    Camera,
+    Viewport,
+    clip_triangle_near,
+    clip_triangles_near,
+    image_diff,
+    rasterize,
+    read_ppm,
+    to_float,
+    to_uint8,
+    write_ppm,
+)
+
+
+# ---------------------------------------------------------------------------
+# clipping
+# ---------------------------------------------------------------------------
+
+def tri(ws):
+    """A clip-space triangle with given w per vertex."""
+    v = np.array([[0.0, 0.0, 0.0, ws[0]],
+                  [1.0, 0.0, 0.0, ws[1]],
+                  [0.0, 1.0, 0.0, ws[2]]])
+    return v
+
+
+def test_fully_inside_passes_through():
+    out = clip_triangle_near(tri([1.0, 2.0, 3.0]))
+    assert out.shape == (1, 3, 4)
+    assert np.allclose(out[0], tri([1.0, 2.0, 3.0]))
+
+
+def test_fully_outside_dropped():
+    out = clip_triangle_near(tri([-1.0, -2.0, -0.5]))
+    assert out.shape == (0, 3, 4)
+
+
+def test_one_vertex_inside_gives_one_triangle():
+    out = clip_triangle_near(tri([1.0, -1.0, -1.0]))
+    assert out.shape == (1, 3, 4)
+    assert np.all(out[..., 3] >= clip_w_eps() - 1e-12)
+
+
+def test_two_vertices_inside_gives_two_triangles():
+    out = clip_triangle_near(tri([1.0, 1.0, -1.0]))
+    assert out.shape == (2, 3, 4)
+    assert np.all(out[..., 3] >= clip_w_eps() - 1e-12)
+
+
+def clip_w_eps():
+    from repro.render.clipping import NEAR_W_EPSILON
+    return NEAR_W_EPSILON
+
+
+def test_clip_shape_validation():
+    with pytest.raises(ValueError):
+        clip_triangle_near(np.zeros((4, 4)))
+
+
+@given(st.lists(st.floats(-5.0, 5.0), min_size=3, max_size=3))
+@settings(max_examples=100)
+def test_clip_output_always_in_front(ws):
+    out = clip_triangle_near(tri(ws))
+    assert np.all(out[..., 3] >= clip_w_eps() - 1e-9)
+    inside = sum(1 for w in ws if w >= clip_w_eps())
+    expected = {0: 0, 1: 1, 2: 2, 3: 1}[inside]
+    assert out.shape[0] == expected
+
+
+@given(st.lists(st.floats(-5.0, 5.0), min_size=3, max_size=3))
+@settings(max_examples=50)
+def test_clip_intersections_on_boundary(ws):
+    """New vertices produced by clipping lie exactly on w = eps."""
+    out = clip_triangle_near(tri(ws))
+    originals = {round(w, 9) for w in ws}
+    for t in out:
+        for v in t:
+            w = v[3]
+            if round(w, 9) not in originals:
+                assert w == pytest.approx(clip_w_eps(), abs=1e-9)
+
+
+def test_clip_triangles_near_mesh_level():
+    vertices = np.array([
+        [0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0],      # in front
+        [0.0, 0.0, 100.0], [1.0, 0.0, 100.0], [0.0, 1.0, 100.0],  # behind
+    ])
+    faces = np.array([[0, 1, 2], [3, 4, 5]])
+    colors = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+    cam = Camera(eye=np.array([0.0, 0.0, 5.0]),
+                 target=np.array([0.0, 0.0, 0.0]))
+    flat, out_faces, out_colors = clip_triangles_near(
+        vertices, faces, colors, cam.view_proj())
+    assert len(out_faces) == 1
+    assert np.allclose(out_colors[0], [1.0, 0.0, 0.0])
+    assert len(flat) == 3
+
+
+def test_clip_triangles_near_validation():
+    with pytest.raises(ValueError):
+        clip_triangles_near(np.zeros((3, 3)), np.array([[0, 1, 2]]),
+                            np.zeros((2, 3)), np.eye(4))
+
+
+def test_rasterizer_draws_straddling_triangle_with_clipping():
+    """A huge ground triangle passing under the camera renders with
+    clipping enabled but is dropped by the fallback path."""
+    vertices = np.array([
+        [-100.0, -1.0, 100.0],
+        [100.0, -1.0, 100.0],
+        [0.0, -1.0, -100.0],   # far behind the camera
+    ])
+    faces = np.array([[0, 1, 2]])
+    colors = np.array([[1.0, 0.0, 0.0]])
+    cam = Camera(eye=np.array([0.0, 0.0, 50.0]),
+                 target=np.array([0.0, -1.0, 0.0]))
+    vp = Viewport(48, 48)
+    with_clip = rasterize(vertices, faces, colors, cam.view_proj(), vp,
+                          clip_near=True)
+    without = rasterize(vertices, faces, colors, cam.view_proj(), vp,
+                        clip_near=False)
+    red = np.array([1.0, 0.0, 0.0], dtype=np.float32)
+    assert np.any(np.all(with_clip == red, axis=-1))
+    assert not np.any(np.all(without == red, axis=-1))
+
+
+# ---------------------------------------------------------------------------
+# PPM I/O
+# ---------------------------------------------------------------------------
+
+def test_uint8_float_roundtrip():
+    rng = np.random.default_rng(0)
+    img = rng.random((5, 7, 3)).astype(np.float32)
+    back = to_float(to_uint8(img))
+    assert np.abs(back - img).max() <= 0.5 / 255.0 + 1e-6
+
+
+def test_ppm_roundtrip(tmp_path):
+    rng = np.random.default_rng(1)
+    img = rng.random((9, 13, 3)).astype(np.float32)
+    path = tmp_path / "frame.ppm"
+    write_ppm(path, img)
+    back = read_ppm(path)
+    assert back.shape == img.shape
+    mean_err, max_err = image_diff(img, back)
+    assert max_err <= 0.5 / 255.0 + 1e-6
+
+
+def test_ppm_accepts_uint8(tmp_path):
+    img = np.arange(27, dtype=np.uint8).reshape(3, 3, 3)
+    path = tmp_path / "u8.ppm"
+    write_ppm(path, img)
+    back = to_uint8(read_ppm(path))
+    assert np.array_equal(back, img)
+
+
+def test_write_ppm_validates_shape(tmp_path):
+    with pytest.raises(ValueError):
+        write_ppm(tmp_path / "bad.ppm", np.zeros((4, 4)))
+
+
+def test_read_ppm_rejects_wrong_magic(tmp_path):
+    path = tmp_path / "bad.ppm"
+    path.write_bytes(b"P3\n1 1\n255\n0 0 0\n")
+    with pytest.raises(ValueError, match="magic"):
+        read_ppm(path)
+
+
+def test_read_ppm_truncated(tmp_path):
+    path = tmp_path / "short.ppm"
+    path.write_bytes(b"P6\n4 4\n255\n\x00\x00")
+    with pytest.raises(ValueError, match="truncated"):
+        read_ppm(path)
+
+
+def test_read_ppm_with_comments(tmp_path):
+    path = tmp_path / "comment.ppm"
+    path.write_bytes(b"P6\n# a comment\n1 1\n255\n\x10\x20\x30")
+    img = to_uint8(read_ppm(path))
+    assert np.array_equal(img[0, 0], [0x10, 0x20, 0x30])
+
+
+def test_image_diff_validation():
+    with pytest.raises(ValueError):
+        image_diff(np.zeros((2, 2, 3)), np.zeros((3, 3, 3)))

@@ -1,0 +1,117 @@
+"""Tests for the 3D math toolkit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.render import (
+    look_at,
+    normalize,
+    perspective,
+    project_points,
+    rotation_y,
+    transform_points,
+    translation,
+)
+
+finite3 = st.tuples(*[st.floats(-100.0, 100.0)] * 3)
+
+
+def test_normalize_unit_length():
+    v = normalize([3.0, 0.0, 4.0])
+    assert np.linalg.norm(v) == pytest.approx(1.0)
+    assert v == pytest.approx([0.6, 0.0, 0.8])
+
+
+def test_normalize_zero_rejected():
+    with pytest.raises(ValueError):
+        normalize([0.0, 0.0, 0.0])
+
+
+def test_look_at_maps_eye_to_origin():
+    view = look_at([5.0, 2.0, 7.0], [0.0, 0.0, 0.0])
+    eye_view = transform_points(view, np.array([[5.0, 2.0, 7.0]]))
+    assert eye_view[0] == pytest.approx([0.0, 0.0, 0.0], abs=1e-12)
+
+
+def test_look_at_target_on_negative_z():
+    view = look_at([0.0, 0.0, 10.0], [0.0, 0.0, 0.0])
+    target_view = transform_points(view, np.array([[0.0, 0.0, 0.0]]))
+    assert target_view[0][0] == pytest.approx(0.0, abs=1e-12)
+    assert target_view[0][1] == pytest.approx(0.0, abs=1e-12)
+    assert target_view[0][2] == pytest.approx(-10.0)
+
+
+def test_look_at_preserves_distances():
+    view = look_at([3.0, 4.0, 5.0], [1.0, 0.0, 0.0])
+    pts = np.array([[0.0, 0.0, 0.0], [1.0, 2.0, 3.0]])
+    out = transform_points(view, pts)
+    assert np.linalg.norm(out[0] - out[1]) == pytest.approx(
+        np.linalg.norm(pts[0] - pts[1]))
+
+
+def test_perspective_validation():
+    with pytest.raises(ValueError):
+        perspective(60.0, 1.0, -0.1, 100.0)
+    with pytest.raises(ValueError):
+        perspective(60.0, 1.0, 10.0, 5.0)
+    with pytest.raises(ValueError):
+        perspective(60.0, 0.0, 0.1, 100.0)
+    with pytest.raises(ValueError):
+        perspective(200.0, 1.0, 0.1, 100.0)
+
+
+def test_perspective_near_far_map_to_ndc_extremes():
+    proj = perspective(90.0, 1.0, 1.0, 100.0)
+    ndc_near, _ = project_points(proj, np.array([[0.0, 0.0, -1.0]]))
+    ndc_far, _ = project_points(proj, np.array([[0.0, 0.0, -100.0]]))
+    assert ndc_near[0][2] == pytest.approx(-1.0)
+    assert ndc_far[0][2] == pytest.approx(1.0)
+
+
+def test_perspective_fov_boundary():
+    proj = perspective(90.0, 1.0, 1.0, 100.0)
+    # At 90° fov and distance d, a point at height d sits at NDC y=1.
+    ndc, _ = project_points(proj, np.array([[0.0, 5.0, -5.0]]))
+    assert ndc[0][1] == pytest.approx(1.0)
+
+
+def test_project_points_behind_camera_nan():
+    proj = perspective(60.0, 1.0, 0.1, 100.0)
+    ndc, w = project_points(proj, np.array([[0.0, 0.0, 5.0]]))
+    assert w[0] < 0
+    assert np.isnan(ndc[0]).all()
+
+
+def test_translation_and_rotation():
+    m = translation([1.0, 2.0, 3.0])
+    out = transform_points(m, np.array([[0.0, 0.0, 0.0]]))
+    assert out[0] == pytest.approx([1.0, 2.0, 3.0])
+
+    r = rotation_y(np.pi / 2.0)
+    out = transform_points(r, np.array([[1.0, 0.0, 0.0]]))
+    assert out[0] == pytest.approx([0.0, 0.0, -1.0], abs=1e-12)
+
+
+def test_transform_points_shape_validation():
+    with pytest.raises(ValueError):
+        transform_points(np.eye(4), np.zeros((3,)))
+    with pytest.raises(ValueError):
+        project_points(np.eye(4), np.zeros((2, 4)))
+
+
+@given(st.lists(finite3, min_size=1, max_size=20))
+def test_rotation_preserves_norms(points):
+    pts = np.array(points, dtype=np.float64)
+    out = transform_points(rotation_y(0.7), pts)
+    assert np.linalg.norm(out, axis=1) == pytest.approx(
+        np.linalg.norm(pts, axis=1), abs=1e-9)
+
+
+@given(finite3, finite3)
+def test_look_at_is_rigid(eye, offset):
+    eye = np.array(eye)
+    target = eye + np.array([1.0, 0.25, -0.5])
+    view = look_at(eye, target)
+    rot = view[:3, :3]
+    assert rot @ rot.T == pytest.approx(np.eye(3), abs=1e-9)

@@ -1,0 +1,267 @@
+"""Tests for meshes, AABBs, the octree and frustum culling."""
+
+import numpy as np
+import pytest
+
+from repro.render import (
+    AABB,
+    Camera,
+    Frustum,
+    Octree,
+    TraversalStats,
+    TriangleMesh,
+    build_city,
+    make_box,
+    strip_view_proj,
+)
+from repro.render.scene import CityConfig
+
+
+# ---------------------------------------------------------------------------
+# AABB
+# ---------------------------------------------------------------------------
+
+def test_aabb_validation():
+    with pytest.raises(ValueError):
+        AABB([0, 0, 0], [-1, 1, 1])
+    with pytest.raises(ValueError):
+        AABB([0, 0], [1, 1])
+
+
+def test_aabb_center_extent_contains():
+    box = AABB([0, 0, 0], [2, 4, 6])
+    assert box.center == pytest.approx([1, 2, 3])
+    assert box.extent == pytest.approx([2, 4, 6])
+    assert box.contains_point([1, 1, 1])
+    assert not box.contains_point([3, 1, 1])
+
+
+def test_aabb_union():
+    u = AABB([0, 0, 0], [1, 1, 1]).union(AABB([-1, 0.5, 0], [0.5, 2, 3]))
+    assert u.lo == pytest.approx([-1, 0, 0])
+    assert u.hi == pytest.approx([1, 2, 3])
+
+
+def test_aabb_octants_partition():
+    box = AABB([0, 0, 0], [2, 2, 2])
+    corners = [box.octant(i) for i in range(8)]
+    # Every octant has half the extent; their union is the parent.
+    for oct_ in corners:
+        assert oct_.extent == pytest.approx([1, 1, 1])
+    lo = np.min([o.lo for o in corners], axis=0)
+    hi = np.max([o.hi for o in corners], axis=0)
+    assert lo == pytest.approx(box.lo) and hi == pytest.approx(box.hi)
+    with pytest.raises(ValueError):
+        box.octant(8)
+
+
+def test_aabb_corners():
+    box = AABB([0, 0, 0], [1, 2, 3])
+    corners = box.corners()
+    assert corners.shape == (8, 3)
+    assert {tuple(c) for c in corners} == {
+        (x, y, z) for x in (0, 1) for y in (0, 2) for z in (0, 3)
+    }
+
+
+# ---------------------------------------------------------------------------
+# TriangleMesh
+# ---------------------------------------------------------------------------
+
+def test_mesh_validation():
+    with pytest.raises(ValueError):
+        TriangleMesh(np.zeros((3, 2)), np.zeros((1, 3), int), np.zeros((1, 3)))
+    with pytest.raises(ValueError):
+        TriangleMesh(np.zeros((3, 3)), np.array([[0, 1, 5]]), np.zeros((1, 3)))
+    with pytest.raises(ValueError):
+        TriangleMesh(np.zeros((3, 3)), np.array([[0, 1, 2]]), np.zeros((2, 3)))
+
+
+def test_make_box_geometry():
+    box = make_box((0, 0, 0), (2, 2, 2), (1, 0, 0))
+    assert box.num_triangles == 12
+    b = box.bounds()
+    assert b.lo == pytest.approx([-1, -1, -1])
+    assert b.hi == pytest.approx([1, 1, 1])
+    with pytest.raises(ValueError):
+        make_box((0, 0, 0), (0, 1, 1), (1, 0, 0))
+
+
+def test_mesh_merge_offsets_faces():
+    a = make_box((0, 0, 0), (1, 1, 1), (1, 0, 0))
+    b = make_box((5, 0, 0), (1, 1, 1), (0, 1, 0))
+    merged = TriangleMesh.merge([a, b])
+    assert merged.num_triangles == 24
+    assert len(merged.vertices) == 16
+    assert merged.faces.max() == 15
+    with pytest.raises(ValueError):
+        TriangleMesh.merge([])
+
+
+def test_centroids_and_triangle_bounds():
+    mesh = make_box((0, 0, 0), (2, 2, 2), (1, 1, 1))
+    cents = mesh.centroids()
+    assert cents.shape == (12, 3)
+    assert np.all(np.abs(cents) <= 1.0)
+    lo, hi = mesh.triangle_bounds()
+    assert lo.shape == (12, 3) and hi.shape == (12, 3)
+    assert np.all(hi >= lo)
+
+
+# ---------------------------------------------------------------------------
+# Frustum
+# ---------------------------------------------------------------------------
+
+def make_camera(eye=(0, 0, 10), target=(0, 0, 0)):
+    return Camera(eye=np.array(eye, float), target=np.array(target, float))
+
+
+def test_frustum_contains_visible_point():
+    cam = make_camera()
+    fr = Frustum.from_view_proj(cam.view_proj())
+    assert fr.contains_point([0.0, 0.0, 0.0])
+    assert not fr.contains_point([0.0, 0.0, 20.0])   # behind camera
+    assert not fr.contains_point([0.0, 0.0, -1000.0])  # beyond far
+
+
+def test_frustum_aabb_conservative():
+    cam = make_camera()
+    fr = Frustum.from_view_proj(cam.view_proj())
+    assert fr.intersects_aabb(AABB([-1, -1, -1], [1, 1, 1]))
+    assert not fr.intersects_aabb(AABB([100, 100, 100], [101, 101, 101]))
+    # A box straddling a plane must be kept.
+    assert fr.intersects_aabb(AABB([-1, -1, -5], [1, 1, 50]))
+
+
+def test_frustum_classify_vectorized_agrees_with_scalar():
+    cam = make_camera()
+    fr = Frustum.from_view_proj(cam.view_proj())
+    rng = np.random.default_rng(7)
+    los = rng.uniform(-50, 50, size=(100, 3))
+    his = los + rng.uniform(0.1, 10, size=(100, 3))
+    mask = fr.classify_aabbs(los, his)
+    for i in range(100):
+        assert mask[i] == fr.intersects_aabb(AABB(los[i], his[i]))
+
+
+def test_frustum_validation():
+    with pytest.raises(ValueError):
+        Frustum(np.zeros((5, 4)))
+    with pytest.raises(ValueError):
+        Frustum(np.zeros((6, 4)))  # degenerate normals
+    with pytest.raises(ValueError):
+        Frustum.from_view_proj(np.eye(3))
+
+
+def test_strip_view_proj_partitions_view():
+    """A point visible in the full frustum is visible in exactly the
+    strip(s) its projection falls into."""
+    cam = make_camera()
+    vp = cam.view_proj()
+    point = np.array([0.0, 1.5, 0.0])
+    full = Frustum.from_view_proj(vp)
+    assert full.contains_point(point)
+    n = 4
+    hits = [
+        Frustum.from_view_proj(strip_view_proj(vp, s, n)).contains_point(point)
+        for s in range(n)
+    ]
+    assert sum(hits) == 1
+
+
+def test_strip_view_proj_validation():
+    vp = make_camera().view_proj()
+    with pytest.raises(ValueError):
+        strip_view_proj(vp, 0, 0)
+    with pytest.raises(ValueError):
+        strip_view_proj(vp, 4, 4)
+
+
+def test_strip_union_covers_full_frustum():
+    cam = make_camera()
+    vp = cam.view_proj()
+    full = Frustum.from_view_proj(vp)
+    strips = [Frustum.from_view_proj(strip_view_proj(vp, s, 3))
+              for s in range(3)]
+    rng = np.random.default_rng(11)
+    pts = rng.uniform(-8, 8, size=(300, 3))
+    for p in pts:
+        if full.contains_point(p):
+            assert any(s.contains_point(p) for s in strips)
+
+
+# ---------------------------------------------------------------------------
+# Octree
+# ---------------------------------------------------------------------------
+
+def test_octree_indexes_every_triangle_exactly_once():
+    mesh = build_city(CityConfig(blocks=6))
+    tree = Octree(mesh, max_triangles_per_leaf=32)
+    indexed = np.sort(tree.all_triangles())
+    assert np.array_equal(indexed, np.arange(mesh.num_triangles))
+
+
+def test_octree_splits_beyond_leaf_threshold():
+    mesh = build_city(CityConfig(blocks=6))
+    tree = Octree(mesh, max_triangles_per_leaf=16)
+    assert tree.node_count > 1
+    assert tree.depth >= 1
+    assert tree.leaf_count >= 8 or tree.depth == 0
+
+
+def test_octree_depth_cap():
+    mesh = build_city(CityConfig(blocks=6))
+    tree = Octree(mesh, max_triangles_per_leaf=1, max_depth=2)
+    assert tree.depth <= 2
+
+
+def test_octree_validation():
+    mesh = make_box((0, 0, 0), (1, 1, 1), (1, 1, 1))
+    with pytest.raises(ValueError):
+        Octree(mesh, max_triangles_per_leaf=0)
+    with pytest.raises(ValueError):
+        Octree(mesh, max_depth=-1)
+    empty = TriangleMesh(np.zeros((0, 3)), np.zeros((0, 3), int),
+                         np.zeros((0, 3)))
+    with pytest.raises(ValueError):
+        Octree(empty)
+
+
+def test_octree_frustum_query_superset_of_exact_visibility():
+    """Culling is conservative: every triangle whose centroid is inside
+    the frustum must be returned."""
+    mesh = build_city(CityConfig(blocks=8))
+    tree = Octree(mesh, max_triangles_per_leaf=32)
+    cam = Camera(eye=np.array([0.0, 30.0, 80.0]),
+                 target=np.array([0.0, 0.0, 0.0]))
+    fr = Frustum.from_view_proj(cam.view_proj())
+    returned = set(tree.query_frustum(fr).tolist())
+    cents = mesh.centroids()
+    for idx in range(mesh.num_triangles):
+        if fr.contains_point(cents[idx]):
+            assert idx in returned
+
+
+def test_octree_query_stats_populated():
+    mesh = build_city(CityConfig(blocks=8))
+    tree = Octree(mesh, max_triangles_per_leaf=32)
+    cam = Camera(eye=np.array([0.0, 30.0, 80.0]),
+                 target=np.array([0.0, 0.0, 0.0]))
+    stats = TraversalStats()
+    out = tree.query_frustum(Frustum.from_view_proj(cam.view_proj()), stats)
+    assert stats.nodes_visited > 0
+    assert stats.triangles_collected == len(out)
+    assert stats.nodes_culled < stats.nodes_visited
+
+
+def test_octree_culling_reduces_work():
+    """A narrow strip frustum collects fewer triangles than the full view."""
+    mesh = build_city(CityConfig(blocks=10))
+    tree = Octree(mesh, max_triangles_per_leaf=32)
+    cam = Camera(eye=np.array([60.0, 10.0, 0.0]),
+                 target=np.array([0.0, 5.0, 0.0]))
+    vp = cam.view_proj()
+    full = len(tree.query_frustum(Frustum.from_view_proj(vp)))
+    strip = len(tree.query_frustum(
+        Frustum.from_view_proj(strip_view_proj(vp, 7, 8))))
+    assert 0 < strip < full

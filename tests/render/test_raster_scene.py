@@ -1,0 +1,213 @@
+"""Tests for the rasterizer, camera path, scene and renderer facade."""
+
+import numpy as np
+import pytest
+
+from repro.render import (
+    Camera,
+    CityConfig,
+    RasterStats,
+    Renderer,
+    Viewport,
+    WalkthroughPath,
+    build_city,
+    rasterize,
+)
+
+
+def simple_triangle():
+    """One big triangle covering the image center."""
+    vertices = np.array([[-1.0, -1.0, 0.0], [1.0, -1.0, 0.0], [0.0, 1.0, 0.0]])
+    faces = np.array([[0, 1, 2]])
+    colors = np.array([[1.0, 0.0, 0.0]])
+    return vertices, faces, colors
+
+
+def front_camera():
+    return Camera(eye=np.array([0.0, 0.0, 3.0]),
+                  target=np.array([0.0, 0.0, 0.0]))
+
+
+# ---------------------------------------------------------------------------
+# Viewport
+# ---------------------------------------------------------------------------
+
+def test_viewport_full_image_defaults():
+    vp = Viewport(400, 400)
+    assert vp.height == 400
+    assert vp.pixels == 160_000
+    assert vp.bytes_rgba == 640_000  # the paper's Fig. 12 "640kb" point
+
+
+def test_viewport_strip_validation():
+    Viewport(100, 100, y_start=50, height=50)
+    with pytest.raises(ValueError):
+        Viewport(0, 100)
+    with pytest.raises(ValueError):
+        Viewport(100, 100, y_start=100)
+    with pytest.raises(ValueError):
+        Viewport(100, 100, y_start=60, height=50)
+
+
+# ---------------------------------------------------------------------------
+# rasterizer
+# ---------------------------------------------------------------------------
+
+def test_rasterize_empty_scene_is_background():
+    img = rasterize(np.zeros((0, 3)), np.zeros((0, 3), int),
+                    np.zeros((0, 3)), front_camera().view_proj(),
+                    Viewport(32, 32), background=(0.1, 0.2, 0.3))
+    assert img.shape == (32, 32, 3)
+    assert np.allclose(img, [0.1, 0.2, 0.3])
+
+
+def test_rasterize_triangle_hits_center():
+    v, f, c = simple_triangle()
+    stats = RasterStats()
+    img = rasterize(v, f, c, front_camera().view_proj(), Viewport(64, 64),
+                    stats=stats)
+    assert img[32, 32] == pytest.approx([1.0, 0.0, 0.0])
+    # Corners stay background.
+    assert not np.allclose(img[0, 0], [1.0, 0.0, 0.0])
+    assert stats.triangles_rasterized == 1
+    assert stats.pixels_shaded > 0
+
+
+def test_rasterize_depth_order():
+    """A nearer triangle occludes a farther one regardless of draw order."""
+    vertices = np.array([
+        [-1.0, -1.0, 0.0], [1.0, -1.0, 0.0], [0.0, 1.0, 0.0],   # far, red
+        [-1.0, -1.0, 1.0], [1.0, -1.0, 1.0], [0.0, 1.0, 1.0],   # near, green
+    ])
+    faces = np.array([[0, 1, 2], [3, 4, 5]])
+    colors = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+    vp = front_camera().view_proj()
+    img_fwd = rasterize(vertices, faces, colors, vp, Viewport(64, 64))
+    img_rev = rasterize(vertices, faces[::-1], colors[::-1], vp,
+                        Viewport(64, 64))
+    assert img_fwd[32, 32] == pytest.approx([0.0, 1.0, 0.0])
+    assert np.allclose(img_fwd, img_rev)
+
+
+def test_rasterize_triangle_behind_camera_skipped():
+    v, f, c = simple_triangle()
+    cam = Camera(eye=np.array([0.0, 0.0, -3.0]),
+                 target=np.array([0.0, 0.0, -10.0]))
+    stats = RasterStats()
+    img = rasterize(v, f, c, cam.view_proj(), Viewport(32, 32), stats=stats)
+    assert stats.triangles_rasterized == 0
+    assert not np.any(np.all(img == [1.0, 0.0, 0.0], axis=-1))
+
+
+def test_rasterize_strips_tile_the_full_image():
+    """Rendering 4 strips and stacking them equals the full render."""
+    v, f, c = simple_triangle()
+    vp_matrix = front_camera().view_proj()
+    full = rasterize(v, f, c, vp_matrix, Viewport(64, 64))
+    strips = [
+        rasterize(v, f, c, vp_matrix,
+                  Viewport(64, 64, y_start=s * 16, height=16))
+        for s in range(4)
+    ]
+    stacked = np.vstack(strips)
+    assert stacked.shape == full.shape
+    assert np.allclose(stacked, full)
+
+
+# ---------------------------------------------------------------------------
+# walkthrough path
+# ---------------------------------------------------------------------------
+
+def test_walkthrough_defaults_to_400_frames():
+    path = WalkthroughPath()
+    assert len(path) == 400
+    assert len(path.cameras()) == 400
+
+
+def test_walkthrough_validation():
+    with pytest.raises(ValueError):
+        WalkthroughPath(frames=0)
+    with pytest.raises(ValueError):
+        WalkthroughPath(radius=-1.0)
+    path = WalkthroughPath(frames=10)
+    with pytest.raises(ValueError):
+        path.camera_at(10)
+
+
+def test_walkthrough_cameras_move():
+    path = WalkthroughPath(frames=8)
+    eyes = np.array([cam.eye for cam in path])
+    assert np.unique(eyes.round(6), axis=0).shape[0] == 8
+
+
+def test_walkthrough_is_deterministic():
+    a = WalkthroughPath(frames=5).camera_at(3)
+    b = WalkthroughPath(frames=5).camera_at(3)
+    assert np.allclose(a.eye, b.eye) and np.allclose(a.target, b.target)
+
+
+# ---------------------------------------------------------------------------
+# scene + renderer facade
+# ---------------------------------------------------------------------------
+
+def test_city_is_deterministic_and_nonempty():
+    a = build_city(CityConfig(blocks=5))
+    b = build_city(CityConfig(blocks=5))
+    assert a.num_triangles == b.num_triangles > 100
+    assert np.allclose(a.vertices, b.vertices)
+
+
+def test_city_validation():
+    with pytest.raises(ValueError):
+        build_city(CityConfig(blocks=0))
+    with pytest.raises(ValueError):
+        build_city(CityConfig(vacancy=1.0))
+    with pytest.raises(ValueError):
+        build_city(CityConfig(min_height=0.0))
+
+
+def test_city_default_size_is_substantial():
+    city = build_city()
+    # ~12x12 blocks * 12 triangles each, minus vacancies, plus ground.
+    assert city.num_triangles > 1000
+
+
+def test_renderer_produces_nonuniform_image():
+    renderer = Renderer(build_city(CityConfig(blocks=6)))
+    cam = WalkthroughPath(frames=4, radius=40.0).camera_at(0)
+    img = renderer.render(cam, Viewport(64, 64))
+    assert img.shape == (64, 64, 3)
+    # The city must actually appear (not all background).
+    assert np.unique(img.reshape(-1, 3), axis=0).shape[0] > 2
+
+
+def test_renderer_profile_counts():
+    renderer = Renderer(build_city(CityConfig(blocks=6)))
+    cam = WalkthroughPath(frames=4, radius=40.0).camera_at(0)
+    profile = renderer.profile(cam, Viewport(400, 400))
+    assert profile.pixels == 160_000
+    assert profile.frame_buffer_bytes == 640_000
+    assert profile.nodes_visited > 0
+    assert profile.triangles_in_view > 0
+    assert not profile.culled_everything
+
+
+def test_renderer_strip_profiles_cheaper_than_full():
+    renderer = Renderer(build_city(CityConfig(blocks=8)))
+    cam = WalkthroughPath(frames=4, radius=50.0).camera_at(1)
+    full = renderer.profile(cam, Viewport(400, 400))
+    strip = renderer.profile(cam, Viewport(400, 400, y_start=0, height=50),
+                             strip_index=0, num_strips=8)
+    assert strip.triangles_in_view <= full.triangles_in_view
+    assert strip.pixels == full.pixels // 8
+
+
+def test_renderer_strips_cover_full_view():
+    """Union of per-strip visible sets ⊇ full-view visible set."""
+    renderer = Renderer(build_city(CityConfig(blocks=6)))
+    cam = WalkthroughPath(frames=4, radius=40.0).camera_at(2)
+    full = set(renderer.visible_triangles(cam).tolist())
+    union = set()
+    for s in range(4):
+        union |= set(renderer.visible_triangles(cam, s, 4).tolist())
+    assert full <= union

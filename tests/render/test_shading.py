@@ -1,0 +1,78 @@
+"""Tests for face normals and Lambert shading."""
+
+import numpy as np
+import pytest
+
+from repro.render import Camera, Renderer, Viewport, build_city, rasterize
+from repro.render.raster import face_normals, lambert_shade
+from repro.render.scene import CityConfig
+
+
+def test_face_normals_unit_length():
+    vertices = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0],
+                         [0, 0, 0], [2, 0, 0], [0, 0, 2]], dtype=float)
+    faces = np.array([[0, 1, 2], [3, 4, 5]])
+    normals = face_normals(vertices, faces)
+    assert normals.shape == (2, 3)
+    assert np.allclose(np.linalg.norm(normals, axis=1), 1.0)
+    assert np.allclose(normals[0], [0, 0, 1])
+    assert np.allclose(normals[1], [0, -1, 0])
+
+
+def test_face_normals_degenerate_zero():
+    vertices = np.zeros((3, 3))
+    faces = np.array([[0, 1, 2]])
+    assert np.allclose(face_normals(vertices, faces), 0.0)
+
+
+def test_lambert_full_and_grazing():
+    colors = np.array([[1.0, 1.0, 1.0], [1.0, 1.0, 1.0]])
+    normals = np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 0.0]])
+    out = lambert_shade(colors, normals, light=(0.0, 1.0, 0.0),
+                        ambient=0.2)
+    assert np.allclose(out[0], 1.0)          # facing the light
+    assert np.allclose(out[1], 0.2)          # perpendicular: ambient only
+
+
+def test_lambert_two_sided():
+    colors = np.array([[1.0, 1.0, 1.0]])
+    normals = np.array([[0.0, -1.0, 0.0]])   # facing away
+    out = lambert_shade(colors, normals, light=(0.0, 1.0, 0.0),
+                        ambient=0.2)
+    assert np.allclose(out[0], 1.0)           # |n·l| treats it as lit
+
+
+def test_lambert_validation():
+    colors = np.ones((1, 3))
+    normals = np.array([[0.0, 1.0, 0.0]])
+    with pytest.raises(ValueError):
+        lambert_shade(colors, normals, light=(0, 0, 0))
+    with pytest.raises(ValueError):
+        lambert_shade(colors, normals, light=(0, 1, 0), ambient=1.5)
+
+
+def test_rasterize_with_light_darkens_side_faces():
+    """A lit render differs from an unlit one and stays in range."""
+    city = build_city(CityConfig(blocks=4))
+    cam = Camera(eye=np.array([30.0, 12.0, 30.0]),
+                 target=np.array([0.0, 4.0, 0.0]))
+    vp = Viewport(64, 64)
+    unlit = rasterize(city.vertices, city.faces, city.colors,
+                      cam.view_proj(), vp)
+    lit = rasterize(city.vertices, city.faces, city.colors,
+                    cam.view_proj(), vp, light=(0.45, 1.0, 0.6))
+    assert not np.allclose(unlit, lit)
+    assert lit.min() >= 0.0 and lit.max() <= 1.0
+
+
+def test_renderer_sun_default_and_opt_out():
+    mesh = build_city(CityConfig(blocks=4))
+    sunny = Renderer(mesh)
+    flat = Renderer(mesh, light=None)
+    assert sunny.light == Renderer.SUN
+    assert flat.light is None
+    cam = Camera(eye=np.array([30.0, 12.0, 30.0]),
+                 target=np.array([0.0, 4.0, 0.0]))
+    img_sun = sunny.render(cam, Viewport(48, 48))
+    img_flat = flat.render(cam, Viewport(48, 48))
+    assert not np.allclose(img_sun, img_flat)

@@ -1,0 +1,194 @@
+"""Tests for the cache models, including the Fig. 12 streaming argument."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scc import (
+    AnalyticCacheModel,
+    CacheHierarchy,
+    SetAssociativeCache,
+)
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        SetAssociativeCache(size_bytes=0)
+    with pytest.raises(ValueError):
+        SetAssociativeCache(size_bytes=1000, ways=3, line_bytes=32)
+
+
+def test_default_is_scc_l2():
+    c = SetAssociativeCache()
+    assert c.size_bytes == 256 * 1024
+    assert c.ways == 4
+    assert c.line_bytes == 32
+    assert c.n_sets == 2048
+
+
+def test_cold_miss_then_hit():
+    c = SetAssociativeCache(size_bytes=1024, ways=2, line_bytes=32)
+    assert c.access(0) is False
+    assert c.access(0) is True
+    assert c.access(31) is True   # same line
+    assert c.access(32) is False  # next line
+    assert c.stats.hits == 2 and c.stats.misses == 2
+
+
+def test_negative_address_rejected():
+    c = SetAssociativeCache(size_bytes=1024, ways=2, line_bytes=32)
+    with pytest.raises(ValueError):
+        c.access(-1)
+
+
+def test_lru_eviction_order():
+    # 1 set, 2 ways, 32B lines: set size 64B cache.
+    c = SetAssociativeCache(size_bytes=64, ways=2, line_bytes=32)
+    c.access(0)      # line A
+    c.access(64)     # line B (same set)
+    c.access(0)      # A becomes MRU
+    c.access(128)    # evicts B (LRU)
+    assert c.access(0) is True
+    assert c.access(64) is False  # B was evicted
+    assert c.stats.evictions >= 1
+
+
+def test_writeback_counted_for_dirty_victims():
+    c = SetAssociativeCache(size_bytes=64, ways=2, line_bytes=32)
+    c.access(0, write=True)
+    c.access(64)
+    c.access(128)  # evicts dirty line 0
+    assert c.stats.writebacks == 1
+
+
+def test_flush_reports_dirty_lines():
+    c = SetAssociativeCache(size_bytes=1024, ways=2, line_bytes=32)
+    c.access(0, write=True)
+    c.access(100, write=False)
+    assert c.flush() == 1
+    assert c.resident_bytes == 0
+    assert c.access(0) is False  # everything gone
+
+
+def test_access_range_stride():
+    c = SetAssociativeCache(size_bytes=4096, ways=4, line_bytes=32)
+    delta = c.access_range(0, 1024, stride=32)
+    assert delta.misses == 32 and delta.hits == 0
+    delta2 = c.access_range(0, 1024, stride=32)
+    assert delta2.hits == 32 and delta2.misses == 0
+    with pytest.raises(ValueError):
+        c.access_range(0, 10, stride=0)
+
+
+def test_working_set_within_capacity_fully_hits_on_repass():
+    """A working set smaller than the cache is fully resident."""
+    c = SetAssociativeCache(size_bytes=8192, ways=4, line_bytes=32)
+    c.access_range(0, 4096, stride=32)
+    again = c.access_range(0, 4096, stride=32)
+    assert again.misses == 0
+
+
+def test_working_set_exceeding_capacity_thrashes_on_repass():
+    """Sequential streaming beyond capacity re-misses everything (LRU)."""
+    c = SetAssociativeCache(size_bytes=1024, ways=4, line_bytes=32)
+    c.access_range(0, 4096, stride=32)
+    again = c.access_range(0, 4096, stride=32)
+    assert again.hits == 0
+
+
+def test_streaming_miss_rate_independent_of_working_set():
+    """The Fig. 12 effect: single-pass streaming misses once per line
+    whether or not the strip fits in L2."""
+    for nbytes in (8 * 1024, 64 * 1024, 512 * 1024):
+        c = SetAssociativeCache()  # 256 KiB L2
+        delta = c.access_range(0, nbytes, stride=4)  # pixel-wise pass
+        assert delta.miss_rate == pytest.approx(4 / 32)
+
+
+def test_stats_miss_rate_requires_accesses():
+    c = SetAssociativeCache()
+    with pytest.raises(ValueError):
+        _ = c.stats.miss_rate
+
+
+@given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+@settings(max_examples=30)
+def test_occupancy_never_exceeds_capacity(addresses):
+    c = SetAssociativeCache(size_bytes=2048, ways=2, line_bytes=32)
+    for a in addresses:
+        c.access(a)
+    assert c.resident_bytes <= c.size_bytes
+    assert c.stats.accesses == len(addresses)
+
+
+@given(st.lists(st.integers(0, 4096), min_size=1, max_size=200))
+@settings(max_examples=30)
+def test_immediate_reaccess_always_hits(addresses):
+    c = SetAssociativeCache(size_bytes=2048, ways=2, line_bytes=32)
+    for a in addresses:
+        c.access(a)
+        assert c.access(a) is True
+
+
+# ---------------------------------------------------------------------------
+# hierarchy
+# ---------------------------------------------------------------------------
+
+def test_hierarchy_levels():
+    h = CacheHierarchy(l1_bytes=256, l2_bytes=1024, ways=2, line_bytes=32)
+    assert h.access(0) == "mem"
+    assert h.access(0) == "l1"
+    # Evict from tiny L1 by touching its 4 other sets' worth
+    for a in range(32, 32 * 20, 32):
+        h.access(a)
+    # 0 fell out of L1 but is still in L2
+    assert h.access(0) in ("l2", "mem")
+
+
+def test_hierarchy_amat():
+    h = CacheHierarchy(l1_bytes=256, l2_bytes=1024, ways=2, line_bytes=32)
+    h.access(0)   # mem
+    h.access(0)   # l1
+    amat = h.amat(l1_time=1.0, l2_time=10.0, mem_time=100.0)
+    assert amat == pytest.approx((100.0 + 1.0) / 2)
+
+
+def test_hierarchy_amat_requires_accesses():
+    h = CacheHierarchy()
+    with pytest.raises(ValueError):
+        h.amat(1, 10, 100)
+
+
+# ---------------------------------------------------------------------------
+# analytic model
+# ---------------------------------------------------------------------------
+
+def test_analytic_sequential_matches_simulation():
+    model = AnalyticCacheModel()
+    sim_cache = SetAssociativeCache()
+    delta = sim_cache.access_range(0, 100_000, stride=4)
+    assert model.sequential_miss_rate() == pytest.approx(delta.miss_rate,
+                                                         rel=0.01)
+
+
+def test_analytic_strided():
+    model = AnalyticCacheModel()
+    assert model.strided_miss_rate(64) == 1.0
+    assert model.strided_miss_rate(16) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        model.strided_miss_rate(0)
+
+
+def test_analytic_random_miss_rate():
+    model = AnalyticCacheModel()
+    assert model.random_miss_rate(128 * 1024, cache_bytes=256 * 1024) == 0.0
+    assert model.random_miss_rate(512 * 1024, cache_bytes=256 * 1024) == \
+        pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        model.random_miss_rate(0)
+
+
+def test_analytic_streaming_dram_bytes_rounds_to_lines():
+    model = AnalyticCacheModel()
+    assert model.streaming_dram_bytes(1) == 32
+    assert model.streaming_dram_bytes(32) == 32
+    assert model.streaming_dram_bytes(33) == 64

@@ -1,0 +1,165 @@
+"""Tests for the memory system (controllers, partitions, local-store mode)."""
+
+import pytest
+
+from repro.scc import (
+    MemoryConfig,
+    MemorySystem,
+    Mesh,
+    MeshConfig,
+    SCCTopology,
+)
+from repro.sim import Simulator
+
+
+def make_memory(sim, **overrides):
+    """Memory system over a contention-free, zero-latency mesh so tests
+    isolate the controller/copy terms."""
+    topo = SCCTopology()
+    mesh = Mesh(sim, MeshConfig(hop_latency_s=0.0, link_bandwidth=1e15))
+    defaults = dict(mc_latency_s=0.0, mc_bandwidth=1e8,
+                    core_copy_bandwidth=1e7, command_bytes=0)
+    defaults.update(overrides)
+    return MemorySystem(sim, topo, mesh, MemoryConfig(**defaults)), topo
+
+
+def run(sim, gen):
+    done = {}
+
+    def wrapper():
+        yield from gen
+        done["t"] = sim.now
+
+    sim.process(wrapper())
+    sim.run()
+    return done["t"]
+
+
+def test_controller_mapping_matches_topology():
+    sim = Simulator()
+    mem, topo = make_memory(sim)
+    for core in topo.cores:
+        assert mem.controller_of(core.core_id).index == core.memory_controller
+
+
+def test_read_own_time_components():
+    sim = Simulator()
+    mem, _ = make_memory(sim)
+    nbytes = 1_000_000
+    t = run(sim, mem.read_own(0, nbytes))
+    # MC service (1e8 B/s) + core copy (1e7 B/s)
+    assert t == pytest.approx(nbytes / 1e8 + nbytes / 1e7)
+
+
+def test_write_to_peer_uses_receivers_controller():
+    sim = Simulator()
+    mem, _ = make_memory(sim)
+    # core 0 (MC0 quadrant) writes to core 47 (MC3 quadrant)
+    run(sim, mem.write_to(0, 47, 1000))
+    assert mem.controllers[3].bytes_served == 1000
+    assert mem.controllers[0].bytes_served == 0
+
+
+def test_controller_contention_serializes():
+    sim = Simulator()
+    mem, _ = make_memory(sim, core_copy_bandwidth=1e15)  # isolate MC term
+    finish = []
+    nbytes = 100_000_000  # 1 second of MC service
+
+    def reader(core):
+        yield from mem.read_own(core, nbytes)
+        finish.append(sim.now)
+
+    # cores 0 and 2 share MC0
+    sim.process(reader(0))
+    sim.process(reader(2))
+    sim.run()
+    assert finish[0] == pytest.approx(1.0)
+    assert finish[1] == pytest.approx(2.0)
+
+
+def test_different_controllers_run_in_parallel():
+    sim = Simulator()
+    mem, _ = make_memory(sim, core_copy_bandwidth=1e15)
+    finish = []
+    nbytes = 100_000_000
+
+    def reader(core):
+        yield from mem.read_own(core, nbytes)
+        finish.append(sim.now)
+
+    sim.process(reader(0))    # MC0
+    sim.process(reader(47))   # MC3
+    sim.run()
+    assert all(t == pytest.approx(1.0) for t in finish)
+
+
+def test_zero_byte_access_is_free():
+    sim = Simulator()
+    mem, _ = make_memory(sim)
+    t = run(sim, mem.read_own(0, 0))
+    assert t == 0.0
+    assert mem.controllers[0].requests == 0
+
+
+def test_negative_bytes_rejected():
+    sim = Simulator()
+    mem, _ = make_memory(sim)
+    with pytest.raises(ValueError):
+        run(sim, mem.read_own(0, -1))
+
+
+def test_local_memory_mode_bypasses_controllers():
+    sim = Simulator()
+    mem, _ = make_memory(sim, local_memory=True, local_bandwidth=1e9)
+    nbytes = 1_000_000
+    t = run(sim, mem.write_to(0, 1, nbytes))
+    assert t == pytest.approx(nbytes / 1e9, rel=1e-3)
+    assert all(mc.bytes_served == 0 for mc in mem.controllers)
+
+
+def test_local_memory_mode_much_faster_than_dram_bounce():
+    sim1 = Simulator()
+    mem1, _ = make_memory(sim1)
+    t_dram = run(sim1, mem1.write_to(0, 1, 500_000))
+
+    sim2 = Simulator()
+    mem2, _ = make_memory(sim2, local_memory=True)
+    t_local = run(sim2, mem2.write_to(0, 1, 500_000))
+    assert t_local < t_dram / 5
+
+
+def test_traffic_accounting():
+    sim = Simulator()
+    mem, _ = make_memory(sim)
+
+    def proc():
+        yield from mem.read_own(5, 100)
+        yield from mem.write_own(5, 200)
+        yield from mem.write_to(5, 6, 300)
+
+    sim.process(proc())
+    sim.run()
+    assert mem.core_traffic[5] == 600
+
+
+def test_busiest_controller():
+    sim = Simulator()
+    mem, _ = make_memory(sim)
+
+    def proc():
+        yield from mem.read_own(0, 10_000)   # MC0
+        yield from mem.read_own(47, 100)     # MC3
+
+    sim.process(proc())
+    sim.run()
+    assert mem.busiest_controller().index == 0
+    assert len(mem.utilizations()) == 4
+
+
+def test_mc_latency_added_per_request():
+    sim = Simulator()
+    mem, _ = make_memory(sim, mc_latency_s=0.5, mc_bandwidth=1e15,
+                         core_copy_bandwidth=1e15)
+    t = run(sim, mem.read_own(0, 1))
+    assert t == pytest.approx(0.5)

@@ -1,0 +1,207 @@
+"""Tests for the mesh NoC model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scc import Mesh, MeshConfig, xy_route
+from repro.scc.topology import GRID_HEIGHT, GRID_WIDTH
+from repro.sim import Simulator
+
+coords = st.tuples(st.integers(0, GRID_WIDTH - 1), st.integers(0, GRID_HEIGHT - 1))
+
+
+# ---------------------------------------------------------------------------
+# routing function
+# ---------------------------------------------------------------------------
+
+def test_xy_route_same_router_empty():
+    assert xy_route((2, 2), (2, 2)) == []
+
+
+def test_xy_route_x_before_y():
+    hops = xy_route((0, 0), (2, 1))
+    assert hops == [(((0, 0)), (1, 0)), ((1, 0), (2, 0)), ((2, 0), (2, 1))]
+
+
+@given(coords, coords)
+def test_xy_route_length_is_manhattan(src, dst):
+    hops = xy_route(src, dst)
+    assert len(hops) == abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+
+
+@given(coords, coords)
+def test_xy_route_is_connected_path(src, dst):
+    hops = xy_route(src, dst)
+    at = src
+    for a, b in hops:
+        assert a == at
+        assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+        at = b
+    assert at == dst
+
+
+@given(coords, coords)
+def test_xy_route_deadlock_free_dimension_order(src, dst):
+    """Once a Y hop happens, no X hop follows (the XY invariant)."""
+    hops = xy_route(src, dst)
+    seen_y = False
+    for a, b in hops:
+        if a[1] != b[1]:
+            seen_y = True
+        else:
+            assert not seen_y
+
+
+# ---------------------------------------------------------------------------
+# mesh structure
+# ---------------------------------------------------------------------------
+
+def test_mesh_link_count():
+    mesh = Mesh(Simulator())
+    # Directed links: horizontal 2*(5*4)=40, vertical 2*(6*3)=36.
+    assert mesh.total_link_count() == 76
+
+
+def test_link_lookup_validates_adjacency():
+    mesh = Mesh(Simulator())
+    assert mesh.link((0, 0), (1, 0)) is not None
+    with pytest.raises(ValueError):
+        mesh.link((0, 0), (2, 0))
+
+
+def test_links_on_path():
+    mesh = Mesh(Simulator())
+    links = mesh.links_on_path((0, 0), (2, 0))
+    assert [l.src for l in links] == [(0, 0), (1, 0)]
+
+
+# ---------------------------------------------------------------------------
+# transfer timing
+# ---------------------------------------------------------------------------
+
+def test_transfer_time_zero_load():
+    cfg = MeshConfig(hop_latency_s=1e-6, link_bandwidth=1e6)
+    mesh = Mesh(Simulator(), cfg)
+    # 2 hops, 1000 bytes: 2*1us + 2*(1000/1e6)s serialization
+    t = mesh.transfer_time_uncontended((0, 0), (2, 0), 1000)
+    assert t == pytest.approx(2e-6 + 2 * 1e-3)
+
+
+def test_transfer_advances_clock():
+    sim = Simulator()
+    cfg = MeshConfig(hop_latency_s=1e-6, link_bandwidth=1e6)
+    mesh = Mesh(sim, cfg)
+
+    def proc():
+        yield from mesh.transfer((0, 0), (1, 0), 1000)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == pytest.approx(1e-3 + 1e-6)
+
+
+def test_same_router_transfer_costs_one_crossing():
+    sim = Simulator()
+    cfg = MeshConfig(hop_latency_s=5e-6)
+    mesh = Mesh(sim, cfg)
+
+    def proc():
+        yield from mesh.transfer((3, 3), (3, 3), 10_000_000)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == pytest.approx(5e-6)
+
+
+def test_contention_serializes_shared_link():
+    sim = Simulator()
+    cfg = MeshConfig(hop_latency_s=0.0, link_bandwidth=1e6)
+    mesh = Mesh(sim, cfg)
+    done = []
+
+    def sender(tag):
+        yield from mesh.transfer((0, 0), (1, 0), 1_000_000)  # 1 second
+        done.append((tag, sim.now))
+
+    sim.process(sender("a"))
+    sim.process(sender("b"))
+    sim.run()
+    assert done[0][1] == pytest.approx(1.0)
+    assert done[1][1] == pytest.approx(2.0)  # queued behind the first
+
+
+def test_contention_disabled_parallelizes():
+    sim = Simulator()
+    cfg = MeshConfig(hop_latency_s=0.0, link_bandwidth=1e6,
+                     model_contention=False)
+    mesh = Mesh(sim, cfg)
+    done = []
+
+    def sender(tag):
+        yield from mesh.transfer((0, 0), (1, 0), 1_000_000)
+        done.append((tag, sim.now))
+
+    sim.process(sender("a"))
+    sim.process(sender("b"))
+    sim.run()
+    assert done[0][1] == pytest.approx(1.0)
+    assert done[1][1] == pytest.approx(1.0)
+
+
+def test_disjoint_paths_do_not_interfere():
+    sim = Simulator()
+    cfg = MeshConfig(hop_latency_s=0.0, link_bandwidth=1e6)
+    mesh = Mesh(sim, cfg)
+    done = []
+
+    def sender(src, dst, tag):
+        yield from mesh.transfer(src, dst, 1_000_000)
+        done.append((tag, sim.now))
+
+    sim.process(sender((0, 0), (1, 0), "row0"))
+    sim.process(sender((0, 3), (1, 3), "row3"))
+    sim.run()
+    assert all(t == pytest.approx(1.0) for _, t in done)
+
+
+def test_negative_bytes_rejected():
+    sim = Simulator()
+    mesh = Mesh(sim)
+
+    def proc():
+        yield from mesh.transfer((0, 0), (1, 0), -5)
+
+    sim.process(proc())
+    with pytest.raises(ValueError):
+        sim.run()
+
+
+def test_monitoring_counters():
+    sim = Simulator()
+    mesh = Mesh(sim)
+
+    def proc():
+        yield from mesh.transfer((0, 0), (3, 0), 500)
+        yield from mesh.transfer((0, 0), (3, 0), 700)
+
+    sim.process(proc())
+    sim.run()
+    assert mesh.messages == 2
+    assert mesh.bytes_moved == 1200
+    hottest = mesh.hottest_links(1)[0]
+    assert hottest.bytes_carried == 1200
+    assert hottest.messages == 2
+
+
+def test_link_utilization_reported():
+    sim = Simulator()
+    cfg = MeshConfig(hop_latency_s=0.0, link_bandwidth=1e6)
+    mesh = Mesh(sim, cfg)
+
+    def proc():
+        yield from mesh.transfer((0, 0), (1, 0), 1_000_000)
+        yield sim.timeout(1.0)
+
+    sim.process(proc())
+    sim.run()
+    assert mesh.link((0, 0), (1, 0)).utilization == pytest.approx(0.5)

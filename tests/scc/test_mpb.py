@@ -1,0 +1,80 @@
+"""Tests for the message-passing buffer model."""
+
+import pytest
+
+from repro.scc import MPB_BYTES_PER_CORE, MPBSystem, SCCTopology
+from repro.scc.mpb import MessagePassingBuffer
+from repro.sim import Simulator
+
+
+def test_window_size_is_half_a_tile():
+    assert MPB_BYTES_PER_CORE == 8 * 1024
+
+
+def test_every_core_has_a_window():
+    sys_ = MPBSystem(Simulator(), SCCTopology())
+    for core in range(48):
+        assert sys_.of(core).capacity == MPB_BYTES_PER_CORE
+    with pytest.raises(ValueError):
+        sys_.of(48)
+
+
+def test_reserve_release_cycle():
+    sim = Simulator()
+    mpb = MessagePassingBuffer(sim, 0, capacity=1024)
+
+    def proc():
+        yield mpb.reserve(512)
+        assert mpb.free_bytes == 512
+        yield mpb.release(512)
+        assert mpb.free_bytes == 1024
+
+    sim.process(proc())
+    sim.run()
+    assert mpb.bytes_through == 512
+
+
+def test_oversized_chunk_rejected():
+    sim = Simulator()
+    mpb = MessagePassingBuffer(sim, 0, capacity=1024)
+    with pytest.raises(ValueError):
+        mpb.reserve(2048)
+
+
+def test_reserve_blocks_until_space_freed():
+    sim = Simulator()
+    mpb = MessagePassingBuffer(sim, 0, capacity=1024)
+    events = []
+
+    def producer():
+        yield mpb.reserve(1024)
+        events.append(("filled", sim.now))
+        yield mpb.reserve(512)  # blocks until consumer releases
+        events.append(("refilled", sim.now))
+
+    def consumer():
+        yield sim.timeout(2.0)
+        yield mpb.release(1024)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert events == [("filled", 0.0), ("refilled", 2.0)]
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        MessagePassingBuffer(Simulator(), 0, capacity=0)
+
+
+def test_system_traffic_accounting():
+    sim = Simulator()
+    sys_ = MPBSystem(sim, SCCTopology())
+
+    def proc():
+        yield sys_.of(3).reserve(100)
+        yield sys_.of(7).reserve(200)
+
+    sim.process(proc())
+    sim.run()
+    assert sys_.total_bytes_through() == 300

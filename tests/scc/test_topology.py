@@ -1,0 +1,125 @@
+"""Tests for the static SCC layout."""
+
+import pytest
+
+from repro.scc import (
+    GRID_HEIGHT,
+    GRID_WIDTH,
+    MC_LOCATIONS,
+    NUM_CORES,
+    NUM_MEMORY_CONTROLLERS,
+    NUM_TILES,
+    SCCTopology,
+    manhattan,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return SCCTopology()
+
+
+def test_chip_dimensions(topo):
+    assert GRID_WIDTH == 6 and GRID_HEIGHT == 4
+    assert NUM_TILES == 24
+    assert NUM_CORES == 48
+    assert len(topo.tiles) == 24
+    assert len(topo.cores) == 48
+
+
+def test_tile_ids_row_major(topo):
+    for tile in topo.tiles:
+        assert tile.tile_id == tile.y * GRID_WIDTH + tile.x
+
+
+def test_core_numbering_rcce_order(topo):
+    """Core ids 2t and 2t+1 live on tile t."""
+    for core in topo.cores:
+        assert core.tile.tile_id == core.core_id // 2
+        assert core.core_id in core.tile.core_ids
+
+
+def test_sibling_pairs(topo):
+    for core in topo.cores:
+        sibling = topo.core(core.sibling_id)
+        assert sibling.tile is core.tile
+        assert sibling.sibling_id == core.core_id
+
+
+def test_core_lookup_bounds(topo):
+    with pytest.raises(ValueError):
+        topo.core(-1)
+    with pytest.raises(ValueError):
+        topo.core(48)
+
+
+def test_tile_at_lookup(topo):
+    assert topo.tile_at((0, 0)).tile_id == 0
+    assert topo.tile_at((5, 3)).tile_id == 23
+    with pytest.raises(ValueError):
+        topo.tile_at((6, 0))
+
+
+def test_four_memory_controllers_on_boundary(topo):
+    assert NUM_MEMORY_CONTROLLERS == 4
+    assert len(MC_LOCATIONS) == 4
+    for x, y in MC_LOCATIONS:
+        assert x in (0, GRID_WIDTH - 1)
+    with pytest.raises(ValueError):
+        topo.mc_coord(4)
+
+
+def test_quadrant_mc_assignment_balanced(topo):
+    """Each controller owns exactly 12 cores (a quadrant)."""
+    for mc in range(4):
+        assert len(topo.cores_of_mc(mc)) == 12
+
+
+def test_quadrant_mc_assignment_is_nearest(topo):
+    """A core's controller is (one of) the nearest by mesh distance."""
+    for core in topo.cores:
+        own = manhattan(core.coord, topo.mc_coord(core.memory_controller))
+        best = min(manhattan(core.coord, topo.mc_coord(m)) for m in range(4))
+        assert own == best
+
+
+def test_hops_symmetric_and_zero_on_tile(topo):
+    assert topo.hops(0, 1) == 0  # same tile
+    assert topo.hops(0, 47) == topo.hops(47, 0)
+    # corner to corner: (0,0) to (5,3) = 8 hops
+    assert topo.hops(0, 47) == 8
+
+
+def test_hops_to_mc(topo):
+    # core 0 sits at (0,0), on top of MC0
+    assert topo.hops_to_mc(0, 0) == 0
+    assert topo.hops_to_mc(0, 1) == 5
+
+
+def test_voltage_domains_are_2x2_tiles(topo):
+    domains = {}
+    for tile in topo.tiles:
+        domains.setdefault(tile.voltage_domain, []).append(tile)
+    assert len(domains) == 6
+    for tiles in domains.values():
+        assert len(tiles) == 4
+        xs = {t.x for t in tiles}
+        ys = {t.y for t in tiles}
+        assert len(xs) == 2 and len(ys) == 2
+
+
+def test_voltage_domain_lookup_validates(topo):
+    assert len(topo.voltage_domain_tiles(0)) == 4
+    with pytest.raises(ValueError):
+        topo.voltage_domain_tiles(99)
+
+
+def test_ascii_map_mentions_mcs(topo):
+    art = topo.ascii_map()
+    assert "*" in art and "&" in art
+    assert "T00" in art and "T23" in art
+
+
+def test_manhattan():
+    assert manhattan((0, 0), (3, 2)) == 5
+    assert manhattan((2, 2), (2, 2)) == 0

@@ -1,0 +1,157 @@
+"""Edge-case coverage for kernel corners the main tests skip."""
+
+import pytest
+
+from repro.sim import (
+    AnyOf,
+    Event,
+    Resource,
+    Simulator,
+    Store,
+    Timeout,
+)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        value = yield sim.timeout(1.0, value="payload")
+        got.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_any_of_propagates_failure():
+    sim = Simulator()
+    caught = []
+
+    def failer():
+        yield sim.timeout(1.0)
+        raise KeyError("dead")
+
+    def joiner(p):
+        try:
+            yield sim.any_of([p, sim.timeout(10.0)])
+        except KeyError:
+            caught.append(True)
+
+    p = sim.process(failer())
+    sim.process(joiner(p))
+    sim.run()
+    assert caught == [True]
+
+
+def test_event_repr_states():
+    sim = Simulator()
+    ev = sim.event()
+    assert "pending" in repr(ev)
+    ev.succeed()
+    assert "ok" in repr(ev)
+    ev2 = sim.event()
+    ev2.defuse()
+    ev2.fail(ValueError("x"))
+    assert "failed" in repr(ev2)
+
+
+def test_store_put_while_getter_and_putter_queued():
+    """Full store with both waiting putters and (later) getters drains
+    in strict FIFO."""
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    order = []
+
+    def producer(tag):
+        yield store.put(tag)
+        order.append(("put", tag, sim.now))
+
+    def consumer():
+        yield sim.timeout(1.0)
+        for _ in range(3):
+            item = yield store.get()
+            order.append(("got", item, sim.now))
+
+    for tag in ("a", "b", "c"):
+        sim.process(producer(tag))
+    sim.process(consumer())
+    sim.run()
+    gots = [item for kind, item, _ in order if kind == "got"]
+    assert gots == ["a", "b", "c"]
+
+
+def test_resource_cancel_then_grant_order_preserved():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    holder = res.request()
+    second = res.request()
+    third = res.request()
+    res.cancel(second)
+    res.release(holder)
+    assert third.triggered  # second was cancelled, third got the grant
+
+
+def test_run_until_event_that_fails():
+    sim = Simulator()
+
+    def failer():
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    p = sim.process(failer())
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run(until=p)
+
+
+def test_interrupt_while_waiting_on_store():
+    from repro.sim import Interrupt
+
+    sim = Simulator()
+    store = Store(sim)
+    log = []
+
+    def consumer():
+        try:
+            yield store.get()
+        except Interrupt as exc:
+            log.append(exc.cause)
+
+    def interrupter(target):
+        yield sim.timeout(2.0)
+        target.interrupt(cause="give up")
+
+    target = sim.process(consumer())
+    sim.process(interrupter(target))
+    sim.run()
+    assert log == ["give up"]
+
+
+def test_process_cannot_interrupt_itself():
+    sim = Simulator()
+
+    def proc():
+        me = sim.active_process
+        with pytest.raises(RuntimeError, match="itself"):
+            me.interrupt()
+        yield sim.timeout(0.0)
+
+    sim.process(proc())
+    sim.run()
+
+
+def test_zero_capacity_timeout_chain_is_fifo():
+    """Many zero-delay timeouts at one instant preserve creation order."""
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(0.0)
+        yield sim.timeout(0.0)
+        order.append(tag)
+
+    for tag in range(20):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == list(range(20))

@@ -1,0 +1,210 @@
+"""Tests for composite events and interrupts."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, ConditionValue, Interrupt, Simulator
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    done = []
+
+    def waiter(events):
+        result = yield sim.all_of(events)
+        done.append((sim.now, len(result.events)))
+
+    timeouts = None
+
+    def setup():
+        nonlocal timeouts
+        timeouts = [sim.timeout(t, value=t) for t in (1.0, 3.0, 2.0)]
+        yield from waiter(timeouts)
+
+    sim.process(setup())
+    sim.run()
+    assert done == [(3.0, 3)]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        events = [sim.timeout(5.0, value="slow"), sim.timeout(1.0, value="fast")]
+        result = yield sim.any_of(events)
+        values = [e.value for e in result.events]
+        seen.append((sim.now, values))
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [(1.0, ["fast"])]
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        result = yield sim.all_of([])
+        seen.append(result.events)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [[]]
+
+
+def test_condition_value_mapping():
+    sim = Simulator()
+    collected = {}
+
+    def proc():
+        a = sim.timeout(1.0, value="A")
+        b = sim.timeout(2.0, value="B")
+        result = yield sim.all_of([a, b])
+        collected["a"] = result[a]
+        collected["b"] = result[b]
+        assert a in result
+        with pytest.raises(KeyError):
+            _ = result[sim.event()]
+
+    sim.process(proc())
+    sim.run()
+    assert collected == {"a": "A", "b": "B"}
+
+
+def test_condition_value_equality_with_dict():
+    sim = Simulator()
+
+    def proc():
+        a = sim.timeout(1.0, value=7)
+        result = yield sim.all_of([a])
+        assert result == {a: 7}
+        assert result == ConditionValue([a])
+
+    sim.process(proc())
+    sim.run()
+
+
+def test_all_of_propagates_failure():
+    sim = Simulator()
+    caught = []
+
+    def failer():
+        yield sim.timeout(1.0)
+        raise RuntimeError("stage died")
+
+    def joiner(p):
+        try:
+            yield sim.all_of([p, sim.timeout(10.0)])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    p = sim.process(failer())
+    sim.process(joiner(p))
+    sim.run()
+    assert caught == ["stage died"]
+
+
+def test_mixing_simulators_rejected():
+    sim1, sim2 = Simulator(), Simulator()
+    ev2 = sim2.event()
+    with pytest.raises(ValueError):
+        sim1.all_of([ev2])
+
+
+def test_interrupt_is_delivered():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as exc:
+            log.append((sim.now, exc.cause))
+
+    def interrupter(target):
+        yield sim.timeout(2.0)
+        target.interrupt(cause="wake up")
+
+    target = sim.process(sleeper())
+    sim.process(interrupter(target))
+    sim.run()
+    assert log == [(2.0, "wake up")]
+
+
+def test_interrupt_dead_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    def late(target):
+        yield sim.timeout(5.0)
+        with pytest.raises(RuntimeError):
+            target.interrupt()
+
+    target = sim.process(quick())
+    sim.process(late(target))
+    sim.run()
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(1.0)
+        log.append(sim.now)
+
+    def interrupter(target):
+        yield sim.timeout(2.0)
+        target.interrupt()
+
+    target = sim.process(sleeper())
+    sim.process(interrupter(target))
+    sim.run()
+    assert log == [3.0]
+
+
+def test_process_is_alive_lifecycle():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1.0)
+
+    p = sim.process(body())
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_process_return_value_is_event_value():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1.0)
+        return {"frames": 400}
+
+    p = sim.process(body())
+    sim.run()
+    assert p.value == {"frames": 400}
+
+
+def test_process_rejects_non_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_repr_shows_name():
+    sim = Simulator()
+
+    def body():
+        yield sim.timeout(1.0)
+
+    p = sim.process(body(), name="blur-stage")
+    assert "blur-stage" in repr(p)

@@ -1,0 +1,126 @@
+"""Property-based tests of the DES kernel invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Resource, Simulator, Store
+
+
+@given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50))
+def test_clock_is_monotone(delays):
+    """The simulation clock never goes backwards, whatever the schedule."""
+    sim = Simulator()
+    observed = []
+
+    def proc(d):
+        yield sim.timeout(d)
+        observed.append(sim.now)
+
+    for d in delays:
+        sim.process(proc(d))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=30))
+def test_all_processes_complete(delays):
+    """run() with no horizon drains every process."""
+    sim = Simulator()
+    done = []
+
+    def proc(i, d):
+        yield sim.timeout(d)
+        done.append(i)
+
+    for i, d in enumerate(delays):
+        sim.process(proc(i, d))
+    sim.run()
+    assert sorted(done) == list(range(len(delays)))
+
+
+@given(
+    st.integers(1, 5),
+    st.lists(st.floats(0.1, 5.0), min_size=1, max_size=20),
+)
+@settings(max_examples=50)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    """At no instant do more than `capacity` processes hold the resource."""
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    max_seen = 0
+
+    def user(hold):
+        nonlocal max_seen
+        req = res.request()
+        yield req
+        max_seen = max(max_seen, res.count)
+        yield sim.timeout(hold)
+        res.release(req)
+
+    for h in holds:
+        sim.process(user(h))
+    sim.run()
+    assert max_seen <= capacity
+    assert res.count == 0
+    assert res.grants == len(holds)
+
+
+@given(
+    st.integers(1, 4),
+    st.lists(st.integers(0, 100), min_size=1, max_size=40),
+)
+@settings(max_examples=50)
+def test_store_preserves_fifo_order_and_items(capacity, items):
+    """Everything put into a bounded store comes out, in order."""
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == list(items)
+
+
+@given(st.lists(st.floats(0.0, 20.0), min_size=2, max_size=20))
+@settings(max_examples=50)
+def test_determinism_same_schedule_same_trace(delays):
+    """Two identical simulations produce identical event traces."""
+
+    def run_once():
+        sim = Simulator()
+        trace = []
+
+        def proc(i, d):
+            yield sim.timeout(d)
+            trace.append((i, sim.now))
+
+        for i, d in enumerate(delays):
+            sim.process(proc(i, d))
+        sim.run()
+        return trace
+
+    assert run_once() == run_once()
+
+
+@given(st.integers(1, 20))
+def test_run_until_time_stops_exactly(n):
+    """run(until=t) leaves the clock at exactly t with work remaining."""
+    sim = Simulator()
+
+    def ticker():
+        while True:
+            yield sim.timeout(1.0)
+
+    sim.process(ticker())
+    sim.run(until=float(n) + 0.5)
+    assert sim.now == float(n) + 0.5

@@ -1,0 +1,108 @@
+"""Tests for activity tracing and the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.sim import Span, TraceRecorder, render_gantt
+
+
+def test_span_validation_and_duration():
+    s = Span("blur", "busy", 1.0, 3.5)
+    assert s.duration == pytest.approx(2.5)
+    with pytest.raises(ValueError):
+        Span("blur", "busy", 3.0, 1.0)
+
+
+def test_add_and_query_spans():
+    rec = TraceRecorder()
+    rec.add("a", "busy", 0.0, 1.0)
+    rec.add("b", "busy", 0.5, 2.0)
+    rec.add("a", "io", 1.0, 1.5)
+    assert rec.tracks() == ["a", "b"]
+    assert len(rec.spans_on("a")) == 2
+    assert rec.horizon == 2.0
+
+
+def test_begin_end_pairing():
+    rec = TraceRecorder()
+    rec.begin("x", "busy", 1.0)
+    span = rec.end("x", "busy", 4.0)
+    assert span.duration == pytest.approx(3.0)
+    with pytest.raises(RuntimeError):
+        rec.end("x", "busy", 5.0)
+    rec.begin("x", "busy", 5.0)
+    with pytest.raises(RuntimeError):
+        rec.begin("x", "busy", 6.0)
+
+
+def test_busy_fraction_merges_overlaps():
+    rec = TraceRecorder()
+    rec.add("t", "a", 0.0, 4.0)
+    rec.add("t", "b", 2.0, 6.0)   # overlaps the first
+    rec.add("t", "c", 8.0, 9.0)
+    assert rec.busy_fraction("t", 0.0, 10.0) == pytest.approx(0.7)
+    assert rec.busy_fraction("t", 0.0, 6.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        rec.busy_fraction("t", 5.0, 5.0)
+
+
+def test_busy_fraction_clips_to_window():
+    rec = TraceRecorder()
+    rec.add("t", "a", -5.0, 5.0)
+    assert rec.busy_fraction("t", 0.0, 10.0) == pytest.approx(0.5)
+
+
+def test_render_gantt_basic():
+    rec = TraceRecorder()
+    rec.add("blur", "busy", 0.0, 5.0)
+    rec.add("swap", "busy", 5.0, 10.0)
+    art = render_gantt(rec, width=10, t1=10.0)
+    lines = art.splitlines()
+    assert len(lines) == 3
+    assert lines[1].endswith("bbbbb.....")
+    assert lines[2].endswith(".....bbbbb")
+
+
+def test_render_gantt_validation():
+    rec = TraceRecorder()
+    with pytest.raises(ValueError):
+        render_gantt(rec, width=4)
+    with pytest.raises(ValueError):
+        render_gantt(rec)  # nothing to render
+    rec.add("t", "x", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        render_gantt(rec, t0=1.0, t1=1.0)
+
+
+def test_render_gantt_track_selection():
+    rec = TraceRecorder()
+    rec.add("a", "x", 0.0, 1.0)
+    rec.add("b", "y", 0.0, 1.0)
+    art = render_gantt(rec, width=8, tracks=["b"])
+    assert "a" not in art.splitlines()[1]
+    assert art.splitlines()[1].startswith("b")
+
+
+def test_pipeline_runner_records_trace():
+    from repro.pipeline import PipelineRunner
+
+    runner = PipelineRunner(config="one_renderer", pipelines=2, frames=8,
+                            trace=True)
+    runner.run()
+    trace = runner.last_trace
+    assert trace is not None
+    tracks = trace.tracks()
+    assert "render" in tracks
+    assert "blur[0]" in tracks and "blur[1]" in tracks
+    # Blur dominates its pipeline's time; scratch mostly idles.
+    horizon = trace.horizon
+    blur_busy = trace.busy_fraction("blur[0]", 0.0, horizon)
+    scratch_busy = trace.busy_fraction("scratch[0]", 0.0, horizon)
+    assert blur_busy > 3 * scratch_busy
+
+
+def test_runner_without_trace_has_none():
+    from repro.pipeline import PipelineRunner
+
+    runner = PipelineRunner(config="one_renderer", pipelines=1, frames=4)
+    runner.run()
+    assert runner.last_trace is None

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_command(capsys):
+    assert main(["run", "--config", "n_renderers", "--pipelines", "2",
+                 "--frames", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "walkthrough" in out
+    assert "n_renderers" in out
+    assert "SCC power" in out
+
+
+def test_run_command_with_gantt(capsys):
+    assert main(["run", "--config", "one_renderer", "--pipelines", "1",
+                 "--frames", "10", "--gantt"]) == 0
+    out = capsys.readouterr().out
+    assert "blur[0]" in out
+    assert "t0=" in out
+
+
+def test_run_rejects_unknown_config():
+    with pytest.raises(SystemExit):
+        main(["run", "--config", "quantum"])
+
+
+def test_table1_quick(capsys):
+    assert main(["table1", "--frames", "20", "--max-pipelines", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+    assert "paper one_renderer" in out
+    assert "sim   hpc_single_renderer" in out
+    assert "2 pl." in out
+
+
+def test_film_writes_frames(tmp_path, capsys):
+    out_dir = tmp_path / "frames"
+    assert main(["film", "--frames", "3", "--side", "48",
+                 "--out", str(out_dir)]) == 0
+    files = sorted(out_dir.glob("*.ppm"))
+    assert len(files) == 3
+    from repro.render import read_ppm
+    img = read_ppm(files[0])
+    assert img.shape == (48, 48, 3)
+    assert "wrote 3 frames" in capsys.readouterr().out
+
+
+def test_dvfs_command(capsys):
+    assert main(["dvfs"]) == 0
+    out = capsys.readouterr().out
+    assert "blur 800" in out
+    assert "DVFS study" in out
+
+
+def test_explain_command(capsys):
+    assert main(["explain", "--config", "mcpc_renderer",
+                 "--pipelines", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "bottleneck" in out
+    assert "predicted walkthrough" in out
+
+
+def test_explain_rejects_single_core():
+    with pytest.raises(SystemExit):
+        main(["explain", "--config", "single_core"])
+
+
+def test_tune_command(capsys):
+    assert main(["tune", "--config", "n_renderers", "--frames", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "best" in out and "predicted" in out

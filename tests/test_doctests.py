@@ -1,0 +1,25 @@
+"""Run the doctests embedded in module docstrings.
+
+The examples in the public-facing docstrings are part of the API
+contract; this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.pipeline.macro
+import repro.sim
+import repro.sim.core
+
+
+@pytest.mark.parametrize("module", [
+    repro.sim,
+    repro.sim.core,
+    repro.pipeline.macro,
+])
+def test_module_doctests(module):
+    failures, tried = doctest.testmod(module, verbose=False).failed, \
+        doctest.testmod(module, verbose=False).attempted
+    assert tried > 0, f"{module.__name__}: no doctests collected"
+    assert failures == 0, f"{module.__name__}: {failures} doctest failures"
