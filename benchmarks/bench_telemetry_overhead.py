@@ -1,0 +1,66 @@
+"""Telemetry overhead: instrumented vs. plain 50-frame run.
+
+The telemetry layer promises to be near-free when disabled (hot paths
+guard with ``if telemetry.enabled:``) and cheap enough when enabled to
+profile real sweeps.  This bench times the same 50-frame
+``mcpc_renderer`` run three ways — no hub (the default disabled hub),
+an enabled hub, and an enabled hub plus Chrome-trace export — and
+asserts the simulated results are identical, so instrumentation can
+never perturb the physics it observes.
+"""
+
+import json
+import time
+
+from repro.pipeline import PipelineRunner
+from repro.telemetry import Telemetry, chrome_trace
+
+FRAMES = 50
+PIPELINES = 5
+REPEATS = 3
+
+
+def _run(telemetry=None):
+    runner = PipelineRunner(config="mcpc_renderer", pipelines=PIPELINES,
+                            frames=FRAMES, telemetry=telemetry)
+    return runner.run()
+
+
+def _best_of(fn):
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_telemetry_overhead(once):
+    def measure():
+        t_off, base = _best_of(lambda: _run())
+        t_on, instrumented = _best_of(lambda: _run(Telemetry()))
+        tel = Telemetry()
+        result = _run(tel)
+        t0 = time.perf_counter()
+        doc = chrome_trace(tel)
+        json.dumps(doc)
+        t_export = time.perf_counter() - t0
+        return (t_off, t_on, t_export, base, instrumented,
+                len(tel.events), len(tel.counters))
+
+    t_off, t_on, t_export, base, instrumented, n_events, n_metrics = \
+        once(measure)
+
+    overhead = (t_on - t_off) / t_off * 100.0
+    print(f"\ntelemetry overhead ({PIPELINES} pipelines, {FRAMES} frames):")
+    print(f"  disabled hub : {t_off * 1e3:8.1f} ms (best of {REPEATS})")
+    print(f"  enabled hub  : {t_on * 1e3:8.1f} ms  "
+          f"(+{overhead:.1f} %, {n_events} events, {n_metrics} metrics)")
+    print(f"  trace export : {t_export * 1e3:8.1f} ms")
+
+    # Instrumentation must not perturb the simulation.
+    assert instrumented.walkthrough_seconds == base.walkthrough_seconds
+    assert instrumented.scc_energy_j == base.scc_energy_j
+    # Enabled telemetry stays within a small multiple of the plain run.
+    assert t_on < 5.0 * t_off

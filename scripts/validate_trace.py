@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file produced by ``repro profile``.
+
+Usage: ``python scripts/validate_trace.py run.json [counters.json]``
+
+Checks (exit code 1 on any failure):
+
+* the trace passes :func:`repro.telemetry.validate_chrome_trace` —
+  required keys (``ph``/``ts``/``pid``/``tid``/``name``) on every event
+  and monotone ``ts`` per (pid, tid) track of complete events;
+* the trace contains at least one stage track and one mesh-link track;
+* when a counters dump is given: the ``mesh.link.*`` / ``dram.mc*`` /
+  ``stage.*`` counter families are all present.
+
+CI runs this against a fresh ``repro profile`` run on every build.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.telemetry import validate_chrome_trace
+
+
+def check_trace(path: str) -> list:
+    with open(path, encoding="ascii") as f:
+        doc = json.load(f)
+    problems = validate_chrome_trace(doc)
+    events = doc.get("traceEvents", [])
+    categories = {e.get("args", {}).get("name")
+                  for e in events
+                  if e.get("ph") == "M" and e.get("name") == "process_name"}
+    for required in ("stage", "mesh"):
+        if required not in categories:
+            problems.append(f"no {required!r} track group in the trace")
+    n_spans = sum(1 for e in events if e.get("ph") == "X")
+    if n_spans == 0:
+        problems.append("trace contains no complete ('X') events")
+    print(f"{path}: {len(events)} events, {n_spans} spans, "
+          f"categories {sorted(c for c in categories if c)}")
+    return problems
+
+
+def check_counters(path: str) -> list:
+    with open(path, encoding="ascii") as f:
+        dump = json.load(f)
+    counters = dump.get("counters", {})
+    problems = []
+    for prefix in ("mesh.link.", "dram.mc", "stage."):
+        if not any(name.startswith(prefix) for name in counters):
+            problems.append(f"{path}: no {prefix}* counters")
+    print(f"{path}: {len(counters)} counters, "
+          f"{len(dump.get('gauges', {}))} gauges")
+    return problems
+
+
+def main(argv: list) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__)
+        return 2
+    problems = check_trace(argv[0])
+    if len(argv) == 2:
+        problems += check_counters(argv[1])
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

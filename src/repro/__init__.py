@@ -22,6 +22,9 @@ Subpackages
     arrangements, cost model, runner, metrics.
 ``repro.cluster``
     The Mogon HPC cluster comparison platform.
+``repro.telemetry``
+    Unified observability: structured events, hierarchical counters,
+    Chrome-trace export and top reports (see docs/observability.md).
 ``repro.report``
     Paper reference values and table formatting for the benches.
 
@@ -34,8 +37,20 @@ Quick start
 5
 """
 
-from . import cluster, filters, host, pipeline, rcce, render, report, scc, sim
+from . import (
+    cluster,
+    filters,
+    host,
+    pipeline,
+    rcce,
+    render,
+    report,
+    scc,
+    sim,
+    telemetry,
+)
 from .pipeline import CostModel, PipelineRunner, RunResult
+from .telemetry import Telemetry
 
 __version__ = "1.0.0"
 
@@ -48,7 +63,9 @@ __all__ = [
     "filters",
     "pipeline",
     "cluster",
+    "telemetry",
     "report",
+    "Telemetry",
     "PipelineRunner",
     "RunResult",
     "CostModel",

@@ -4,7 +4,12 @@ Subcommands
 -----------
 ``run``
     Simulate one configuration and print the result summary
-    (optionally an ASCII Gantt chart of stage activity).
+    (optionally an ASCII Gantt chart of stage activity and a
+    Chrome trace via ``--trace-out``).
+``profile``
+    Simulate with full telemetry: Chrome-trace JSON for Perfetto,
+    counter dumps and a text "top" report of the hottest mesh links,
+    memory controllers and stages (see docs/observability.md).
 ``table1``
     Regenerate the paper's Table I next to the published numbers.
 ``film``
@@ -29,6 +34,12 @@ from .pipeline.arrangements import dvfs_study_placement
 from .pipeline.workload import WalkthroughWorkload
 from .report import format_table, paper
 from .sim.trace import render_gantt
+from .telemetry import (
+    Telemetry,
+    top_report,
+    write_chrome_trace,
+    write_counters,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -49,6 +60,29 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--frames", type=int, default=400)
     run.add_argument("--gantt", action="store_true",
                      help="print an ASCII Gantt chart of stage activity")
+    run.add_argument("--trace-out", type=pathlib.Path, default=None,
+                     metavar="FILE",
+                     help="write a Chrome trace-event JSON of the run "
+                          "(open in Perfetto or chrome://tracing)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="simulate with telemetry: Chrome trace, counters, top report")
+    profile.add_argument("--config", choices=CONFIGURATIONS,
+                         default="mcpc_renderer")
+    profile.add_argument("--pipelines", type=int, default=5)
+    profile.add_argument("--arrangement", choices=ARRANGEMENTS,
+                         default="ordered")
+    profile.add_argument("--frames", type=int, default=50)
+    profile.add_argument("--trace-out", type=pathlib.Path, default=None,
+                         metavar="FILE",
+                         help="write Chrome trace-event JSON here")
+    profile.add_argument("--counters-out", type=pathlib.Path, default=None,
+                         metavar="FILE",
+                         help="dump the counter registry (.json or .csv)")
+    profile.add_argument("--top", type=int, default=5, metavar="N",
+                         help="rows per section of the top report "
+                              "(default 5)")
 
     table1 = sub.add_parser("table1", help="regenerate Table I")
     table1.add_argument("--frames", type=int, default=400)
@@ -101,10 +135,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _check_out_paths(*paths: Optional[pathlib.Path]) -> Optional[str]:
+    """Fail fast on unwritable output dirs, before simulating anything."""
+    for path in paths:
+        if path is not None and not path.resolve().parent.is_dir():
+            return (f"error: cannot write {path}: directory "
+                    f"{path.resolve().parent} does not exist")
+    return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    problem = _check_out_paths(args.trace_out)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
+    telemetry = Telemetry() if args.trace_out else None
     runner = PipelineRunner(config=args.config, pipelines=args.pipelines,
                             arrangement=args.arrangement, frames=args.frames,
-                            trace=args.gantt)
+                            trace=args.gantt, telemetry=telemetry)
     result = runner.run()
     print(f"config        : {result.config} / {result.arrangement}")
     print(f"pipelines     : {result.pipelines} "
@@ -128,6 +176,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
                       20 * result.seconds_per_frame)
         print()
         print(render_gantt(runner.last_trace, width=72, t1=horizon))
+    if args.trace_out is not None and telemetry is not None:
+        path = write_chrome_trace(args.trace_out, telemetry)
+        print(f"Chrome trace  : {path} "
+              f"({len(telemetry.events)} events)")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    problem = _check_out_paths(args.trace_out, args.counters_out)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
+    telemetry = Telemetry()
+    runner = PipelineRunner(config=args.config, pipelines=args.pipelines,
+                            arrangement=args.arrangement, frames=args.frames,
+                            telemetry=telemetry)
+    result = runner.run()
+    print(f"config      : {result.config} / {result.arrangement}, "
+          f"{result.pipelines} pipelines, {result.frames} frames")
+    print(f"walkthrough : {result.walkthrough_seconds:.2f} s, "
+          f"{len(telemetry.events)} events, "
+          f"{len(telemetry.counters)} metrics")
+    if args.trace_out is not None:
+        path = write_chrome_trace(args.trace_out, telemetry)
+        print(f"trace       : {path}")
+    if args.counters_out is not None:
+        path = write_counters(args.counters_out, telemetry.counters)
+        print(f"counters    : {path}")
+    print()
+    print(top_report(telemetry, top=args.top,
+                     horizon=result.walkthrough_seconds))
     return 0
 
 
@@ -243,6 +322,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "profile": _cmd_profile,
     "tune": _cmd_tune,
     "table1": _cmd_table1,
     "film": _cmd_film,

@@ -27,6 +27,7 @@ from ..rcce import RCCEComm
 from ..scc import SCCChip, SCCConfig
 from ..sim import Simulator, Store
 from ..sim.trace import TraceRecorder
+from ..telemetry import Telemetry
 from .arrangements import Placement, make_placement
 from .costmodel import CostModel
 from .metrics import RunMetrics, RunResult
@@ -86,6 +87,11 @@ class PipelineRunner:
         period (seconds).
     seed:
         RNG seed for the stochastic filters in payload mode.
+    telemetry:
+        An enabled :class:`~repro.telemetry.Telemetry` hub to instrument
+        the run (events, counters, Chrome traces); available as
+        ``self.last_telemetry`` afterwards.  When omitted, a private
+        disabled hub carries the metrics with near-zero overhead.
     """
 
     def __init__(
@@ -105,6 +111,7 @@ class PipelineRunner:
         placement: Optional[Placement] = None,
         frequency_plan: Optional[dict] = None,
         trace: bool = False,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if config not in CONFIGURATIONS:
             raise ValueError(
@@ -140,6 +147,8 @@ class PipelineRunner:
         #: when True, record per-stage busy spans (see repro.sim.trace);
         #: available as ``self.last_trace`` after the run
         self.trace = trace
+        #: optional telemetry hub shared by all subsystems of the run
+        self.telemetry = telemetry
         #: filled during the build: stage key -> [core ids]
         self._stage_cores: dict = {}
 
@@ -162,7 +171,8 @@ class PipelineRunner:
     def run(self) -> RunResult:
         """Simulate the walkthrough and return the metrics."""
         sim = Simulator()
-        chip = SCCChip(sim, self.chip_config)
+        telemetry = self.telemetry or Telemetry(enabled=False)
+        chip = SCCChip(sim, self.chip_config, telemetry=telemetry)
         comm = RCCEComm(chip)
         mcpc = MCPC(sim, self.mcpc_config)
         viewer = VisualizationClient(sim, keep_payloads=self.payload_mode)
@@ -186,38 +196,45 @@ class PipelineRunner:
             rng=np.random.default_rng(self.seed),
             seed=self.seed,
             trace=TraceRecorder() if self.trace else None,
+            telemetry=telemetry,
         )
 
-        stages: List[Stage] = []
-        if self.config == "single_core":
-            core = placement.input_cores[0]
-            stages.append(SingleCoreProcess(core, ctx))
-            active_cores = [core]
-            self._stage_cores = {"single-core": [core]}
-        else:
-            stages.extend(self._build_parallel(ctx, placement))
-            active_cores = placement.all_cores()
-            self._stage_cores = {}
-            for s in stages:
-                self._stage_cores.setdefault(s.key.split("[")[0], []).append(
-                    s.core_id)
+        try:
+            stages: List[Stage] = []
+            if self.config == "single_core":
+                core = placement.input_cores[0]
+                stages.append(SingleCoreProcess(core, ctx))
+                active_cores = [core]
+                self._stage_cores = {"single-core": [core]}
+            else:
+                stages.extend(self._build_parallel(ctx, placement))
+                active_cores = placement.all_cores()
+                self._stage_cores = {}
+                for s in stages:
+                    self._stage_cores.setdefault(
+                        s.key.split("[")[0], []).append(s.core_id)
 
-        self._apply_frequency_plan(chip, active_cores)
-        chip.power.set_cores_active(active_cores, True)
-        processes = [s.start() for s in stages]
-        if self.config == "mcpc_renderer":
-            processes.append(self._host_process.start())
+            self._apply_frequency_plan(chip, active_cores)
+            chip.power.set_cores_active(active_cores, True)
+            processes = [s.start() for s in stages]
+            if self.config == "mcpc_renderer":
+                processes.append(self._host_process.start())
 
-        # The transfer stage (or the single core) finishes last.
-        sim.run(until=sim.all_of(processes))
-        end = sim.now
-        chip.power.set_cores_active(active_cores, False)
+            # The transfer stage (or the single core) finishes last.
+            sim.run(until=sim.all_of(processes))
+            end = sim.now
+            chip.power.set_cores_active(active_cores, False)
+        finally:
+            # The metrics/trace sinks are per-run; leave a caller-supplied
+            # hub clean so a second run does not double-record.
+            ctx.detach_sinks()
 
         #: exposed for post-run inspection (tests, notebooks)
         self.last_metrics = ctx.metrics
         self.last_chip = chip
         self.last_viewer = ctx.viewer
         self.last_trace = ctx.trace
+        self.last_telemetry = telemetry
         return self._summarize(ctx, placement, end)
 
     def _build_parallel(self, ctx: StageContext,

@@ -38,6 +38,7 @@ from ..scc import SCCChip
 from ..scc.topology import SIF_LOCATION
 from ..sim import Store
 from ..sim.trace import TraceRecorder
+from ..telemetry import MetricsSink, Telemetry, TraceSink
 from .costmodel import CostModel
 from .metrics import RunMetrics
 from .workload import WalkthroughWorkload
@@ -89,6 +90,28 @@ class StageContext:
     seed: int = 0
     #: optional activity recorder (one track per stage instance)
     trace: Optional[TraceRecorder] = None
+    #: the telemetry hub the stages report into; a private disabled hub
+    #: is created when none is given so the metrics/trace sinks always
+    #: have somewhere to listen
+    telemetry: Optional[Telemetry] = None
+
+    def __post_init__(self) -> None:
+        if self.telemetry is None:
+            self.telemetry = Telemetry(enabled=False)
+        # RunMetrics and TraceRecorder are thin consumers of the hub:
+        # stages emit spans, these sinks translate them.  They are
+        # per-context, so detach them (detach_sinks) before reusing an
+        # externally supplied hub for another run.
+        self._sinks = [self.telemetry.add_sink(MetricsSink(self.metrics))]
+        if self.trace is not None:
+            self._sinks.append(self.telemetry.add_sink(TraceSink(self.trace)))
+
+    def detach_sinks(self) -> None:
+        """Remove this context's metrics/trace sinks from the hub."""
+        assert self.telemetry is not None
+        for sink in self._sinks:
+            self.telemetry.remove_sink(sink)
+        self._sinks = []
 
     @property
     def sim(self):
@@ -132,11 +155,33 @@ class Stage:
         raise NotImplementedError
 
     def record_busy(self, start: float) -> None:
-        """Log a service interval to the metrics (and trace, if any)."""
-        now = self.ctx.sim.now
-        self.ctx.metrics.record_busy(self.base_key, now - start)
-        if self.ctx.trace is not None:
-            self.ctx.trace.add(self.key, "busy", start, now)
+        """Log a service interval via the telemetry hub.
+
+        The attached :class:`~repro.telemetry.MetricsSink` turns the span
+        into the historical ``metrics.record_busy`` call; a
+        :class:`~repro.telemetry.TraceSink` (when tracing) adds the
+        Gantt-chart span.
+        """
+        ctx = self.ctx
+        now = ctx.sim.now
+        tel = ctx.telemetry
+        assert tel is not None
+        tel.span("stage", self.key, "busy", start, now)
+        if tel.enabled:
+            # Per-instance keys (blur[2], not blur): RunMetrics already
+            # aggregates per kind; the registry keeps the resolution.
+            tel.counters.inc(f"stage.{self.key}.frames")
+            tel.counters.inc(f"stage.{self.key}.busy_s", now - start)
+
+    def record_idle(self, seconds: float) -> None:
+        """Log a wait interval ending now via the telemetry hub."""
+        ctx = self.ctx
+        now = ctx.sim.now
+        tel = ctx.telemetry
+        assert tel is not None
+        tel.span("stage", self.key, "idle", now - seconds, now)
+        if tel.enabled:
+            tel.counters.inc(f"stage.{self.key}.idle_s", seconds)
 
     def start(self):
         """Spawn the stage on the context's simulator."""
@@ -274,7 +319,7 @@ class ConnectStage(Stage):
         for _ in range(ctx.frames):
             wait_start = ctx.sim.now
             frame, image = yield self.connect_queue.get()
-            ctx.metrics.record_idle(self.key, ctx.sim.now - wait_start)
+            self.record_idle(ctx.sim.now - wait_start)
             start = ctx.sim.now
             # The frame enters the chip at the system interface router
             # and crosses the mesh to this core...
@@ -323,7 +368,7 @@ class FilterStage(Stage):
         for _ in range(ctx.frames):
             msg = yield from ctx.comm.recv(
                 self.core_id, self.prev_core,
-                idle_cb=lambda d: ctx.metrics.record_idle(self.base_key, d))
+                idle_cb=self.record_idle)
             start = ctx.sim.now
             yield from self.compute(service)
             payload = msg.payload
@@ -364,9 +409,7 @@ class TransferStage(Stage):
             for p, src in enumerate(self.last_filter_cores):
                 msg = yield from ctx.comm.recv(
                     self.core_id, src,
-                    idle_cb=(
-                        (lambda d: ctx.metrics.record_idle(self.key, d))
-                        if p == 0 else None))
+                    idle_cb=(self.record_idle if p == 0 else None))
                 if msg.payload is not None:
                     _, strip_idx, image = msg.payload
                     strips[strip_idx] = image

@@ -121,6 +121,11 @@ class RCCEComm:
         yield chan.data_ready.put((msg, via))
         self.messages_delivered += 1
         self.bytes_delivered += nbytes
+        tel = self.chip.telemetry
+        if tel.enabled:
+            tel.counters.inc("rcce.messages")
+            tel.counters.inc("rcce.bytes", nbytes)
+            tel.counters.inc(f"rcce.via_{via}.messages")
 
     def recv(self, dst: int, src: int,
              idle_cb=None) -> Generator[Any, Any, Message]:

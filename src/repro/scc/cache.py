@@ -22,8 +22,9 @@ it empirically in ``tests/scc/test_cache.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .topology import CACHE_LINE_BYTES, CACHE_WAYS, L1_BYTES, L2_BYTES
 
 __all__ = [
@@ -82,6 +83,7 @@ class SetAssociativeCache:
         ways: int = CACHE_WAYS,
         line_bytes: int = CACHE_LINE_BYTES,
         name: str = "cache",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
             raise ValueError("cache dimensions must be positive")
@@ -98,6 +100,8 @@ class SetAssociativeCache:
         # Per set: list of (tag, dirty) in LRU order (front = LRU).
         self._sets: List[List[Tuple[int, bool]]] = [[] for _ in range(self.n_sets)]
         self.stats = CacheStats()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._counter_prefix = f"cache.{name.lower()}"
 
     def _locate(self, address: int) -> Tuple[int, int]:
         line = address // self.line_bytes
@@ -111,6 +115,7 @@ class SetAssociativeCache:
         """
         if address < 0:
             raise ValueError("address must be >= 0")
+        tel = self.telemetry
         set_index, tag = self._locate(address)
         ways = self._sets[set_index]
         for i, (t, dirty) in enumerate(ways):
@@ -118,14 +123,20 @@ class SetAssociativeCache:
                 ways.pop(i)
                 ways.append((tag, dirty or write))
                 self.stats.hits += 1
+                if tel.enabled:
+                    tel.counters.inc(f"{self._counter_prefix}.hits")
                 return True
         # Miss: allocate, evicting LRU if the set is full.
         self.stats.misses += 1
+        if tel.enabled:
+            tel.counters.inc(f"{self._counter_prefix}.misses")
         if len(ways) >= self.ways:
             _, victim_dirty = ways.pop(0)
             self.stats.evictions += 1
             if victim_dirty:
                 self.stats.writebacks += 1
+                if tel.enabled:
+                    tel.counters.inc(f"{self._counter_prefix}.writebacks")
         ways.append((tag, write))
         return False
 
@@ -180,9 +191,12 @@ class CacheHierarchy:
         l2_bytes: int = L2_BYTES,
         ways: int = CACHE_WAYS,
         line_bytes: int = CACHE_LINE_BYTES,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
-        self.l1 = SetAssociativeCache(l1_bytes, ways, line_bytes, name="L1")
-        self.l2 = SetAssociativeCache(l2_bytes, ways, line_bytes, name="L2")
+        self.l1 = SetAssociativeCache(l1_bytes, ways, line_bytes, name="L1",
+                                      telemetry=telemetry)
+        self.l2 = SetAssociativeCache(l2_bytes, ways, line_bytes, name="L2",
+                                      telemetry=telemetry)
         self.dram_accesses = 0
 
     def access(self, address: int, write: bool = False) -> str:

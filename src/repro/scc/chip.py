@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..sim import Simulator
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .dvfs import DVFSController
 from .memory import MemoryConfig, MemorySystem
 from .mesh import Mesh, MeshConfig
@@ -52,17 +53,21 @@ class SCCChip:
     """
 
     def __init__(self, sim: Optional[Simulator] = None,
-                 config: Optional[SCCConfig] = None) -> None:
+                 config: Optional[SCCConfig] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.sim = sim or Simulator()
         self.config = config or SCCConfig()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        tel = self.telemetry
         self.topology = SCCTopology()
-        self.mesh = Mesh(self.sim, self.config.mesh)
+        self.mesh = Mesh(self.sim, self.config.mesh, telemetry=tel)
         self.memory = MemorySystem(self.sim, self.topology, self.mesh,
-                                   self.config.memory)
-        self.mpb = MPBSystem(self.sim, self.topology)
-        self.dvfs = DVFSController(self.topology)
+                                   self.config.memory, telemetry=tel)
+        self.mpb = MPBSystem(self.sim, self.topology, telemetry=tel)
+        self.dvfs = DVFSController(self.topology, telemetry=tel,
+                                   clock=lambda: self.sim.now)
         self.power = PowerModel(self.sim, self.topology, self.dvfs,
-                                self.config.power)
+                                self.config.power, telemetry=tel)
 
     @property
     def num_cores(self) -> int:

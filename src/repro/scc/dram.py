@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from ..telemetry import NULL_TELEMETRY, Telemetry
+
 __all__ = ["DRAMTimings", "DRAMBankModel", "AccessStats"]
 
 
@@ -100,12 +102,16 @@ class DRAMBankModel:
     queueing lives in :class:`~repro.scc.memory.MemoryController`).
     """
 
-    def __init__(self, timings: Optional[DRAMTimings] = None) -> None:
+    def __init__(self, timings: Optional[DRAMTimings] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 name: str = "bank0") -> None:
         self.timings = timings or DRAMTimings()
         if self.timings.banks < 1 or self.timings.row_bytes < 1:
             raise ValueError("banks and row_bytes must be positive")
         self._open_rows: Dict[int, int] = {}
         self.stats = AccessStats()
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._counter_prefix = f"dram.{name}"
 
     # -- address mapping -----------------------------------------------------
     def locate(self, address: int) -> Tuple[int, int]:
@@ -125,13 +131,18 @@ class DRAMBankModel:
         precharge + activate + the first CAS serially.
         """
         t = self.timings
+        tel = self.telemetry
         bank, row = self.locate(address)
         open_row = self._open_rows.get(bank)
         time = t.burst_time_s
         if open_row == row:
             self.stats.row_hits += 1
+            if tel.enabled:
+                tel.counters.inc(f"{self._counter_prefix}.row_hits")
         else:
             self.stats.row_misses += 1
+            if tel.enabled:
+                tel.counters.inc(f"{self._counter_prefix}.row_misses")
             time += t.row_miss_penalty_s + t.cl * t.t_ck
             self._open_rows[bank] = row
         self.stats.bursts += 1

@@ -15,8 +15,9 @@ paper's quoted pairs: 400 MHz @ 0.7 V, 533 MHz @ 1.1 V, 800 MHz @ 1.3 V).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .topology import NUM_TILES, SCCTopology
 
 __all__ = [
@@ -65,12 +66,17 @@ class DVFSController:
     the state they need.
     """
 
-    def __init__(self, topology: SCCTopology) -> None:
+    def __init__(self, topology: SCCTopology,
+                 telemetry: Optional[Telemetry] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self.topology = topology
         self._tile_freq: Dict[int, float] = {
             t: DEFAULT_FREQUENCY_MHZ for t in range(NUM_TILES)
         }
         self._listeners: List[Callable[[], None]] = []
+        self.telemetry = telemetry or NULL_TELEMETRY
+        #: time source for telemetry events (the chip wires ``sim.now``)
+        self._clock = clock or (lambda: 0.0)
 
     # -- queries ------------------------------------------------------------
     def tile_frequency(self, tile_id: int) -> float:
@@ -113,7 +119,16 @@ class DVFSController:
         self._tile_freq[tile_id] = float(freq_mhz)
         for listener in self._listeners:
             listener()
-        return self.island_voltage(self.topology.tiles[tile_id].voltage_domain)
+        volts = self.island_voltage(
+            self.topology.tiles[tile_id].voltage_domain)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counters.inc("dvfs.changes")
+            tel.counters.set_gauge(f"dvfs.tile{tile_id}.mhz", freq_mhz)
+            tel.emit("dvfs", "set_frequency", self._clock(),
+                     track="frequency", tile=tile_id, mhz=freq_mhz,
+                     volts=volts)
+        return volts
 
     def set_core_frequency(self, core_id: int, freq_mhz: float) -> float:
         """Set the clock of the tile that hosts ``core_id``.
@@ -131,6 +146,13 @@ class DVFSController:
             self._tile_freq[tile_id] = float(freq_mhz)
         for listener in self._listeners:
             listener()
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counters.inc("dvfs.changes")
+            for tile_id in self._tile_freq:
+                tel.counters.set_gauge(f"dvfs.tile{tile_id}.mhz", freq_mhz)
+            tel.emit("dvfs", "set_all_frequencies", self._clock(),
+                     track="frequency", mhz=freq_mhz)
 
     def subscribe(self, listener: Callable[[], None]) -> None:
         """Register a callback fired after every frequency change."""

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional
 
 from ..sim import Resource, Simulator
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .mesh import Mesh
 from .topology import NUM_MEMORY_CONTROLLERS, SCCTopology
 
@@ -91,11 +92,13 @@ class MemorySystem:
         topology: SCCTopology,
         mesh: Mesh,
         config: Optional[MemoryConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.mesh = mesh
         self.config = config or MemoryConfig()
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.controllers: List[MemoryController] = [
             MemoryController(sim, i, topology.mc_coord(i))
             for i in range(NUM_MEMORY_CONTROLLERS)
@@ -133,11 +136,29 @@ class MemorySystem:
         mc = self.controller_of(partition_owner)
         mc.requests += 1
         mc.bytes_served += nbytes
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counters.inc(f"dram.mc{mc.index}.bytes", nbytes)
+            tel.counters.inc(f"dram.mc{mc.index}.requests")
 
         # 1. command trip to the controller
         yield from self.mesh.transfer(core_coord, mc.coord, cfg.command_bytes)
         # 2. controller occupancy (the shared, contended part)
-        yield from mc.resource.acquire(cfg.mc_latency_s + nbytes / cfg.mc_bandwidth)
+        service = cfg.mc_latency_s + nbytes / cfg.mc_bandwidth
+        if tel.enabled:
+            # Inline the acquire so the span covers service, not queueing.
+            req = mc.resource.request()
+            yield req
+            t0 = self.sim.now
+            try:
+                yield self.sim.timeout(service)
+            finally:
+                mc.resource.release(req)
+            tel.span("dram", f"mc{mc.index}", "access", t0, self.sim.now,
+                     core=acting_core, bytes=nbytes,
+                     direction="read" if data_inbound else "write")
+        else:
+            yield from mc.resource.acquire(service)
         # 3. payload over the mesh, in the data direction
         if data_inbound:
             yield from self.mesh.transfer(mc.coord, core_coord, nbytes)

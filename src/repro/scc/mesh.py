@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..sim import Resource, Simulator
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .topology import GRID_HEIGHT, GRID_WIDTH, Coord
 
 __all__ = ["MeshConfig", "Link", "Mesh", "xy_route"]
@@ -67,7 +68,8 @@ def xy_route(src: Coord, dst: Coord) -> List[Tuple[Coord, Coord]]:
 class Link:
     """One directed router-to-router link."""
 
-    __slots__ = ("src", "dst", "resource", "bytes_carried", "messages")
+    __slots__ = ("src", "dst", "resource", "bytes_carried", "messages",
+                 "tag")
 
     def __init__(self, sim: Simulator, src: Coord, dst: Coord) -> None:
         self.src = src
@@ -75,6 +77,8 @@ class Link:
         self.resource = Resource(sim, capacity=1, name=f"link{src}->{dst}")
         self.bytes_carried = 0
         self.messages = 0
+        #: stable telemetry id, e.g. ``"3,0->2,0"``
+        self.tag = f"{src[0]},{src[1]}->{dst[0]},{dst[1]}"
 
     @property
     def utilization(self) -> float:
@@ -102,9 +106,11 @@ class Mesh:
     RCCE) translate core ids into coordinates.
     """
 
-    def __init__(self, sim: Simulator, config: Optional[MeshConfig] = None) -> None:
+    def __init__(self, sim: Simulator, config: Optional[MeshConfig] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.sim = sim
         self.config = config or MeshConfig()
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._links: Dict[Tuple[Coord, Coord], Link] = {}
         for x in range(GRID_WIDTH):
             for y in range(GRID_HEIGHT):
@@ -155,6 +161,10 @@ class Mesh:
         self.bytes_moved += nbytes
         hops = xy_route(src, dst)
         hold = nbytes / self.config.link_bandwidth + self.config.hop_latency_s
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counters.inc("mesh.messages")
+            tel.counters.inc("mesh.bytes", nbytes)
         if not hops:
             # Same router (core to its sibling or to its own MPB): only the
             # local crossing latency applies.
@@ -166,7 +176,22 @@ class Mesh:
         for link in (self._links[h] for h in hops):
             link.messages += 1
             link.bytes_carried += nbytes
-            yield from link.resource.acquire(hold)
+            if tel.enabled:
+                tel.counters.inc(f"mesh.link.{link.tag}.bytes", nbytes)
+                tel.counters.inc(f"mesh.link.{link.tag}.messages")
+                # Inline the acquire so the recorded span covers only the
+                # occupancy window (grant -> release), not the queueing.
+                req = link.resource.request()
+                yield req
+                t0 = self.sim.now
+                try:
+                    yield self.sim.timeout(hold)
+                finally:
+                    link.resource.release(req)
+                tel.span("mesh", f"link {link.tag}", "xfer",
+                         t0, self.sim.now, bytes=nbytes)
+            else:
+                yield from link.resource.acquire(hold)
 
     # -- monitoring ------------------------------------------------------------
     def hottest_links(self, n: int = 5) -> List[Link]:

@@ -14,9 +14,10 @@ receiver stalls the sender once the window fills.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..sim import Container, Simulator
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .topology import CORES_PER_TILE, MPB_BYTES_PER_TILE, NUM_CORES, SCCTopology
 
 __all__ = ["MPB_BYTES_PER_CORE", "MessagePassingBuffer", "MPBSystem"]
@@ -33,7 +34,8 @@ class MessagePassingBuffer:
     """
 
     def __init__(self, sim: Simulator, core_id: int,
-                 capacity: int = MPB_BYTES_PER_CORE) -> None:
+                 capacity: int = MPB_BYTES_PER_CORE,
+                 telemetry: Optional[Telemetry] = None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be > 0")
         self.core_id = core_id
@@ -42,6 +44,9 @@ class MessagePassingBuffer:
                                 init=float(capacity),
                                 name=f"mpb[{core_id}]")
         self.bytes_through = 0
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._counter_prefix = (
+            f"mpb.tile{core_id // CORES_PER_TILE}.core{core_id}")
 
     @property
     def free_bytes(self) -> float:
@@ -55,11 +60,22 @@ class MessagePassingBuffer:
                 f"chunk of {nbytes} B exceeds the {self.capacity} B window"
             )
         self.bytes_through += nbytes
-        return self._space.get(float(nbytes))
+        event = self._space.get(float(nbytes))
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counters.inc(f"{self._counter_prefix}.bytes", nbytes)
+            tel.counters.set_gauge(f"{self._counter_prefix}.occupancy",
+                                   self.capacity - self._space.level)
+        return event
 
     def release(self, nbytes: int):
         """Return ``nbytes`` of window space after draining a chunk."""
-        return self._space.put(float(nbytes))
+        event = self._space.put(float(nbytes))
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counters.set_gauge(f"{self._counter_prefix}.occupancy",
+                                   self.capacity - self._space.level)
+        return event
 
     def __repr__(self) -> str:
         return (
@@ -72,11 +88,13 @@ class MPBSystem:
     """All 48 per-core MPB windows."""
 
     def __init__(self, sim: Simulator, topology: SCCTopology,
-                 capacity_per_core: int = MPB_BYTES_PER_CORE) -> None:
+                 capacity_per_core: int = MPB_BYTES_PER_CORE,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.sim = sim
         self.topology = topology
         self._buffers: Dict[int, MessagePassingBuffer] = {
-            core_id: MessagePassingBuffer(sim, core_id, capacity_per_core)
+            core_id: MessagePassingBuffer(sim, core_id, capacity_per_core,
+                                          telemetry=telemetry)
             for core_id in range(NUM_CORES)
         }
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..sim import Simulator, TimeSeries
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .dvfs import DEFAULT_FREQUENCY_MHZ, DVFSController
 from .topology import NUM_CORES, SCCTopology
 
@@ -69,11 +70,13 @@ class PowerModel:
         topology: SCCTopology,
         dvfs: DVFSController,
         config: Optional[PowerConfig] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.dvfs = dvfs
         self.config = config or PowerConfig()
+        self.telemetry = telemetry or NULL_TELEMETRY
         self._active: Set[int] = set()
         self.trace = TimeSeries("scc_power", initial=self.config.p_idle)
         dvfs.subscribe(self._on_change)
@@ -104,7 +107,13 @@ class PowerModel:
         self._on_change()
 
     def _on_change(self) -> None:
-        self.trace.record(self.sim.now, self.current_power())
+        watts = self.current_power()
+        self.trace.record(self.sim.now, watts)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counters.set_gauge("power.scc_watts", watts)
+            tel.counters.inc("power.trace_points")
+            tel.sample("power", "scc_watts", self.sim.now, watts)
 
     # -- the model ------------------------------------------------------------
     def current_power(self) -> float:

@@ -114,6 +114,17 @@ class TraceRecorder:
         """Latest span end (0 when empty)."""
         return max((s.end for s in self._spans), default=0.0)
 
+    def to_chrome_trace(self) -> dict:
+        """This recorder as a Chrome trace-event JSON document.
+
+        Delegates to :func:`repro.telemetry.spans_to_chrome`; the result
+        loads in Perfetto / ``chrome://tracing`` with one thread row per
+        track.
+        """
+        from ..telemetry import spans_to_chrome
+
+        return spans_to_chrome(self._spans)
+
 
 def render_gantt(recorder: TraceRecorder, width: int = 72,
                  t0: float = 0.0, t1: Optional[float] = None,
@@ -121,7 +132,10 @@ def render_gantt(recorder: TraceRecorder, width: int = 72,
     """Render tracks as fixed-width ASCII bars.
 
     Each column covers ``(t1 - t0) / width`` seconds; a cell prints the
-    first letter of the label active in that slice (``.`` = idle).
+    first letter of the label active at the column's midpoint (``.`` =
+    idle).  When several spans of one track cover the midpoint (spans
+    may overlap), the **latest-started covering span** wins — a short
+    recent span does not hide an earlier one that is still open.
     """
     if width < 8:
         raise ValueError("width must be >= 8")
@@ -141,10 +155,17 @@ def render_gantt(recorder: TraceRecorder, width: int = 72,
         row = []
         for col in range(width):
             mid = t0 + (col + 0.5) * dt
-            idx = bisect_right(starts, mid) - 1
             char = "."
-            if idx >= 0 and spans[idx].end > mid:
-                char = (spans[idx].label[:1] or "#")
+            # bisect finds the latest-started span with start <= mid, but
+            # that span may already have ended while an earlier, longer
+            # one still covers the midpoint — walk back to the first
+            # (i.e. latest-started) span that actually covers it.
+            idx = bisect_right(starts, mid) - 1
+            while idx >= 0:
+                if spans[idx].end > mid:
+                    char = (spans[idx].label[:1] or "#")
+                    break
+                idx -= 1
             row.append(char)
         lines.append(f"{name:{label_w}}  {''.join(row)}")
     return "\n".join(lines)

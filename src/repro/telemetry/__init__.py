@@ -1,0 +1,50 @@
+"""Unified telemetry: structured events, counters, exporters.
+
+The single instrumentation subsystem the whole simulator reports into
+(see ``docs/observability.md``):
+
+>>> from repro.telemetry import Telemetry
+>>> from repro.pipeline import PipelineRunner
+>>> tel = Telemetry()
+>>> result = PipelineRunner(config="one_renderer", pipelines=1,
+...                         frames=4, telemetry=tel).run()
+>>> "stage.blur[0].frames" in tel.counters
+True
+"""
+
+from .counters import Counter, CounterRegistry, Gauge, Histogram
+from .export import (
+    chrome_trace,
+    counters_dump,
+    spans_to_chrome,
+    top_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_counters,
+)
+from .hub import (
+    NULL_TELEMETRY,
+    MetricsSink,
+    Telemetry,
+    TelemetryEvent,
+    TraceSink,
+)
+
+__all__ = [
+    "Telemetry",
+    "TelemetryEvent",
+    "MetricsSink",
+    "TraceSink",
+    "NULL_TELEMETRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "CounterRegistry",
+    "chrome_trace",
+    "spans_to_chrome",
+    "write_chrome_trace",
+    "counters_dump",
+    "write_counters",
+    "top_report",
+    "validate_chrome_trace",
+]

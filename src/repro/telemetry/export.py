@@ -1,0 +1,261 @@
+"""Exporters: Chrome trace-event JSON, counter dumps, text top reports.
+
+The Chrome trace-event format (the ``chrome://tracing`` / Perfetto JSON
+flavour) maps onto the hub's event kinds directly:
+
+* span  -> complete event (``"ph": "X"``) with microsecond ``ts``/``dur``;
+* instant -> instant event (``"ph": "i"``);
+* sample -> counter event (``"ph": "C"``), one counter track per name.
+
+Each telemetry *category* becomes one Perfetto "process" (pid) and each
+*track* one "thread" (tid) inside it, labelled via metadata events — so
+a profiled run opens as one group per subsystem with one row per stage,
+per active mesh link, per memory controller.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .counters import CounterRegistry
+from .hub import Telemetry, TelemetryEvent
+
+__all__ = [
+    "chrome_trace",
+    "spans_to_chrome",
+    "write_chrome_trace",
+    "counters_dump",
+    "write_counters",
+    "top_report",
+    "validate_chrome_trace",
+]
+
+#: microseconds per second (Chrome trace timestamps are in us)
+_US = 1e6
+
+
+class _IdAllocator:
+    """Stable pid/tid assignment plus the matching metadata events."""
+
+    def __init__(self) -> None:
+        self._pids: Dict[str, int] = {}
+        self._tids: Dict[Tuple[int, str], int] = {}
+        self.metadata: List[Dict[str, Any]] = []
+
+    def pid(self, category: str) -> int:
+        pid = self._pids.get(category)
+        if pid is None:
+            pid = self._pids[category] = len(self._pids) + 1
+            self.metadata.append({
+                "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                "ts": 0, "args": {"name": category},
+            })
+        return pid
+
+    def tid(self, pid: int, track: str) -> int:
+        key = (pid, track)
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = self._tids[key] = \
+                sum(1 for p, _ in self._tids if p == pid) + 1
+            self.metadata.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "ts": 0, "args": {"name": track},
+            })
+        return tid
+
+
+def _event_to_chrome(event: TelemetryEvent,
+                     ids: _IdAllocator) -> Dict[str, Any]:
+    pid = ids.pid(event.category)
+    tid = ids.tid(pid, event.track) if event.track is not None else 0
+    if event.kind == "span":
+        return {"ph": "X", "name": event.name, "cat": event.category,
+                "ts": event.t * _US, "dur": event.dur * _US,
+                "pid": pid, "tid": tid, "args": dict(event.fields)}
+    if event.kind == "sample":
+        return {"ph": "C", "name": event.name, "cat": event.category,
+                "ts": event.t * _US, "pid": pid, "tid": tid,
+                "args": {event.name: event.value}}
+    return {"ph": "i", "name": event.name, "cat": event.category,
+            "ts": event.t * _US, "pid": pid, "tid": tid, "s": "t",
+            "args": dict(event.fields)}
+
+
+def chrome_trace(telemetry: Union[Telemetry, Sequence[TelemetryEvent]],
+                 ) -> Dict[str, Any]:
+    """Convert hub events into a Chrome trace-event JSON document.
+
+    Events are sorted by timestamp (metadata first), so ``ts`` is
+    monotone within every ``(pid, tid)`` track of sequential spans.
+    """
+    events = (telemetry.events if isinstance(telemetry, Telemetry)
+              else list(telemetry))
+    ids = _IdAllocator()
+    converted = [_event_to_chrome(e, ids) for e in events]
+    converted.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": ids.metadata + converted,
+        "displayTimeUnit": "ms",
+    }
+
+
+def spans_to_chrome(spans: Sequence[Any],
+                    category: str = "trace") -> Dict[str, Any]:
+    """Chrome trace from raw :class:`~repro.sim.trace.Span` objects.
+
+    Backs :meth:`~repro.sim.trace.TraceRecorder.to_chrome_trace`, so a
+    recorder can be dumped without going through a hub.
+    """
+    events = [TelemetryEvent("span", category, s.label, s.start,
+                             dur=s.end - s.start, track=s.track)
+              for s in spans]
+    return chrome_trace(events)
+
+
+def write_chrome_trace(path: Union[str, Path],
+                       telemetry: Union[Telemetry,
+                                        Sequence[TelemetryEvent]]) -> Path:
+    """Write the Chrome trace JSON to ``path`` and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(telemetry)) + "\n",
+                    encoding="ascii")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# counters
+# ---------------------------------------------------------------------------
+
+def counters_dump(registry: CounterRegistry, fmt: str = "json") -> str:
+    """Serialize the registry: ``fmt`` is ``"json"`` or ``"csv"``."""
+    if fmt == "json":
+        return json.dumps(registry.as_dict(), indent=2, sort_keys=True) + "\n"
+    if fmt == "csv":
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(["name", "kind", "value"])
+        for name, kind, value in registry.csv_rows():
+            writer.writerow([name, kind, repr(value)])
+        return buf.getvalue()
+    raise ValueError(f"unknown format {fmt!r} (json or csv)")
+
+
+def write_counters(path: Union[str, Path],
+                   registry: CounterRegistry) -> Path:
+    """Dump the registry to ``path`` (format chosen by the suffix)."""
+    path = Path(path)
+    fmt = "csv" if path.suffix.lower() == ".csv" else "json"
+    path.write_text(counters_dump(registry, fmt), encoding="ascii")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# top report
+# ---------------------------------------------------------------------------
+
+def _top(registry: CounterRegistry, pattern: str,
+         n: int) -> List[Tuple[str, float]]:
+    matches = [(name, metric.value)
+               for name, metric in registry.match(pattern).items()]
+    matches.sort(key=lambda kv: kv[1], reverse=True)
+    return matches[:n]
+
+
+def _fmt_bytes(nbytes: float) -> str:
+    for unit, scale in (("GiB", 1 << 30), ("MiB", 1 << 20), ("KiB", 1 << 10)):
+        if nbytes >= scale:
+            return f"{nbytes / scale:.1f} {unit}"
+    return f"{nbytes:.0f} B"
+
+
+def top_report(telemetry: Telemetry, top: int = 5,
+               horizon: Optional[float] = None) -> str:
+    """A text summary: hottest links, controllers and stages.
+
+    ``horizon`` (seconds) is the run length used for utilization
+    percentages; defaults to the latest event end the hub retained.
+    """
+    reg = telemetry.counters
+    if horizon is None:
+        horizon = telemetry.horizon
+    lines: List[str] = [f"top report (horizon {horizon:.2f} s)"]
+
+    links = _top(reg, "mesh.link.*.bytes", top)
+    lines.append(f"\nhottest mesh links (top {top} by bytes):")
+    if not reg.match("mesh.link.*.bytes"):
+        lines.append("  (no mesh traffic recorded)")
+    total_mesh = sum(m.value for m in reg.match("mesh.link.*.bytes").values())
+    for name, value in links:
+        share = 100.0 * value / total_mesh if total_mesh else 0.0
+        link = name[len("mesh.link."):-len(".bytes")]
+        lines.append(f"  {link:>14}  {_fmt_bytes(value):>10}  "
+                     f"{share:5.1f} % of mesh bytes")
+
+    mcs = _top(reg, "dram.mc*.bytes", top)
+    lines.append(f"\nmemory controllers (top {top} by bytes):")
+    if not reg.match("dram.mc*.bytes"):
+        lines.append("  (no controller traffic recorded)")
+    for name, value in mcs:
+        mc = name[len("dram."):-len(".bytes")]
+        requests = reg.value(f"dram.{mc}.requests") \
+            if f"dram.{mc}.requests" in reg else 0.0
+        lines.append(f"  {mc:>14}  {_fmt_bytes(value):>10}  "
+                     f"{requests:.0f} requests")
+
+    stages = _top(reg, "stage.*.busy_s", top)
+    lines.append(f"\nbusiest stages (top {top} by busy seconds):")
+    if not reg.match("stage.*.busy_s"):
+        lines.append("  (no stage activity recorded)")
+    for name, value in stages:
+        key = name[len("stage."):-len(".busy_s")]
+        util = 100.0 * value / horizon if horizon > 0 else 0.0
+        frames = reg.value(f"stage.{key}.frames") \
+            if f"stage.{key}.frames" in reg else 0.0
+        lines.append(f"  {key:>14}  {value:8.2f} s busy  {util:5.1f} % "
+                     f"util  {frames:.0f} frames")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def validate_chrome_trace(doc: Dict[str, Any]) -> List[str]:
+    """Check a trace document against the trace-event schema.
+
+    Returns a list of problems (empty means valid): every event carries
+    the required keys and, per ``(pid, tid)`` track, the ``ts`` of
+    complete events never decreases.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    last_ts: Dict[Tuple[int, int], float] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        missing = [k for k in REQUIRED_KEYS if k not in event]
+        if missing:
+            problems.append(f"event {i}: missing keys {missing}")
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i}: bad ts {ts!r}")
+            continue
+        if event["ph"] == "X":
+            key = (event["pid"], event["tid"])
+            if ts < last_ts.get(key, float("-inf")):
+                problems.append(
+                    f"event {i}: ts {ts} goes backwards on track {key}")
+            last_ts[key] = ts
+    return problems

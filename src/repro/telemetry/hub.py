@@ -1,0 +1,220 @@
+"""The telemetry hub: structured events, counters, pluggable sinks.
+
+One :class:`Telemetry` instance accompanies a simulation; every
+instrumented subsystem (mesh, memory controllers, MPBs, DVFS, power,
+pipeline stages) reports into it and every consumer (run metrics, Gantt
+traces, Chrome-trace export, top reports) reads out of it.
+
+Design rules
+------------
+* **Zero overhead when disabled.**  Hot paths guard with
+  ``if telemetry.enabled:`` before building any event, so a disabled hub
+  costs one attribute check per instrumentation site.  Low-frequency
+  call sites (one event per stage per frame) may emit unconditionally —
+  a disabled hub with no sinks returns immediately.
+* **Sinks observe everything.**  A sink is any callable taking a
+  :class:`TelemetryEvent`.  Sinks fire for every event *regardless of*
+  ``enabled`` — that is how :class:`~repro.pipeline.metrics.RunMetrics`
+  and :class:`~repro.sim.TraceRecorder` stay thin consumers of the hub
+  even in runs that collect no telemetry (the Fig. 15 path).
+* **Retention only when enabled.**  The ``events`` buffer (what the
+  Chrome-trace exporter reads) fills only while ``enabled`` is True.
+
+Event kinds
+-----------
+``span``
+    A closed activity window ``[t, t+dur]`` on a named track
+    (stage busy/idle, a link occupancy, a controller service burst).
+``instant``
+    A point event (a DVFS frequency change).
+``sample``
+    A ``(t, value)`` observation of a continuous signal (chip power);
+    exported as a Chrome counter track.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .counters import CounterRegistry
+
+__all__ = ["TelemetryEvent", "Telemetry", "MetricsSink", "TraceSink",
+           "NULL_TELEMETRY"]
+
+
+@dataclass
+class TelemetryEvent:
+    """One structured telemetry record."""
+
+    #: "span" | "instant" | "sample"
+    kind: str
+    #: subsystem ("stage", "mesh", "dram", "mpb", "dvfs", "power", ...)
+    category: str
+    #: event name within the category ("busy", "xfer", "set_frequency", ...)
+    name: str
+    #: start time (spans) or event time (instants/samples), seconds
+    t: float
+    #: duration in seconds (0 for instants/samples)
+    dur: float = 0.0
+    #: track within the category (one Chrome-trace row per track)
+    track: Optional[str] = None
+    #: observed value (samples only)
+    value: Optional[float] = None
+    #: free-form structured payload
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> float:
+        return self.t + self.dur
+
+
+Sink = Callable[[TelemetryEvent], None]
+
+
+class Telemetry:
+    """The instrumentation hub.
+
+    Parameters
+    ----------
+    enabled:
+        When False the hub retains no events and updates no counters;
+        only attached sinks still observe emitted events.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.counters = CounterRegistry()
+        self._events: List[TelemetryEvent] = []
+        self._sinks: List[Sink] = []
+
+    # -- sinks ------------------------------------------------------------
+    def add_sink(self, sink: Sink) -> Sink:
+        """Attach a consumer; returns it (for later :meth:`remove_sink`)."""
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Sink) -> None:
+        """Detach a consumer (no-op if it is not attached)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    # -- emission ------------------------------------------------------------
+    def _dispatch(self, event: TelemetryEvent) -> None:
+        if self.enabled:
+            self._events.append(event)
+        for sink in self._sinks:
+            sink(event)
+
+    def emit(self, category: str, name: str, t: float,
+             track: Optional[str] = None, **fields: Any) -> None:
+        """Record an instant event at time ``t``."""
+        if not self.enabled and not self._sinks:
+            return
+        self._dispatch(TelemetryEvent("instant", category, name, t,
+                                      track=track, fields=fields))
+
+    def span(self, category: str, track: str, name: str,
+             t0: float, t1: float, **fields: Any) -> None:
+        """Record a closed activity window ``[t0, t1]`` on ``track``."""
+        if not self.enabled and not self._sinks:
+            return
+        if t1 < t0:
+            raise ValueError(f"span ends before it starts ({t1} < {t0})")
+        self._dispatch(TelemetryEvent("span", category, name, t0,
+                                      dur=t1 - t0, track=track,
+                                      fields=fields))
+
+    def sample(self, category: str, name: str, t: float, value: float,
+               track: Optional[str] = None) -> None:
+        """Record a ``(t, value)`` observation of a continuous signal."""
+        if not self.enabled and not self._sinks:
+            return
+        self._dispatch(TelemetryEvent("sample", category, name, t,
+                                      track=track or name,
+                                      value=float(value)))
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def events(self) -> List[TelemetryEvent]:
+        """Retained events (chronological by completion)."""
+        return list(self._events)
+
+    def events_in(self, category: str) -> List[TelemetryEvent]:
+        return [e for e in self._events if e.category == category]
+
+    def tracks(self, category: Optional[str] = None) -> List[str]:
+        """Distinct track names, in first-appearance order."""
+        seen: List[str] = []
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if event.track is not None and event.track not in seen:
+                seen.append(event.track)
+        return seen
+
+    @property
+    def horizon(self) -> float:
+        """Latest event end time (0 when empty)."""
+        return max((e.end for e in self._events), default=0.0)
+
+    def clear(self) -> None:
+        """Drop retained events (counters and sinks stay)."""
+        self._events.clear()
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (f"<Telemetry {state} events={len(self._events)} "
+                f"metrics={len(self.counters)} sinks={len(self._sinks)}>")
+
+
+def _base_key(track: str) -> str:
+    """Stage kind without the per-pipeline suffix (``blur[2]`` -> ``blur``)."""
+    return track.split("[")[0]
+
+
+class MetricsSink:
+    """Feeds ``stage`` busy/idle spans into a RunMetrics-like collector.
+
+    This is what makes :class:`~repro.pipeline.metrics.RunMetrics` a thin
+    consumer of the hub: the stages emit spans, the sink translates them
+    into the ``record_busy`` / ``record_idle`` calls the Fig. 15 path has
+    always used.
+    """
+
+    def __init__(self, metrics: Any) -> None:
+        self.metrics = metrics
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        if event.kind != "span" or event.category != "stage":
+            return
+        assert event.track is not None
+        if event.name == "busy":
+            self.metrics.record_busy(_base_key(event.track), event.dur)
+        elif event.name == "idle":
+            self.metrics.record_idle(_base_key(event.track), event.dur)
+
+
+class TraceSink:
+    """Feeds ``stage`` busy spans into a :class:`~repro.sim.TraceRecorder`.
+
+    Only busy spans are forwarded so ``busy_fraction`` and the ASCII
+    Gantt chart keep their historical meaning (idle windows stay
+    implicit as gaps).
+    """
+
+    def __init__(self, recorder: Any) -> None:
+        self.recorder = recorder
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        if (event.kind == "span" and event.category == "stage"
+                and event.name == "busy"):
+            assert event.track is not None
+            self.recorder.add(event.track, "busy", event.t, event.end)
+
+
+#: A shared always-disabled hub for subsystems constructed without one.
+#: Never attach sinks to it — create your own ``Telemetry`` instead.
+NULL_TELEMETRY = Telemetry(enabled=False)

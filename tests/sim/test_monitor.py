@@ -17,6 +17,19 @@ def test_quantile_simple():
     assert quantile([1.0], 1.0) == 1.0
 
 
+def test_quantile_extremes_hit_end_points():
+    values = [3.0, 7.0, 9.0, 20.0]
+    assert quantile(values, 0.0) == 3.0
+    assert quantile(values, 1.0) == 20.0
+
+
+def test_quantile_two_samples_interpolates():
+    assert quantile([10.0, 20.0], 0.0) == 10.0
+    assert quantile([10.0, 20.0], 0.25) == pytest.approx(12.5)
+    assert quantile([10.0, 20.0], 0.5) == pytest.approx(15.0)
+    assert quantile([10.0, 20.0], 1.0) == 20.0
+
+
 def test_quantile_validation():
     with pytest.raises(ValueError):
         quantile([1.0], 1.5)

@@ -51,6 +51,25 @@ def test_busy_fraction_clips_to_window():
     assert rec.busy_fraction("t", 0.0, 10.0) == pytest.approx(0.5)
 
 
+def test_busy_fraction_overlap_and_clip_combined():
+    rec = TraceRecorder()
+    # A span overhanging the window on each side, plus an interior one
+    # fully contained in the union of the other two.
+    rec.add("t", "a", -2.0, 3.0)
+    rec.add("t", "b", 2.0, 12.0)
+    rec.add("t", "c", 1.0, 4.0)
+    assert rec.busy_fraction("t", 0.0, 10.0) == pytest.approx(1.0)
+    # A window the spans never touch.
+    rec.add("u", "x", 0.0, 1.0)
+    assert rec.busy_fraction("u", 2.0, 3.0) == 0.0
+
+
+def test_busy_fraction_zero_length_spans():
+    rec = TraceRecorder()
+    rec.add("t", "a", 5.0, 5.0)
+    assert rec.busy_fraction("t", 0.0, 10.0) == 0.0
+
+
 def test_render_gantt_basic():
     rec = TraceRecorder()
     rec.add("blur", "busy", 0.0, 5.0)
@@ -60,6 +79,30 @@ def test_render_gantt_basic():
     assert len(lines) == 3
     assert lines[1].endswith("bbbbb.....")
     assert lines[2].endswith(".....bbbbb")
+
+
+def test_render_gantt_overlapping_spans_keep_open_span_visible():
+    # Regression: a short span starting later than a long still-open one
+    # used to hide the long span for the rest of the row (the bisect
+    # picked the latest-started span even after it had ended).
+    rec = TraceRecorder()
+    rec.add("t", "long", 0.0, 10.0)
+    rec.add("t", "short", 2.0, 3.0)
+    art = render_gantt(rec, width=10, t1=10.0)
+    row = art.splitlines()[1].split()[-1]
+    # Columns cover 1 s each, midpoints at 0.5, 1.5, 2.5, ...  The short
+    # span wins only at its own midpoint (tie-break: latest-started
+    # covering span); the long span stays visible everywhere else.
+    assert row == "llslllllll"
+
+
+def test_render_gantt_gap_after_short_span_still_idle():
+    rec = TraceRecorder()
+    rec.add("t", "a", 0.0, 2.0)
+    rec.add("t", "b", 4.0, 6.0)
+    art = render_gantt(rec, width=10, t1=10.0)
+    row = art.splitlines()[1].split()[-1]
+    assert row == "aa..bb...."
 
 
 def test_render_gantt_validation():
@@ -106,3 +149,16 @@ def test_runner_without_trace_has_none():
     runner = PipelineRunner(config="one_renderer", pipelines=1, frames=4)
     runner.run()
     assert runner.last_trace is None
+
+
+def test_recorder_to_chrome_trace():
+    from repro.telemetry import validate_chrome_trace
+
+    rec = TraceRecorder()
+    rec.add("blur[0]", "busy", 0.5, 1.5)
+    doc = rec.to_chrome_trace()
+    assert validate_chrome_trace(doc) == []
+    (span,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert span["name"] == "busy"
+    assert span["ts"] == pytest.approx(0.5e6)
+    assert span["dur"] == pytest.approx(1.0e6)

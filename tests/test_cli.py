@@ -27,6 +27,56 @@ def test_run_command_with_gantt(capsys):
     assert "t0=" in out
 
 
+def test_run_command_with_trace_out(tmp_path):
+    import json
+
+    from repro.telemetry import validate_chrome_trace
+
+    trace = tmp_path / "run.json"
+    assert main(["run", "--config", "one_renderer", "--pipelines", "1",
+                 "--frames", "10", "--trace-out", str(trace)]) == 0
+    doc = json.loads(trace.read_text())
+    assert validate_chrome_trace(doc) == []
+
+
+def test_profile_command(tmp_path, capsys):
+    import json
+
+    from repro.telemetry import validate_chrome_trace
+
+    trace = tmp_path / "t.json"
+    counters = tmp_path / "c.json"
+    assert main(["profile", "--config", "one_renderer", "--pipelines", "2",
+                 "--frames", "20", "--trace-out", str(trace),
+                 "--counters-out", str(counters), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "top report" in out
+    assert "hottest mesh links" in out
+    assert "busiest stages" in out
+    doc = json.loads(trace.read_text())
+    assert validate_chrome_trace(doc) == []
+    dump = json.loads(counters.read_text())
+    assert any(k.startswith("mesh.link.") for k in dump["counters"])
+    assert any(k.startswith("dram.mc") for k in dump["counters"])
+    assert any(k.startswith("stage.") for k in dump["counters"])
+
+
+def test_profile_counters_csv(tmp_path):
+    counters = tmp_path / "c.csv"
+    assert main(["profile", "--config", "one_renderer", "--pipelines", "1",
+                 "--frames", "5", "--counters-out", str(counters)]) == 0
+    text = counters.read_text()
+    assert text.startswith("name,kind,value")
+    assert "mesh.bytes,counter," in text
+
+
+def test_profile_fails_fast_on_unwritable_output(tmp_path, capsys):
+    missing = tmp_path / "no" / "such" / "dir" / "t.json"
+    assert main(["profile", "--config", "one_renderer", "--frames", "5",
+                 "--trace-out", str(missing)]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
 def test_run_rejects_unknown_config():
     with pytest.raises(SystemExit):
         main(["run", "--config", "quantum"])

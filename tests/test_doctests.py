@@ -11,12 +11,14 @@ import pytest
 import repro.pipeline.macro
 import repro.sim
 import repro.sim.core
+import repro.telemetry
 
 
 @pytest.mark.parametrize("module", [
     repro.sim,
     repro.sim.core,
     repro.pipeline.macro,
+    repro.telemetry,
 ])
 def test_module_doctests(module):
     failures, tried = doctest.testmod(module, verbose=False).failed, \
