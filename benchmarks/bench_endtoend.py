@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""End-to-end wall-clock benchmark of the simulation engine.
+
+Measures the telemetry-disabled 50-frame ``mcpc_renderer`` profile (the
+repro CLI's standard smoke scenario) and records the result in
+``BENCH_endtoend.json`` at the repository root:
+
+* ``baseline`` — the pre-optimisation engine, captured once before the
+  fast-path work landed (never overwritten by ``--update``);
+* ``current``  — the committed engine's measurement;
+* ``speedup_vs_baseline`` — baseline/current median wall time.
+
+Modes
+-----
+``python benchmarks/bench_endtoend.py``
+    Measure and print a comparison against the committed numbers.
+``--update-baseline``
+    (Re)record the ``baseline`` block.  Only legitimate immediately
+    before an optimisation series, from the unoptimised engine.
+``--update``
+    Record the ``current`` block and the speedup.
+``--check``
+    CI regression gate: exit non-zero when the measured median is more
+    than ``--tolerance`` (default 20%) slower than the committed
+    ``current`` median.
+
+The workload (procedural city, camera path, culling profiles) is built
+and warmed once outside the timed region, so the numbers isolate the
+discrete-event engine: kernel dispatch, mesh/memory modelling and the
+stage processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.pipeline import PipelineRunner  # noqa: E402
+from repro.pipeline.workload import WalkthroughWorkload  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_endtoend.json"
+
+CONFIG = "mcpc_renderer"
+PIPELINES = 5
+FRAMES = 50
+RUNS = 9
+
+
+def measure(runs: int = RUNS) -> dict:
+    """Median wall time of the standard profile, workload pre-warmed."""
+    workload = WalkthroughWorkload(frames=FRAMES)
+    # Warm the lazy geometry + per-frame culling profiles and JIT-warm
+    # the interpreter paths with one untimed run.
+    result = PipelineRunner(config=CONFIG, pipelines=PIPELINES,
+                            frames=FRAMES, workload=workload).run()
+    samples_ms = []
+    events = 0
+    for _ in range(runs):
+        runner = PipelineRunner(config=CONFIG, pipelines=PIPELINES,
+                                frames=FRAMES, workload=workload)
+        t0 = time.perf_counter()
+        run_result = runner.run()
+        samples_ms.append((time.perf_counter() - t0) * 1000.0)
+        events = runner.last_chip.sim.event_count
+        assert run_result.walkthrough_seconds == result.walkthrough_seconds, \
+            "non-deterministic simulation result"
+    median_ms = statistics.median(samples_ms)
+    return {
+        "config": CONFIG,
+        "pipelines": PIPELINES,
+        "frames": FRAMES,
+        "runs": runs,
+        "median_ms": round(median_ms, 3),
+        "min_ms": round(min(samples_ms), 3),
+        "max_ms": round(max(samples_ms), 3),
+        "sim_seconds": result.walkthrough_seconds,
+        "events_processed": events,
+        "events_per_ms": round(events / median_ms, 1),
+    }
+
+
+def load() -> dict:
+    if RESULT_PATH.exists():
+        return json.loads(RESULT_PATH.read_text())
+    return {}
+
+
+def save(data: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="record the pre-optimisation baseline block")
+    parser.add_argument("--update", action="store_true",
+                        help="record the current block and speedup")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when slower than committed current by "
+                             "more than --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative slowdown for --check "
+                             "(default 0.20)")
+    parser.add_argument("--runs", type=int, default=RUNS)
+    args = parser.parse_args(argv)
+
+    fresh = measure(args.runs)
+    print(f"{CONFIG} x{PIPELINES} pipelines, {FRAMES} frames "
+          f"(telemetry disabled): median {fresh['median_ms']:.1f} ms over "
+          f"{args.runs} runs  [{fresh['min_ms']:.1f}..{fresh['max_ms']:.1f}]  "
+          f"{fresh['events_processed']} events, "
+          f"{fresh['events_per_ms']:.0f} events/ms")
+
+    data = load()
+
+    if args.update_baseline:
+        data["baseline"] = fresh
+        save(data)
+        print(f"baseline recorded in {RESULT_PATH.name}")
+        return 0
+
+    if args.update:
+        data["current"] = fresh
+        if "baseline" in data:
+            speedup = data["baseline"]["median_ms"] / fresh["median_ms"]
+            data["speedup_vs_baseline"] = round(speedup, 3)
+            print(f"speedup vs baseline "
+                  f"({data['baseline']['median_ms']:.1f} ms): {speedup:.2f}x")
+        save(data)
+        print(f"current measurement recorded in {RESULT_PATH.name}")
+        return 0
+
+    current = data.get("current")
+    if current is None:
+        print("no committed 'current' measurement; run with --update first",
+              file=sys.stderr)
+        return 1
+
+    ratio = fresh["median_ms"] / current["median_ms"]
+    print(f"committed current: {current['median_ms']:.1f} ms -> measured "
+          f"{fresh['median_ms']:.1f} ms ({ratio:.2f}x of committed)")
+    if "baseline" in data:
+        print(f"committed speedup vs pre-optimisation baseline: "
+              f"{data.get('speedup_vs_baseline', '?')}x")
+
+    if args.check and ratio > 1.0 + args.tolerance:
+        print(f"FAIL: end-to-end wall clock regressed "
+              f"{(ratio - 1.0) * 100:.0f}% > {args.tolerance * 100:.0f}% "
+              f"tolerance", file=sys.stderr)
+        return 1
+    if args.check:
+        print("OK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Golden-suite options: ``--update-goldens`` regenerates the snapshots.
+
+Regenerating is a *deliberate* act: it declares that the simulated
+results were supposed to change (a model change, not an optimisation).
+Never regenerate in the same PR that optimises the engine — the whole
+point of the snapshots is to prove optimisations leave results
+bit-identical (see docs/performance.md).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/snapshots/*.json from the current code "
+             "instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")

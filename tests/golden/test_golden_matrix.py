@@ -1,0 +1,62 @@
+"""Golden-run regression suite.
+
+Every scenario of the small matrix (3 configurations x 3 arrangements,
+plus a DVFS run) is simulated in payload mode and compared field-by-field
+against its committed snapshot.  A mismatch means an engine change
+altered *simulated results*, not just wall-clock speed — which is either
+a bug or a deliberate model change that must regenerate the goldens via
+``pytest tests/golden --update-goldens`` in its own, clearly-labelled PR.
+"""
+
+import pytest
+
+from .harness import SCENARIOS, capture, load_snapshot, write_snapshot
+
+
+def _diff(expected, actual, prefix=""):
+    """Human-readable list of leaf-level differences."""
+    out = []
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected:
+                out.append(f"{prefix}{key}: unexpected (={actual[key]!r})")
+            elif key not in actual:
+                out.append(f"{prefix}{key}: missing (was {expected[key]!r})")
+            else:
+                out.extend(_diff(expected[key], actual[key],
+                                 f"{prefix}{key}."))
+    elif isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            out.append(f"{prefix}len: {len(expected)} != {len(actual)}")
+        for i, (e, a) in enumerate(zip(expected, actual)):
+            out.extend(_diff(e, a, f"{prefix}{i}."))
+    elif expected != actual:
+        out.append(f"{prefix[:-1]}: {expected!r} != {actual!r}")
+    return out
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_golden(scenario, update_goldens):
+    golden = capture(scenario)
+    if update_goldens:
+        write_snapshot(scenario, golden)
+        pytest.skip(f"snapshot for {scenario} rewritten")
+    expected = load_snapshot(scenario)
+    assert expected is not None, (
+        f"no snapshot for {scenario!r}; run "
+        "`pytest tests/golden --update-goldens` and commit the result"
+    )
+    differences = _diff(expected, golden)
+    assert not differences, (
+        f"{scenario}: simulated results changed:\n  " +
+        "\n  ".join(differences)
+    )
+
+
+def test_every_scenario_produces_frames():
+    """Sanity: payload mode really pushes pixels end to end."""
+    golden = capture("mcpc_renderer-ordered")
+    assert golden["frames_displayed"] == golden["frames"]
+    assert len(golden["frame_checksums"]) == golden["frames"]
+    # All frames hash differently (the walkthrough moves the camera).
+    assert len(set(golden["frame_checksums"])) == golden["frames"]
