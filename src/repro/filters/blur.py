@@ -31,33 +31,47 @@ class BlurFilter(ImageFilter):
         if radius < 1:
             raise ValueError("radius must be >= 1")
         self.radius = radius
+        # (h, w) -> (padded, y0g, y1g, x0g, x1g, counts): stage instances
+        # see one strip shape for a whole run, so the integral-image
+        # scratch buffer and the window index grids are built once.
+        self._scratch: dict = {}
+
+    def _buffers(self, h: int, w: int):
+        cached = self._scratch.get((h, w))
+        if cached is None:
+            r = self.radius
+            padded = np.zeros((h + 1, w + 1, 3), dtype=np.float64)
+            ys = np.arange(h)
+            xs = np.arange(w)
+            y0 = np.clip(ys - r, 0, h)
+            y1 = np.clip(ys + r + 1, 0, h)
+            x0 = np.clip(xs - r, 0, w)
+            x1 = np.clip(xs + r + 1, 0, w)
+            counts = ((y1 - y0)[:, None]
+                      * (x1 - x0)[None, :]).astype(np.float64)[..., None]
+            cached = (padded, y0[:, None], y1[:, None], x0[None, :],
+                      x1[None, :], counts)
+            self._scratch[(h, w)] = cached
+        return cached
 
     def apply(self, image: np.ndarray,
               rng: Optional[np.random.Generator] = None) -> np.ndarray:
         image = validate_image(image)
-        r = self.radius
         h, w, _ = image.shape
         # Summed-area approach via cumulative sums: O(pixels), like the
-        # separable loops a careful C implementation would use.
-        padded = np.zeros((h + 1, w + 1, 3), dtype=np.float64)
+        # separable loops a careful C implementation would use.  Row 0 and
+        # column 0 of the cached buffer stay zero; the interior is fully
+        # overwritten by the cumulative sums on every call.
+        padded, y0g, y1g, x0g, x1g, counts = self._buffers(h, w)
         np.cumsum(image, axis=0, out=padded[1:, 1:])
         np.cumsum(padded[1:, 1:], axis=1, out=padded[1:, 1:])
 
-        ys = np.arange(h)
-        xs = np.arange(w)
-        y0 = np.clip(ys - r, 0, h)
-        y1 = np.clip(ys + r + 1, 0, h)
-        x0 = np.clip(xs - r, 0, w)
-        x1 = np.clip(xs + r + 1, 0, w)
-
         # Window sums from the integral image.
-        a = padded[y1[:, None], x1[None, :]]
-        b = padded[y0[:, None], x1[None, :]]
-        c = padded[y1[:, None], x0[None, :]]
-        d = padded[y0[:, None], x0[None, :]]
-        sums = a - b - c + d
-        counts = ((y1 - y0)[:, None] * (x1 - x0)[None, :]).astype(np.float64)
-        out = sums / counts[..., None]
+        sums = padded[y1g, x1g]
+        sums -= padded[y0g, x1g]
+        sums -= padded[y1g, x0g]
+        sums += padded[y0g, x0g]
+        out = sums / counts
         return out.astype(np.float32)
 
     @property

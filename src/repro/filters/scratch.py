@@ -46,8 +46,9 @@ class ScratchFilter(ImageFilter):
         shade = np.float32(rng.uniform(0.6, 1.0))
         color = np.array([shade, shade, shade], dtype=np.float32)
         xs = rng.integers(0, image.shape[1], size=n)
-        for x in xs:
-            out[:, int(x), :] = color
+        # One fancy-indexed assignment over all scratch columns
+        # (duplicate columns collapse to the same write).
+        out[:, xs, :] = color
         return out
 
     @property

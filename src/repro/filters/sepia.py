@@ -31,9 +31,17 @@ class SepiaFilter(ImageFilter):
     def apply(self, image: np.ndarray,
               rng: Optional[np.random.Generator] = None) -> np.ndarray:
         image = validate_image(image)
-        mix = clamp01(image @ LUMA_WEIGHTS)[..., None]
-        out = S1[None, None, :] * (1.0 - mix) + S2[None, None, :] * mix
-        return clamp01(out).astype(np.float32)
+        # Fused elementwise expression in float32 throughout.  Unlike a
+        # matmul (BLAS may reorder the dot product), these are exactly the
+        # per-pixel operations in the paper's order, so the result is
+        # bit-identical to a scalar reference implementation.
+        mix = image[..., 0] * LUMA_WEIGHTS[0]
+        mix += image[..., 1] * LUMA_WEIGHTS[1]
+        mix += image[..., 2] * LUMA_WEIGHTS[2]
+        np.clip(mix, 0.0, 1.0, out=mix)
+        mix = mix[..., None]
+        out = S1 * (np.float32(1.0) - mix) + S2 * mix
+        return clamp01(out)
 
     @property
     def cost(self) -> FilterCost:

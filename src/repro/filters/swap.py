@@ -43,9 +43,9 @@ class SwapFilter(ImageFilter):
     def apply(self, image: np.ndarray,
               rng: Optional[np.random.Generator] = None) -> np.ndarray:
         image = validate_image(image)
-        out = image.copy()
-        swap_rows_inplace(out)
-        return out
+        # One contiguous copy of the reversed view: the same permutation
+        # the paper's three-copy exchange produces, without the row loop.
+        return image[::-1].copy()
 
     @property
     def cost(self) -> FilterCost:

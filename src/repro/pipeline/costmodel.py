@@ -100,13 +100,21 @@ class CostModel:
 
     def filter_seconds(self, key: str, pixels: int) -> float:
         """Compute time of one filter stage over ``pixels``."""
-        per_pixel = {
-            "sepia": self.sepia_per_pixel_s,
-            "blur": self.blur_per_pixel_s,
-            "scratch": self.scratch_per_pixel_s,
-            "flicker": self.flicker_per_pixel_s,
-            "swap": self.swap_per_pixel_s,
-        }.get(key)
+        try:
+            table = self._filter_per_pixel
+        except AttributeError:
+            # Lazily memoised per instance (the dataclass is frozen, so
+            # the constants cannot change after construction).  Not a
+            # dataclass field: replace()/== ignore it.
+            table = {
+                "sepia": self.sepia_per_pixel_s,
+                "blur": self.blur_per_pixel_s,
+                "scratch": self.scratch_per_pixel_s,
+                "flicker": self.flicker_per_pixel_s,
+                "swap": self.swap_per_pixel_s,
+            }
+            object.__setattr__(self, "_filter_per_pixel", table)
+        per_pixel = table.get(key)
         if per_pixel is None:
             raise ValueError(f"unknown filter stage {key!r}")
         if pixels < 0:

@@ -316,6 +316,8 @@ class ConnectStage(Stage):
         n = len(self.first_filter_cores)
         frame_bytes = ctx.workload.frame_bytes()
         datagrams = ctx.uplink.datagrams_for(frame_bytes)
+        my_coord = ctx.chip.topology.core(self.core_id).coord
+        connect_cost = ctx.cost.connect_seconds(datagrams, n)
         for _ in range(ctx.frames):
             wait_start = ctx.sim.now
             frame, image = yield self.connect_queue.get()
@@ -324,11 +326,10 @@ class ConnectStage(Stage):
             # The frame enters the chip at the system interface router
             # and crosses the mesh to this core...
             yield from ctx.chip.mesh.transfer(
-                SIF_LOCATION, ctx.chip.topology.core(self.core_id).coord,
-                frame_bytes)
+                SIF_LOCATION, my_coord, frame_bytes)
             # ...then kernel/UDP processing of the fragments, then
             # landing the frame in the private partition.
-            yield from self.compute(ctx.cost.connect_seconds(datagrams, n))
+            yield from self.compute(connect_cost)
             yield from ctx.chip.memory.write_own(self.core_id, frame_bytes)
             for p, dst in enumerate(self.first_filter_cores):
                 nbytes = ctx.workload.strip_bytes(p, n)
@@ -365,12 +366,17 @@ class FilterStage(Stage):
         n = ctx.num_pipelines
         pixels = ctx.workload.viewport(self.pipeline, n).pixels
         service = ctx.cost.filter_seconds(self.base_key, pixels)
+        sim = ctx.sim
+        compute_time = ctx.chip.compute_time
+        core_id = self.core_id
         for _ in range(ctx.frames):
             msg = yield from ctx.comm.recv(
-                self.core_id, self.prev_core,
+                core_id, self.prev_core,
                 idle_cb=self.record_idle)
-            start = ctx.sim.now
-            yield from self.compute(service)
+            start = sim.now
+            # self.compute(service) inlined: five filter stages per
+            # pipeline make this the most-executed stage loop.
+            yield sim.timeout(compute_time(core_id, service))
             payload = msg.payload
             if ctx.payload_mode and payload is not None:
                 frame, strip, image = payload
@@ -403,6 +409,7 @@ class TransferStage(Stage):
         n = len(self.last_filter_cores)
         frame_pixels = ctx.workload.image_side ** 2
         frame_bytes = ctx.workload.frame_bytes()
+        assemble_cost = ctx.cost.assemble_seconds(frame_pixels)
         for frame in range(ctx.frames):
             strips: List[Any] = [None] * n
             wait_start = ctx.sim.now
@@ -414,7 +421,7 @@ class TransferStage(Stage):
                     _, strip_idx, image = msg.payload
                     strips[strip_idx] = image
             start = ctx.sim.now
-            yield from self.compute(ctx.cost.assemble_seconds(frame_pixels))
+            yield from self.compute(assemble_cost)
             assembled = None
             if ctx.payload_mode and all(s is not None for s in strips):
                 # Strips arrive swap-flipped (top-down); the frame is

@@ -85,11 +85,12 @@ class RCCEComm:
         self.bytes_delivered = 0
 
     def _channel(self, src: int, dst: int) -> _Channel:
-        self.chip.topology.core(src)
-        self.chip.topology.core(dst)
         key = (src, dst)
         chan = self._channels.get(key)
         if chan is None:
+            # Core-id validation happens once per pair, on channel creation.
+            self.chip.topology.core(src)
+            self.chip.topology.core(dst)
             chan = self._channels[key] = _Channel(self.sim)
         return chan
 

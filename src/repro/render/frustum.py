@@ -87,6 +87,11 @@ class Frustum:
         his = np.asarray(his, dtype=np.float64)
         if los.shape != his.shape or los.ndim != 2 or los.shape[1] != 3:
             raise ValueError("los/his must both be (N, 3)")
+        return self._classify_boxes(los, his)
+
+    def _classify_boxes(self, los: np.ndarray, his: np.ndarray) -> np.ndarray:
+        """``classify_aabbs`` without input validation, for callers that
+        guarantee ``(N, 3)`` float64 corners (the octree traversal)."""
         normals = self.planes[:, :3]                       # (6, 3)
         d = self.planes[:, 3]                              # (6,)
         # (N, 6, 3): pick hi where the plane normal component is >= 0

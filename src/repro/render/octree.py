@@ -40,14 +40,24 @@ class TraversalStats:
 
 class OctreeNode:
     """One octree cell: either a leaf holding triangle indices, or eight
-    children (sparse — empty octants are ``None``)."""
+    children (sparse — empty octants are ``None``).
 
-    __slots__ = ("bounds", "triangle_indices", "children")
+    Internal nodes additionally carry the query acceleration built by
+    :meth:`Octree._finalize`: the live (non-``None``) children in octant
+    order and their stacked bounds, so a traversal can frustum-test all
+    children of a node with one vectorized call.
+    """
+
+    __slots__ = ("bounds", "triangle_indices", "children",
+                 "live_children", "child_los", "child_his")
 
     def __init__(self, bounds: AABB) -> None:
         self.bounds = bounds
         self.triangle_indices: Optional[np.ndarray] = None
         self.children: Optional[List[Optional["OctreeNode"]]] = None
+        self.live_children: Optional[List["OctreeNode"]] = None
+        self.child_los: Optional[np.ndarray] = None
+        self.child_his: Optional[np.ndarray] = None
 
     @property
     def is_leaf(self) -> bool:
@@ -88,6 +98,27 @@ class Octree:
         self.node_count = 1
         self.leaf_count = 0
         self._build(self.root, np.arange(mesh.num_triangles), depth=0)
+        self._finalize(self.root)
+
+    def _finalize(self, node: OctreeNode) -> None:
+        """Precompute per-node child lists and stacked bounds.
+
+        The tree is immutable after construction, so each internal node's
+        live children and their ``(k, 3)`` corner matrices are built once
+        here instead of being re-gathered on every frustum query.
+        """
+        if node.children is None:
+            return
+        live = [c for c in node.children if c is not None]
+        for child in live:
+            self._finalize(child)
+        node.live_children = live
+        # Gathered after the recursive calls: leaf bounds were loosened
+        # during _build, and these copies must reflect the final values.
+        node.child_los = np.array([c.bounds.lo for c in live],
+                                  dtype=np.float64)
+        node.child_his = np.array([c.bounds.hi for c in live],
+                                  dtype=np.float64)
 
     # -- construction -----------------------------------------------------------
     def _build(self, node: OctreeNode, indices: np.ndarray,
@@ -138,18 +169,41 @@ class Octree:
 
     def _query(self, node: OctreeNode, frustum: Frustum,
                collected: List[np.ndarray], stats: TraversalStats) -> None:
+        """Iterative DFS classifying all children of a node in one
+        vectorized frustum test.
+
+        Equivalent to the textbook per-node recursion: identical visit
+        and cull counts, and leaves are collected in the same depth-first
+        octant order (children are pushed in reverse so the stack pops
+        them in order, each subtree draining before the next starts).
+        """
         stats.nodes_visited += 1
         if not frustum.intersects_aabb(node.bounds):
             stats.nodes_culled += 1
             return
-        if node.is_leaf:
-            if node.triangle_indices is not None and len(node.triangle_indices):
-                collected.append(node.triangle_indices)
-            return
-        assert node.children is not None
-        for child in node.children:
-            if child is not None:
-                self._query(child, frustum, collected, stats)
+        visited = 0
+        culled = 0
+        stack = [node]
+        pop = stack.pop
+        classify = frustum._classify_boxes
+        while stack:
+            node = pop()
+            if node.children is None:
+                indices = node.triangle_indices
+                if indices is not None and len(indices):
+                    collected.append(indices)
+                continue
+            live = node.live_children
+            assert live is not None
+            mask = classify(node.child_los, node.child_his)
+            k = len(live)
+            visited += k
+            culled += k - int(mask.sum())
+            for i in range(k - 1, -1, -1):
+                if mask[i]:
+                    stack.append(live[i])
+        stats.nodes_visited += visited
+        stats.nodes_culled += culled
 
     def all_triangles(self) -> np.ndarray:
         """Every triangle index, in tree order (sanity checks)."""

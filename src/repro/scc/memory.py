@@ -105,11 +105,28 @@ class MemorySystem:
         ]
         #: per-core bytes read+written (monitoring)
         self.core_traffic: Dict[int, int] = {}
+        # The topology is immutable, so core -> (coord, controller) can be
+        # resolved once instead of per access.
+        self._core_coord: Dict[int, Any] = {}
+        self._core_mc: Dict[int, MemoryController] = {}
 
     # -- mapping ------------------------------------------------------------
     def controller_of(self, core_id: int) -> MemoryController:
         """The controller owning ``core_id``'s private partition."""
-        return self.controllers[self.topology.core(core_id).memory_controller]
+        mc = self._core_mc.get(core_id)
+        if mc is None:
+            core = self.topology.core(core_id)
+            mc = self.controllers[core.memory_controller]
+            self._core_mc[core_id] = mc
+            self._core_coord[core_id] = core.coord
+        return mc
+
+    def _coord_of(self, core_id: int) -> Any:
+        coord = self._core_coord.get(core_id)
+        if coord is None:
+            coord = self.topology.core(core_id).coord
+            self._core_coord[core_id] = coord
+        return coord
 
     # -- timing primitives -----------------------------------------------------
     def _account(self, core_id: int, nbytes: int) -> None:
@@ -132,11 +149,12 @@ class MemorySystem:
         self._account(acting_core, nbytes)
         if nbytes == 0:
             return
-        core_coord = self.topology.core(acting_core).coord
+        core_coord = self._coord_of(acting_core)
         mc = self.controller_of(partition_owner)
         mc.requests += 1
         mc.bytes_served += nbytes
         tel = self.telemetry
+        sim = self.sim
         if tel.enabled:
             tel.counters.inc(f"dram.mc{mc.index}.bytes", nbytes)
             tel.counters.inc(f"dram.mc{mc.index}.requests")
@@ -149,23 +167,30 @@ class MemorySystem:
             # Inline the acquire so the span covers service, not queueing.
             req = mc.resource.request()
             yield req
-            t0 = self.sim.now
+            t0 = sim.now
             try:
-                yield self.sim.timeout(service)
+                yield sim.timeout(service)
             finally:
                 mc.resource.release(req)
-            tel.span("dram", f"mc{mc.index}", "access", t0, self.sim.now,
+            tel.span("dram", f"mc{mc.index}", "access", t0, sim.now,
                      core=acting_core, bytes=nbytes,
                      direction="read" if data_inbound else "write")
         else:
-            yield from mc.resource.acquire(service)
+            # mc.resource.acquire(service) unrolled — per-access generator
+            # delegation costs more than the whole occupancy bookkeeping.
+            req = mc.resource.request()
+            yield req
+            try:
+                yield sim.timeout(service)
+            finally:
+                mc.resource.release(req)
         # 3. payload over the mesh, in the data direction
         if data_inbound:
             yield from self.mesh.transfer(mc.coord, core_coord, nbytes)
         else:
             yield from self.mesh.transfer(core_coord, mc.coord, nbytes)
         # 4. core-side copy loop (slow P54C + network interface)
-        yield self.sim.timeout(nbytes / cfg.core_copy_bandwidth)
+        yield sim.timeout(nbytes / cfg.core_copy_bandwidth)
 
     # -- public operations ---------------------------------------------------
     def read_own(self, core_id: int, nbytes: int) -> Generator[Any, Any, None]:
@@ -195,8 +220,8 @@ class MemorySystem:
         """
         if self.config.local_memory:
             # Direct put into the receiver's local store over the mesh.
-            src = self.topology.core(src_core).coord
-            dst = self.topology.core(dst_core).coord
+            src = self._coord_of(src_core)
+            dst = self._coord_of(dst_core)
             yield from self.mesh.transfer(src, dst, nbytes)
             yield self.sim.timeout(nbytes / self.config.local_bandwidth)
             self._account(src_core, nbytes)

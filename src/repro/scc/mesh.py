@@ -119,6 +119,9 @@ class Mesh:
                     if 0 <= nx < GRID_WIDTH and 0 <= ny < GRID_HEIGHT:
                         key = ((x, y), (nx, ny))
                         self._links[key] = Link(sim, *key)
+        # XY routes are static, so the Link sequence per (src, dst) pair is
+        # computed once and reused for every message.
+        self._route_cache: Dict[Tuple[Coord, Coord], Tuple[Link, ...]] = {}
         #: total messages moved (monitoring)
         self.messages = 0
         #: total payload bytes moved (monitoring)
@@ -134,18 +137,27 @@ class Mesh:
 
     def links_on_path(self, src: Coord, dst: Coord) -> List[Link]:
         """All links an XY-routed message from ``src`` to ``dst`` crosses."""
-        return [self._links[hop] for hop in xy_route(src, dst)]
+        return list(self._route(src, dst))
+
+    def _route(self, src: Coord, dst: Coord) -> Tuple[Link, ...]:
+        """The static XY route as a cached tuple of :class:`Link`."""
+        key = (src, dst)
+        route = self._route_cache.get(key)
+        if route is None:
+            route = tuple(self._links[hop] for hop in xy_route(src, dst))
+            self._route_cache[key] = route
+        return route
 
     # -- data movement -----------------------------------------------------
     def transfer_time_uncontended(self, src: Coord, dst: Coord,
                                   nbytes: int) -> float:
         """Zero-load latency of a transfer (analytic; used by tests)."""
-        hops = xy_route(src, dst)
+        hops = len(self._route(src, dst))
         per_hop = self.config.hop_latency_s
         serialization = nbytes / self.config.link_bandwidth
         # Cut-through: payload streams, so serialization is paid once, and
         # the head flit pays the per-hop latency on every hop.
-        return len(hops) * per_hop + serialization * max(len(hops), 1)
+        return hops * per_hop + serialization * max(hops, 1)
 
     def transfer(self, src: Coord, dst: Coord,
                  nbytes: int) -> Generator[Any, Any, None]:
@@ -159,21 +171,25 @@ class Mesh:
             raise ValueError("nbytes must be >= 0")
         self.messages += 1
         self.bytes_moved += nbytes
-        hops = xy_route(src, dst)
-        hold = nbytes / self.config.link_bandwidth + self.config.hop_latency_s
+        config = self.config
+        route = self._route_cache.get((src, dst))
+        if route is None:
+            route = self._route(src, dst)
+        hold = nbytes / config.link_bandwidth + config.hop_latency_s
         tel = self.telemetry
         if tel.enabled:
             tel.counters.inc("mesh.messages")
             tel.counters.inc("mesh.bytes", nbytes)
-        if not hops:
+        if not route:
             # Same router (core to its sibling or to its own MPB): only the
             # local crossing latency applies.
-            yield self.sim.timeout(self.config.hop_latency_s)
+            yield self.sim.timeout(config.hop_latency_s)
             return
-        if not self.config.model_contention:
-            yield self.sim.timeout(len(hops) * hold)
+        if not config.model_contention:
+            yield self.sim.timeout(len(route) * hold)
             return
-        for link in (self._links[h] for h in hops):
+        sim = self.sim
+        for link in route:
             link.messages += 1
             link.bytes_carried += nbytes
             if tel.enabled:
@@ -183,15 +199,23 @@ class Mesh:
                 # occupancy window (grant -> release), not the queueing.
                 req = link.resource.request()
                 yield req
-                t0 = self.sim.now
+                t0 = sim.now
                 try:
-                    yield self.sim.timeout(hold)
+                    yield sim.timeout(hold)
                 finally:
                     link.resource.release(req)
                 tel.span("mesh", f"link {link.tag}", "xfer",
-                         t0, self.sim.now, bytes=nbytes)
+                         t0, sim.now, bytes=nbytes)
             else:
-                yield from link.resource.acquire(hold)
+                # link.resource.acquire(hold) unrolled: this loop moves
+                # every payload byte in the simulation, and the delegated
+                # generator was measurable overhead.
+                req = link.resource.request()
+                yield req
+                try:
+                    yield sim.timeout(hold)
+                finally:
+                    link.resource.release(req)
 
     # -- monitoring ------------------------------------------------------------
     def hottest_links(self, n: int = 5) -> List[Link]:

@@ -15,6 +15,7 @@ for a strip from every parallel pipeline).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -98,9 +99,17 @@ class Event:
         """Trigger the event successfully with ``value``."""
         if self._value is not PENDING:
             raise RuntimeError(f"{self!r} already triggered")
+        if self._scheduled:
+            raise RuntimeError(f"{self!r} scheduled twice")
         self._ok = True
         self._value = value
-        self.sim._schedule(self)
+        # Inlined sim._schedule(self): succeed() is the kernel's hottest
+        # scheduling entry point.  1 == Simulator.PRIORITY_NORMAL (the
+        # constant lives in core, which imports this module).
+        sim = self.sim
+        self._scheduled = True
+        sim._seq += 1
+        heappush(sim._queue, (sim._now, 1, sim._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -160,11 +169,17 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # Flat initialisation (no super() chain, scheduling inlined):
+        # Timeout is by far the most-allocated event type.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay=delay)
+        self._ok = True
+        self._scheduled = True
+        self._defused = False
+        self.delay = delay
+        sim._seq += 1
+        heappush(sim._queue, (sim._now + delay, 1, sim._seq, self))
 
 
 class ConditionValue:

@@ -37,7 +37,8 @@ class Process(Event):
         Optional human-readable name used in tracebacks and repr.
     """
 
-    __slots__ = ("_generator", "name", "_target")
+    __slots__ = ("_generator", "name", "_target", "_send", "_throw",
+                 "_resume_cb")
 
     def __init__(
         self,
@@ -51,11 +52,16 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
+        # Hot-path caches: the generator entry points and the one bound
+        # callback object used for every wait this process ever performs.
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume_cb = self._resume
         # Bootstrap: resume the process at the current simulation instant.
         init = Event(sim)
         init._ok = True
         init._value = None
-        init.callbacks.append(self._resume)
+        init.callbacks.append(self._resume_cb)
         sim._schedule(init)
 
     # -- public API --------------------------------------------------------
@@ -85,13 +91,13 @@ class Process(Event):
         event._ok = False
         event._value = Interrupt(cause)
         event._defused = True
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._resume_cb)
         self.sim._schedule(event, priority=self.sim.PRIORITY_URGENT)
         # Unsubscribe from the event we were waiting on: we will re-wait if
         # the process yields it again.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._resume_cb)
             except ValueError:  # pragma: no cover - already detached
                 pass
             self._target = None
@@ -102,14 +108,15 @@ class Process(Event):
         sim = self.sim
         sim._active_process = self
         self._target = None
+        send = self._send
         while True:
             try:
                 if event._ok:
-                    result = self._generator.send(event._value)
+                    result = send(event._value)
                 else:
                     # The exception is being delivered; consider it handled.
                     event._defused = True
-                    result = self._generator.throw(event._value)
+                    result = self._throw(event._value)
             except StopIteration as exc:
                 sim._active_process = None
                 self._ok = True
@@ -134,7 +141,7 @@ class Process(Event):
 
             if result.callbacks is not None:
                 # Event still pending or scheduled: wait for it.
-                result.callbacks.append(self._resume)
+                result.callbacks.append(self._resume_cb)
                 self._target = result
                 sim._active_process = None
                 return

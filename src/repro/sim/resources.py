@@ -16,9 +16,10 @@ bit-for-bit.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Deque, Generator, List, Optional
 
-from .events import Event
+from .events import PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from .core import Simulator
@@ -37,7 +38,14 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.sim)
+        # Flat initialisation (no super() chain): one Request per link hop
+        # and memory access makes this a hot allocation.
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._scheduled = False
+        self._defused = False
         self.resource = resource
 
 
@@ -73,6 +81,13 @@ class Resource:
         self.grants = 0
         self._busy_since: Optional[float] = None
         self.busy_time = 0.0
+        # The one Release instance every release() returns: a release
+        # completes synchronously, so the event is born processed and
+        # carries no per-call state.
+        self._released = rel = Release(sim)
+        rel._ok = True
+        rel._value = None
+        rel.callbacks = None
 
     # -- introspection -----------------------------------------------------
     @property
@@ -108,9 +123,11 @@ class Resource:
         elif not self._users and self._busy_since is not None:
             self.busy_time += self.sim.now - self._busy_since
             self._busy_since = None
-        rel = Release(self.sim)
-        rel.succeed()
-        return rel
+        # A release completes synchronously, so the returned event is
+        # already processed (``callbacks is None``).  Yielding it resumes
+        # the process immediately instead of burning a calendar hop on an
+        # event nobody else can observe.
+        return self._released
 
     def cancel(self, request: Request) -> None:
         """Withdraw a queued (not yet granted) request."""
@@ -120,11 +137,17 @@ class Resource:
             raise RuntimeError("request is not waiting (already granted?)")
 
     def _grant(self, req: Request) -> None:
+        sim = self.sim
         if not self._users and self._busy_since is None:
-            self._busy_since = self.sim.now
+            self._busy_since = sim._now
         self._users.append(req)
         self.grants += 1
-        req.succeed(req)
+        # req.succeed(req) inlined, guards elided: a Request reaching here
+        # is untriggered by construction.  1 == PRIORITY_NORMAL.
+        req._value = req
+        req._scheduled = True
+        sim._seq += 1
+        heappush(sim._queue, (sim._now, 1, sim._seq, req))
 
     @property
     def utilization_until_now(self) -> float:
@@ -157,7 +180,13 @@ class _StorePut(Event):
     __slots__ = ("item",)
 
     def __init__(self, sim: "Simulator", item: Any) -> None:
-        super().__init__(sim)
+        # Flat initialisation (no super() chain): allocated per hand-off.
+        self.sim = sim
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._scheduled = False
+        self._defused = False
         self.item = item
 
 
