@@ -1,0 +1,42 @@
+"""Shared helpers for the standalone benchmark scripts.
+
+The pytest benches get their infrastructure from ``conftest.py``; the
+script-style benches (``bench_endtoend.py``, ``bench_sweep_parallel.py``)
+share this module instead: the ``src/`` path bootstrap and one uniform
+set of executor flags (``--jobs`` / ``--cache-dir`` / ``--no-cache``) so
+every entry point spells parallelism and caching the same way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+
+def add_exec_arguments(parser: argparse.ArgumentParser,
+                       jobs_default: int = 1) -> argparse.ArgumentParser:
+    """Attach the uniform ``--jobs`` / ``--cache-dir`` / ``--no-cache``
+    flags (mirrors the ``repro sweep`` CLI)."""
+    parser.add_argument("--jobs", type=int, default=jobs_default,
+                        metavar="N",
+                        help="worker processes (results are identical for "
+                             f"any value; default {jobs_default})")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache directory (default "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-scc)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the result cache: always simulate, "
+                             "never store")
+    return parser
+
+
+def executor_from_args(args: argparse.Namespace, telemetry=None):
+    """Build a :class:`repro.exec.SweepExecutor` from the uniform flags."""
+    from repro.exec import ResultCache, SweepExecutor, default_cache_dir
+
+    cache = (None if args.no_cache
+             else ResultCache(args.cache_dir or default_cache_dir()))
+    return SweepExecutor(jobs=args.jobs, cache=cache, telemetry=telemetry)

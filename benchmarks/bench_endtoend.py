@@ -34,13 +34,12 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import statistics
 import sys
 import time
 from pathlib import Path
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+import _common  # noqa: F401  (bootstraps src/ onto sys.path)
 
 from repro.pipeline import PipelineRunner  # noqa: E402
 from repro.pipeline.workload import WalkthroughWorkload  # noqa: E402

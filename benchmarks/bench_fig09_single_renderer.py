@@ -15,6 +15,8 @@ PIPELINES = range(1, 9)  # the paper's Fig. 9 x axis runs to 8
 
 def test_fig09_one_renderer_sweep(once, runs):
     def sweep():
+        runs.prefetch(("scc", "one_renderer", n, arr)
+                      for arr in ARRANGEMENTS for n in PIPELINES)
         return {
             arr: [runs.scc("one_renderer", n, arr).walkthrough_seconds
                   for n in PIPELINES]

@@ -15,6 +15,8 @@ PIPELINES = range(1, 8)  # 7 is the maximum that fits (paper §VI-A)
 
 def test_fig10_n_renderers_sweep(once, runs):
     def sweep():
+        runs.prefetch(("scc", "n_renderers", n, arr)
+                      for arr in ARRANGEMENTS for n in PIPELINES)
         return {
             arr: [runs.scc("n_renderers", n, arr).walkthrough_seconds
                   for n in PIPELINES]

@@ -15,6 +15,8 @@ PIPELINES = range(1, 9)
 
 def test_fig11_mcpc_sweep(once, runs):
     def sweep():
+        runs.prefetch(("scc", "mcpc_renderer", n, arr)
+                      for arr in ARRANGEMENTS for n in PIPELINES)
         return {
             arr: [runs.scc("mcpc_renderer", n, arr).walkthrough_seconds
                   for n in PIPELINES]

@@ -16,6 +16,8 @@ PIPELINES = range(1, 8)
 
 def test_fig13_cluster_sweep(once, runs):
     def sweep():
+        runs.prefetch(("hpc", cfg, n, "cluster")
+                      for cfg in CLUSTER_CONFIGURATIONS for n in PIPELINES)
         return {
             cfg: [runs.cluster(cfg, n).walkthrough_seconds
                   for n in PIPELINES]

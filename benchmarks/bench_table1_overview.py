@@ -16,6 +16,13 @@ PIPELINES = paper.TABLE1_PIPELINES
 
 
 def build_table(runs):
+    # Batch the whole 84-point grid through the executor first so
+    # ``--jobs N`` shards it; the lookups below hit the session memo.
+    runs.prefetch(
+        [("scc", cfg, n, arr) for cfg in SCC_CONFIGS
+         for arr in ARRANGEMENTS for n in PIPELINES]
+        + [("hpc", cfg, n, "cluster") for cfg in HPC_CONFIGS
+           for n in PIPELINES])
     table = {}
     for cfg in SCC_CONFIGS:
         for arr in ARRANGEMENTS:

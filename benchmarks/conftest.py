@@ -2,9 +2,23 @@
 
 Every bench regenerates one of the paper's tables or figures and prints
 a paper-vs-measured comparison (visible with ``pytest -s`` or in the
-captured output).  Full 400-frame simulations are cached per
-``(platform, config, arrangement, pipelines)`` so the Table I bench can
-reuse the sweeps of the per-figure benches within one session.
+captured output).  Full 400-frame simulations go through the
+:mod:`repro.exec` layer and are memoized per
+``(platform, config, arrangement, pipelines)`` for the session, so the
+Table I bench reuses the sweeps of the per-figure benches.
+
+Uniform executor flags (same spelling as ``repro sweep`` and the
+standalone scripts):
+
+``--jobs N``
+    Shard sweep prefetches across N worker processes.  Results are
+    aggregated in submission order and stay bit-identical.
+``--cache-dir DIR``
+    Persist results in a content-addressed on-disk cache: a re-run of
+    the bench suite on an unchanged engine simulates nothing.
+``--no-cache``
+    Force fresh simulation even when ``--cache-dir`` / the environment
+    provides a cache location.
 """
 
 import os
@@ -15,36 +29,101 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 import pytest
 
 from repro.cluster import ClusterRunner
+from repro.exec import ResultCache, RunSpec, SweepExecutor
 from repro.pipeline import PipelineRunner
 
 
-class RunCache:
-    """Memoized full-length simulation runs."""
+def pytest_addoption(parser):
+    group = parser.getgroup("repro sweeps")
+    group.addoption("--jobs", type=int, default=1,
+                    help="worker processes for sweep prefetches "
+                         "(default 1)")
+    group.addoption("--cache-dir", default=None,
+                    help="content-addressed result cache directory "
+                         "(default: $REPRO_CACHE_DIR, else no disk cache)")
+    group.addoption("--no-cache", action="store_true", default=False,
+                    help="disable the on-disk result cache")
 
-    def __init__(self) -> None:
+
+class RunCache:
+    """Session-memoized simulation runs, backed by the sweep executor.
+
+    ``scc()`` / ``cluster()`` keep their historical one-point signature;
+    ``prefetch()`` lets a bench batch its whole grid through the
+    executor first so ``--jobs N`` actually shards it.  Points with
+    keyword arguments a :class:`~repro.exec.RunSpec` cannot express
+    (live objects, ablation overrides) fall back to a direct in-process
+    run — same results, no sharding/caching.
+    """
+
+    def __init__(self, executor: SweepExecutor) -> None:
+        self.executor = executor
         self._cache = {}
+
+    @staticmethod
+    def _spec(platform, config, pipelines, arrangement, kw):
+        try:
+            return RunSpec(platform=platform, config=config,
+                           pipelines=pipelines, arrangement=arrangement,
+                           **kw)
+        except (TypeError, ValueError):
+            return None
+
+    def _memo_key(self, platform, config, pipelines, arrangement, kw):
+        label = "hpc" if platform == "hpc" else "scc"
+        if platform == "hpc":
+            return (label, config, pipelines, tuple(sorted(kw.items())))
+        return (label, config, arrangement, pipelines,
+                tuple(sorted(kw.items())))
+
+    def prefetch(self, points) -> None:
+        """Batch-execute ``(platform, config, pipelines, arrangement)``
+        points (arrangement ignored for ``"hpc"``) through the executor."""
+        todo = []
+        for platform, config, pipelines, arrangement in points:
+            key = self._memo_key(platform, config, pipelines, arrangement, {})
+            spec = self._spec(platform, config, pipelines, arrangement, {})
+            if key in self._cache or spec is None:
+                continue
+            if all(k != key for k, _ in todo):
+                todo.append((key, spec))
+        if todo:
+            for (key, _), result in zip(
+                    todo, self.executor.run([s for _, s in todo])):
+                self._cache[key] = result
+
+    def _run(self, platform, config, pipelines, arrangement, kw):
+        key = self._memo_key(platform, config, pipelines, arrangement, kw)
+        if key not in self._cache:
+            spec = self._spec(platform, config, pipelines, arrangement, kw)
+            if spec is not None:
+                self._cache[key] = self.executor.run_one(spec)
+            elif platform == "hpc":
+                self._cache[key] = ClusterRunner(
+                    config=config, pipelines=pipelines, **kw).run()
+            else:
+                self._cache[key] = PipelineRunner(
+                    config=config, pipelines=pipelines,
+                    arrangement=arrangement, **kw).run()
+        return self._cache[key]
 
     def scc(self, config: str, pipelines: int = 1,
             arrangement: str = "ordered", **kw):
-        key = ("scc", config, arrangement, pipelines,
-               tuple(sorted(kw.items())))
-        if key not in self._cache:
-            self._cache[key] = PipelineRunner(
-                config=config, pipelines=pipelines,
-                arrangement=arrangement, **kw).run()
-        return self._cache[key]
+        return self._run("scc", config, pipelines, arrangement, kw)
 
     def cluster(self, config: str, pipelines: int = 1, **kw):
-        key = ("hpc", config, pipelines, tuple(sorted(kw.items())))
-        if key not in self._cache:
-            self._cache[key] = ClusterRunner(
-                config=config, pipelines=pipelines, **kw).run()
-        return self._cache[key]
+        return self._run("hpc", config, pipelines, "cluster", kw)
 
 
 @pytest.fixture(scope="session")
-def runs() -> RunCache:
-    return RunCache()
+def runs(request) -> RunCache:
+    jobs = request.config.getoption("--jobs")
+    cache_dir = request.config.getoption("--cache-dir") \
+        or os.environ.get("REPRO_CACHE_DIR")
+    cache = None
+    if cache_dir and not request.config.getoption("--no-cache"):
+        cache = ResultCache(cache_dir)
+    return RunCache(SweepExecutor(jobs=jobs, cache=cache))
 
 
 @pytest.fixture()

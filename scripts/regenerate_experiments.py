@@ -8,22 +8,33 @@ Also writes machine-readable artifacts:
     results/table1.json     every Table I run (full RunResult dumps)
     results/table1.csv      the scalar columns
 
-Usage:  python scripts/regenerate_experiments.py [--out results]
+All runs go through the :mod:`repro.exec` layer: ``--jobs N`` shards
+them across worker processes and the content-addressed result cache
+means a re-run (after a crash, a Ctrl-C, or on an unchanged engine)
+resumes instead of recomputing — only missing points simulate.
+
+A failing experiment no longer aborts the campaign: every section runs,
+and a per-experiment pass/fail summary is printed at the end (exit code
+is non-zero if anything failed).
+
+Usage:  python scripts/regenerate_experiments.py \
+            [--out results] [--jobs N] [--cache-dir DIR] [--no-cache]
 """
 
 import argparse
 import pathlib
 import sys
+import traceback
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-from repro.cluster import ClusterRunner  # noqa: E402
-from repro.pipeline import (  # noqa: E402
-    ARRANGEMENTS,
-    PipelineRunner,
-    WalkthroughWorkload,
-    sweep_image_sizes,
+from repro.exec import (  # noqa: E402
+    ResultCache,
+    RunSpec,
+    SweepExecutor,
+    default_cache_dir,
 )
+from repro.pipeline import ARRANGEMENTS  # noqa: E402
 from repro.pipeline.arrangements import dvfs_study_placement  # noqa: E402
 from repro.report import (  # noqa: E402
     format_comparison,
@@ -33,75 +44,139 @@ from repro.report import (  # noqa: E402
 )
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", type=pathlib.Path,
-                        default=pathlib.Path("results"))
-    args = parser.parse_args()
-    args.out.mkdir(parents=True, exist_ok=True)
-
-    print("== baseline ==")
-    base = PipelineRunner(config="single_core").run()
+def experiment_baseline(executor, args):
+    base = executor.run_one(RunSpec(config="single_core"))
     print(f"single core: {base.walkthrough_seconds:.1f} s (paper 382)")
 
-    print("\n== Table I ==")
-    all_results = [base]
+
+def experiment_table1(executor, args):
+    specs = [RunSpec(config="single_core")]
     for config in ("one_renderer", "n_renderers", "mcpc_renderer"):
         for arr in ARRANGEMENTS:
-            row = []
-            for n in paper.TABLE1_PIPELINES:
-                r = PipelineRunner(config=config, pipelines=n,
-                                   arrangement=arr).run()
-                all_results.append(r)
-                row.append(r.walkthrough_seconds)
-            ref = paper.TABLE1[(config, arr)]
+            specs.extend(RunSpec(config=config, arrangement=arr, pipelines=n)
+                         for n in paper.TABLE1_PIPELINES)
+    for config in ("external_renderer", "single_renderer",
+                   "parallel_renderer"):
+        specs.extend(RunSpec(platform="hpc", config=config, pipelines=n)
+                     for n in paper.TABLE1_PIPELINES)
+    all_results = executor.run(specs)
+
+    i = 1
+    for config in ("one_renderer", "n_renderers", "mcpc_renderer"):
+        for arr in ARRANGEMENTS:
+            chunk = all_results[i:i + len(paper.TABLE1_PIPELINES)]
+            i += len(chunk)
             print(format_comparison(
-                "pl", list(paper.TABLE1_PIPELINES), ref, row,
+                "pl", list(paper.TABLE1_PIPELINES),
+                paper.TABLE1[(config, arr)],
+                [r.walkthrough_seconds for r in chunk],
                 title=f"{config} / {arr}"))
     for config in ("external_renderer", "single_renderer",
                    "parallel_renderer"):
-        row = []
-        for n in paper.TABLE1_PIPELINES:
-            r = ClusterRunner(config=config, pipelines=n).run()
-            all_results.append(r)
-            row.append(r.walkthrough_seconds)
-        ref = paper.TABLE1[(f"hpc_{config}", "cluster")]
-        print(format_comparison("pl", list(paper.TABLE1_PIPELINES), ref, row,
-                                title=f"hpc {config}"))
+        chunk = all_results[i:i + len(paper.TABLE1_PIPELINES)]
+        i += len(chunk)
+        print(format_comparison(
+            "pl", list(paper.TABLE1_PIPELINES),
+            paper.TABLE1[(f"hpc_{config}", "cluster")],
+            [r.walkthrough_seconds for r in chunk],
+            title=f"hpc {config}"))
 
     results_to_json(all_results, args.out / "table1.json")
     results_to_csv(all_results, args.out / "table1.csv")
-    print(f"\nwrote {args.out}/table1.json and .csv "
-          f"({len(all_results)} runs)")
+    print(f"wrote {args.out}/table1.json and .csv ({len(all_results)} runs)")
 
-    print("\n== Fig. 12 (image sizes) ==")
-    sizes = sweep_image_sizes(paper.FIG12_SIDES)
-    for side, r in sizes.items():
+
+def experiment_fig12(executor, args):
+    specs = [RunSpec(config="mcpc_renderer", pipelines=1, image_side=side)
+             for side in paper.FIG12_SIDES]
+    for side, r in zip(paper.FIG12_SIDES, executor.run(specs)):
         print(f"  side {side}: {r.walkthrough_seconds:.1f} s")
 
-    print("\n== Fig. 15 (idle, MCPC 7 pl.) ==")
-    r7 = PipelineRunner(config="mcpc_renderer", pipelines=7).run()
+
+def experiment_fig15(executor, args):
+    r7 = executor.run_one(RunSpec(config="mcpc_renderer", pipelines=7))
     for key, (q1, med, q3) in sorted(r7.idle_quartiles.items()):
         print(f"  {key:10s} {q1 * 1e3:6.1f} / {med * 1e3:6.1f} / "
               f"{q3 * 1e3:6.1f} ms")
 
-    print("\n== Figs 16/17 (DVFS) ==")
+
+def experiment_dvfs(executor, args):
     placement = dvfs_study_placement()
     plans = {"all_533": None, "blur_800": {"blur": 800.0},
              "mixed": {"blur": 800.0, "scratch": 400.0, "flicker": 400.0,
                        "swap": 400.0, "transfer": 400.0}}
-    for name, plan in plans.items():
-        r = PipelineRunner(config="mcpc_renderer", pipelines=1,
-                           placement=placement, frequency_plan=plan).run()
+    specs = [RunSpec(config="mcpc_renderer", pipelines=1,
+                     placement=placement, frequency_plan=plan)
+             for plan in plans.values()]
+    for name, r in zip(plans, executor.run(specs)):
         print(f"  {name:9s} {r.walkthrough_seconds:6.1f} s  "
               f"{r.scc_avg_power_w:5.2f} W")
 
-    print("\n== §VI-B energy ==")
-    hybrid = PipelineRunner(config="mcpc_renderer", pipelines=5).run()
-    nrend = PipelineRunner(config="n_renderers", pipelines=7).run()
+
+def experiment_energy(executor, args):
+    hybrid, nrend = executor.run([
+        RunSpec(config="mcpc_renderer", pipelines=5),
+        RunSpec(config="n_renderers", pipelines=7),
+    ])
     print(f"  hybrid: {hybrid.total_energy_j():.0f} J (paper 2642)")
     print(f"  n-rend: {nrend.total_energy_j():.0f} J (paper 3364)")
-    return 0
+
+
+EXPERIMENTS = (
+    ("baseline", experiment_baseline),
+    ("Table I", experiment_table1),
+    ("Fig. 12 (image sizes)", experiment_fig12),
+    ("Fig. 15 (idle, MCPC 7 pl.)", experiment_fig15),
+    ("Figs 16/17 (DVFS)", experiment_dvfs),
+    ("§VI-B energy", experiment_energy),
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=pathlib.Path("results"))
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1)")
+    parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="result cache directory (default "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-scc)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always simulate; do not read or write the "
+                             "result cache")
+    args = parser.parse_args()
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    cache = (None if args.no_cache
+             else ResultCache(args.cache_dir or default_cache_dir()))
+    executor = SweepExecutor(jobs=args.jobs, cache=cache)
+
+    statuses = []
+    for name, fn in EXPERIMENTS:
+        print(f"\n== {name} ==")
+        try:
+            fn(executor, args)
+            statuses.append((name, None))
+        except Exception as exc:  # keep going: report at the end
+            traceback.print_exc()
+            statuses.append((name, exc))
+
+    stats = executor.stats
+    print(f"\n== summary ==")
+    print(f"runs: {stats.hits} from cache, {stats.executed} simulated "
+          f"(jobs={args.jobs})")
+    failed = 0
+    for name, exc in statuses:
+        if exc is None:
+            print(f"  PASS  {name}")
+        else:
+            failed += 1
+            print(f"  FAIL  {name}: {type(exc).__name__}: {exc}")
+    if failed:
+        print(f"{failed} of {len(statuses)} experiments failed; completed "
+              f"runs are cached, so a fixed engine resumes from here")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -5,13 +5,22 @@ Subcommands
 ``run``
     Simulate one configuration and print the result summary
     (optionally an ASCII Gantt chart of stage activity and a
-    Chrome trace via ``--trace-out``).
+    Chrome trace via ``--trace-out``).  Results are served from the
+    content-addressed cache when available (``--no-cache`` to force a
+    fresh simulation).
+``sweep``
+    Run a configuration across pipeline counts and arrangements with
+    ``--jobs N`` worker processes and the result cache
+    (see docs/performance.md, "Parallel sweeps and the result cache").
 ``profile``
     Simulate with full telemetry: Chrome-trace JSON for Perfetto,
     counter dumps and a text "top" report of the hottest mesh links,
     memory controllers and stages (see docs/observability.md).
+    ``--jobs`` executes in worker processes; counters merge back
+    losslessly, so totals match the serial run.
 ``table1``
-    Regenerate the paper's Table I next to the published numbers.
+    Regenerate the paper's Table I next to the published numbers
+    (``--jobs``/``--cache-dir`` shard and cache the 84 runs).
 ``film``
     Render real frames through the pipeline and write PPM files.
 ``dvfs``
@@ -28,11 +37,11 @@ import sys
 from typing import List, Optional, Sequence
 
 from .analysis import PeriodPredictor
-from .cluster import ClusterRunner
+from .exec import ResultCache, RunSpec, SweepExecutor, default_cache_dir
 from .pipeline import ARRANGEMENTS, CONFIGURATIONS, PipelineRunner
 from .pipeline.arrangements import dvfs_study_placement
 from .pipeline.workload import WalkthroughWorkload
-from .report import format_table, paper
+from .report import format_table, paper, results_to_json
 from .sim.trace import render_gantt
 from .telemetry import (
     Telemetry,
@@ -42,6 +51,28 @@ from .telemetry import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_exec_args(parser: argparse.ArgumentParser,
+                   jobs: bool = True) -> None:
+    """The uniform executor/cache flags (`sweep`, `run`, `table1`...)."""
+    if jobs:
+        parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="worker processes (results are identical "
+                                 "for any value; default 1)")
+    parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="result cache directory (default "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro-scc)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the result cache: always simulate, "
+                             "never store")
+
+
+def _cache_from(args: argparse.Namespace):
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir or default_cache_dir())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,6 +95,30 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="FILE",
                      help="write a Chrome trace-event JSON of the run "
                           "(open in Perfetto or chrome://tracing)")
+    _add_exec_args(run, jobs=False)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a pipeline-count x arrangement sweep, sharded across "
+             "--jobs workers with result caching")
+    sweep.add_argument("--config", choices=CONFIGURATIONS,
+                       default="mcpc_renderer")
+    sweep.add_argument("--pipelines", type=int, nargs="+", metavar="N",
+                       default=list(paper.TABLE1_PIPELINES),
+                       help="pipeline counts (default: the Table I axis)")
+    sweep.add_argument("--arrangements", choices=ARRANGEMENTS, nargs="+",
+                       default=["ordered"], metavar="ARR",
+                       help="arrangements to cross with the counts "
+                            "(default: ordered)")
+    sweep.add_argument("--frames", type=int, default=400)
+    sweep.add_argument("--image-side", type=int, default=400)
+    sweep.add_argument("--json", type=pathlib.Path, default=None,
+                       metavar="FILE",
+                       help="dump every RunResult as a JSON array")
+    sweep.add_argument("--expect-all-cached", action="store_true",
+                       help="exit non-zero if any point had to be "
+                            "simulated (CI cache-effectiveness gate)")
+    _add_exec_args(sweep)
 
     profile = sub.add_parser(
         "profile",
@@ -83,12 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--top", type=int, default=5, metavar="N",
                          help="rows per section of the top report "
                               "(default 5)")
+    profile.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="run in N worker processes and merge the "
+                              "telemetry back (totals match serial)")
 
     table1 = sub.add_parser("table1", help="regenerate Table I")
     table1.add_argument("--frames", type=int, default=400)
     table1.add_argument("--arrangement", choices=ARRANGEMENTS,
                         default="ordered")
     table1.add_argument("--max-pipelines", type=int, default=7)
+    _add_exec_args(table1)
 
     film = sub.add_parser("film", help="render real frames to PPM files")
     film.add_argument("--frames", type=int, default=24)
@@ -153,7 +212,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     runner = PipelineRunner(config=args.config, pipelines=args.pipelines,
                             arrangement=args.arrangement, frames=args.frames,
                             trace=args.gantt, telemetry=telemetry)
-    result = runner.run()
+    # A Gantt chart or Chrome trace needs the live run; otherwise the
+    # content-addressed cache can answer (and record) the result.
+    cache = None if (args.gantt or args.trace_out) else _cache_from(args)
+    cache_note = ""
+    if cache is not None:
+        executor = SweepExecutor(cache=cache)
+        result = executor.run_one(runner.spec())
+        cache_note = ("hit" if executor.last_stats.hits else "stored") \
+            + f" ({cache.root})"
+    else:
+        result = runner.run()
     print(f"config        : {result.config} / {result.arrangement}")
     print(f"pipelines     : {result.pipelines} "
           f"({result.cores_used} SCC cores)")
@@ -180,6 +249,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
         path = write_chrome_trace(args.trace_out, telemetry)
         print(f"Chrome trace  : {path} "
               f"({len(telemetry.events)} events)")
+    if cache_note:
+        print(f"result cache  : {cache_note}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    problem = _check_out_paths(args.json)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
+    specs = [RunSpec(config=args.config, pipelines=n, arrangement=arr,
+                     frames=args.frames, image_side=args.image_side)
+             for arr in args.arrangements for n in args.pipelines]
+    cache = _cache_from(args)
+    executor = SweepExecutor(jobs=args.jobs, cache=cache)
+    results = executor.run(specs)
+
+    rows = []
+    per_arr = len(args.pipelines)
+    for i, arr in enumerate(args.arrangements):
+        chunk = results[i * per_arr:(i + 1) * per_arr]
+        rows.append([arr, *[f"{r.walkthrough_seconds:.1f}" for r in chunk]])
+    print(format_table(
+        ["arrangement", *[f"{n} pl." for n in args.pipelines]], rows,
+        title=f"sweep {args.config}, {args.frames} frames (seconds)"))
+    stats = executor.last_stats
+    where = f" ({cache.root})" if cache is not None else " (cache off)"
+    print(f"{len(specs)} points: {stats.hits} cached, "
+          f"{stats.executed} simulated, jobs={args.jobs}{where}")
+    if args.json is not None:
+        results_to_json(results, args.json)
+        print(f"results -> {args.json}")
+    if args.expect_all_cached and stats.executed:
+        print(f"error: expected a fully warm cache but {stats.executed} "
+              f"point(s) were simulated", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -192,7 +297,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     runner = PipelineRunner(config=args.config, pipelines=args.pipelines,
                             arrangement=args.arrangement, frames=args.frames,
                             telemetry=telemetry)
-    result = runner.run()
+    if args.jobs > 1:
+        # Execute in workers; events and counter snapshots merge back in
+        # submission order, so the report equals the serial one.
+        result = SweepExecutor(jobs=args.jobs,
+                               telemetry=telemetry).run_one(runner.spec())
+    else:
+        result = runner.run()
     print(f"config      : {result.config} / {result.arrangement}, "
           f"{result.pipelines} pipelines, {result.frames} frames")
     print(f"walkthrough : {result.walkthrough_seconds:.2f} s, "
@@ -213,36 +324,37 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_table1(args: argparse.Namespace) -> int:
     pipeline_counts = [n for n in paper.TABLE1_PIPELINES
                        if n <= args.max_pipelines]
+    scc_configs = ("one_renderer", "n_renderers", "mcpc_renderer")
+    hpc_configs = ("external_renderer", "single_renderer",
+                   "parallel_renderer")
+    specs = [RunSpec(config=config, pipelines=n,
+                     arrangement=args.arrangement, frames=args.frames)
+             for config in scc_configs for n in pipeline_counts]
+    specs += [RunSpec(platform="hpc", config=config, pipelines=n,
+                      frames=args.frames)
+              for config in hpc_configs for n in pipeline_counts]
+    executor = SweepExecutor(jobs=args.jobs, cache=_cache_from(args))
+    results = iter(executor.run(specs))
+
+    scale = 400.0 / args.frames
     rows: List[List[str]] = []
-    for config in ("one_renderer", "n_renderers", "mcpc_renderer"):
-        ref = paper.TABLE1[(config, args.arrangement)]
-        measured = [
-            PipelineRunner(config=config, pipelines=n,
-                           arrangement=args.arrangement,
-                           frames=args.frames).run().walkthrough_seconds
-            for n in pipeline_counts
-        ]
-        scale = 400.0 / args.frames
-        rows.append([f"paper {config}",
+    for config in scc_configs + hpc_configs:
+        label = config if config in scc_configs else f"hpc_{config}"
+        arrangement = (args.arrangement if config in scc_configs
+                       else "cluster")
+        ref = paper.TABLE1[(label, arrangement)]
+        measured = [next(results).walkthrough_seconds
+                    for _ in pipeline_counts]
+        rows.append([f"paper {label}",
                      *[str(ref[n - 1]) for n in pipeline_counts]])
-        rows.append([f"sim   {config}",
-                     *[f"{m * scale:.0f}" for m in measured]])
-    for config in ("external_renderer", "single_renderer",
-                   "parallel_renderer"):
-        ref = paper.TABLE1[(f"hpc_{config}", "cluster")]
-        measured = [
-            ClusterRunner(config=config, pipelines=n,
-                          frames=args.frames).run().walkthrough_seconds
-            for n in pipeline_counts
-        ]
-        scale = 400.0 / args.frames
-        rows.append([f"paper hpc_{config}",
-                     *[str(ref[n - 1]) for n in pipeline_counts]])
-        rows.append([f"sim   hpc_{config}",
+        rows.append([f"sim   {label}",
                      *[f"{m * scale:.0f}" for m in measured]])
     print(format_table(
         ["row", *[f"{n} pl." for n in pipeline_counts]], rows,
         title=f"Table I ({args.arrangement}; seconds, scaled to 400 frames)"))
+    stats = executor.last_stats
+    print(f"{len(specs)} runs: {stats.hits} cached, "
+          f"{stats.executed} simulated (jobs={args.jobs})")
     return 0
 
 
@@ -322,6 +434,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "sweep": _cmd_sweep,
     "profile": _cmd_profile,
     "tune": _cmd_tune,
     "table1": _cmd_table1,

@@ -98,10 +98,28 @@ class ClusterRunner:
         else:
             self.workload = WalkthroughWorkload(frames=frames,
                                                 image_side=image_side)
+        self.image_side = image_side
         self.cost = cost or CostModel()
         self.cluster_config = cluster_config or ClusterConfig()
+        #: True when the run is expressible as a repro.exec.RunSpec
+        #: (no live object overrides), hence shardable/cacheable
+        self.spec_exact = (workload is None and cost is None
+                           and cluster_config is None)
         self.sim = Simulator()
         self.metrics = RunMetrics()
+
+    def spec(self):
+        """This run as a :class:`repro.exec.RunSpec` (its cache identity)."""
+        # Imported lazily: repro.exec depends on repro.cluster.
+        from ..exec import RunSpec
+
+        if not self.spec_exact:
+            raise ValueError(
+                "runner carries live object overrides (workload/cost/"
+                "cluster config); it cannot be expressed as a RunSpec")
+        return RunSpec(platform="hpc", config=self.config,
+                       pipelines=self.pipelines, frames=self.frames,
+                       image_side=self.image_side)
 
     # -- stage processes -----------------------------------------------------
     def _filter_time(self, key: str, pixels: int) -> float:

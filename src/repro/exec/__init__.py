@@ -1,0 +1,35 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+The paper's headline artefacts are *sweeps* — Table I alone is 12 rows
+by 7 pipeline counts — and every point is an independent, deterministic
+simulation.  This package supplies the scheduling layer the ROADMAP's
+north star asks for:
+
+``executor``
+    :class:`RunSpec` (a declarative, hashable description of one run)
+    and :class:`SweepExecutor` (a process-pool scheduler with
+    deterministic, submission-order aggregation and per-worker warm
+    start of the memoized workload).
+``cache``
+    :class:`ResultCache`, a content-addressed on-disk store keyed by
+    the spec digest plus an engine fingerprint, so re-running a sweep
+    skips every already-computed point.
+``hashing``
+    The canonical spec → digest function and the engine fingerprint.
+"""
+
+from .cache import ResultCache, default_cache_dir
+from .executor import ExecutionStats, RunSpec, SweepExecutor, execute_spec
+from .hashing import canonical_json, engine_fingerprint, spec_digest
+
+__all__ = [
+    "RunSpec",
+    "SweepExecutor",
+    "ExecutionStats",
+    "execute_spec",
+    "ResultCache",
+    "default_cache_dir",
+    "spec_digest",
+    "engine_fingerprint",
+    "canonical_json",
+]

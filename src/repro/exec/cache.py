@@ -1,0 +1,173 @@
+"""Content-addressed on-disk result cache.
+
+One JSON file per simulated run, addressed by the spec digest (see
+:mod:`repro.exec.hashing`).  Entries round-trip
+:class:`~repro.pipeline.RunResult` *exactly*: every scalar is an int or
+a finite Python float, and JSON serialises floats via ``repr`` which is
+lossless, so a cache hit is bit-identical to re-running the simulation.
+
+Robustness rules:
+
+* writes are atomic (temp file + ``os.replace``) so a killed sweep
+  never leaves a truncated entry;
+* unreadable, corrupt or schema-mismatched entries count as misses and
+  are ignored (never raised) — the executor just re-runs the point;
+* the digest embeds the engine fingerprint, so entries written by an
+  older engine are unreachable rather than wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Dict, Optional, Union
+
+from ..pipeline.metrics import RunResult
+from .hashing import CACHE_SCHEMA
+
+__all__ = ["ResultCache", "default_cache_dir", "result_to_cache_dict",
+           "result_from_cache_dict"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-scc``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-scc"
+
+
+def result_to_cache_dict(result: RunResult) -> Dict[str, Any]:
+    """JSON-safe dict of every *stored* field (no derived properties)."""
+    return {
+        "config": result.config,
+        "arrangement": result.arrangement,
+        "pipelines": result.pipelines,
+        "frames": result.frames,
+        "walkthrough_seconds": result.walkthrough_seconds,
+        "cores_used": result.cores_used,
+        "scc_energy_j": result.scc_energy_j,
+        "scc_avg_power_w": result.scc_avg_power_w,
+        "mcpc_energy_above_idle_j": result.mcpc_energy_above_idle_j,
+        "idle_quartiles": {k: list(v)
+                           for k, v in result.idle_quartiles.items()},
+        "busy_means": dict(result.busy_means),
+        "mc_utilizations": list(result.mc_utilizations),
+        "power_trace": [list(p) for p in result.power_trace],
+        "latency_quartiles": (list(result.latency_quartiles)
+                              if result.latency_quartiles is not None
+                              else None),
+    }
+
+
+def result_from_cache_dict(doc: Dict[str, Any]) -> RunResult:
+    """Rebuild a RunResult, restoring the tuple-typed fields."""
+    return RunResult(
+        config=doc["config"],
+        arrangement=doc["arrangement"],
+        pipelines=doc["pipelines"],
+        frames=doc["frames"],
+        walkthrough_seconds=doc["walkthrough_seconds"],
+        cores_used=doc["cores_used"],
+        scc_energy_j=doc["scc_energy_j"],
+        scc_avg_power_w=doc["scc_avg_power_w"],
+        mcpc_energy_above_idle_j=doc["mcpc_energy_above_idle_j"],
+        idle_quartiles={k: tuple(v)
+                        for k, v in doc["idle_quartiles"].items()},
+        busy_means=dict(doc["busy_means"]),
+        mc_utilizations=list(doc["mc_utilizations"]),
+        power_trace=[tuple(p) for p in doc["power_trace"]],
+        latency_quartiles=(tuple(doc["latency_quartiles"])
+                           if doc["latency_quartiles"] is not None
+                           else None),
+    )
+
+
+class ResultCache:
+    """Digest-addressed store of simulated run results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created lazily on the first :meth:`put`.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = pathlib.Path(root)
+        #: lookups answered from disk since construction
+        self.hits = 0
+        #: lookups that found nothing usable
+        self.misses = 0
+
+    def path_for(self, digest: str) -> pathlib.Path:
+        """Entry location (two-level fan-out keeps directories small)."""
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # -- lookup ------------------------------------------------------------
+    def get(self, digest: str) -> Optional[RunResult]:
+        """The cached result, or None (corrupt entries count as misses)."""
+        path = self.path_for(digest)
+        try:
+            doc = json.loads(path.read_text())
+            if (doc.get("schema") != CACHE_SCHEMA
+                    or doc.get("digest") != digest):
+                raise ValueError("stale or mismatched cache entry")
+            result = result_from_cache_dict(doc["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    # -- store ------------------------------------------------------------
+    def put(self, digest: str, spec: Dict[str, Any],
+            result: RunResult) -> None:
+        """Atomically persist one result (best effort: a read-only or
+        full disk degrades to no caching, never to a failed sweep)."""
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "digest": digest,
+            "spec": spec,
+            "result": result_to_cache_dict(result),
+        }
+        path = self.path_for(digest)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(doc, fh, allow_nan=False)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except (OSError, ValueError):
+            pass
+
+    # -- maintenance -------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self.root.glob("??/*.json")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:
+        return (f"<ResultCache {self.root} hits={self.hits} "
+                f"misses={self.misses}>")

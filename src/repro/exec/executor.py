@@ -1,0 +1,302 @@
+"""Declarative run specs and the process-pool sweep executor.
+
+A :class:`RunSpec` is a frozen, hashable description of one simulated
+run — everything that determines its result (configuration,
+arrangement, frames, image size, DVFS plan, seed, platform) and nothing
+that doesn't.  Because the simulator is deterministic, a spec *is* its
+result's identity: :meth:`RunSpec.digest` gives the content address the
+:class:`~repro.exec.cache.ResultCache` stores under.
+
+:class:`SweepExecutor` schedules many specs at once:
+
+* cache lookups first — already-computed points never reach a worker;
+* misses are sharded across ``jobs`` worker processes (``fork`` start
+  method where available, so workers inherit the parent's warm workload
+  memo; with ``spawn`` each worker builds the memoized workload once
+  and reuses it for every run it executes — the per-worker warm start);
+* results aggregate in **submission order**, so the output is
+  bit-identical for any ``jobs`` value, including 1;
+* when a parent :class:`~repro.telemetry.Telemetry` hub is supplied,
+  each run executes under a private hub whose events and counter
+  snapshot are merged back in submission order — ``repro profile``
+  totals match the serial run exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..cluster import CLUSTER_CONFIGURATIONS, ClusterRunner
+from ..pipeline.arrangements import ARRANGEMENTS, Placement
+from ..pipeline.metrics import RunResult
+from ..pipeline.runner import CONFIGURATIONS, PipelineRunner
+from ..pipeline.workload import default_workload
+from ..telemetry import Telemetry
+from .cache import ResultCache
+from .hashing import engine_fingerprint, spec_digest
+
+__all__ = ["RunSpec", "SweepExecutor", "ExecutionStats", "execute_spec",
+           "build_runner"]
+
+PlacementSpec = Tuple[str, Tuple[int, ...], Tuple[Tuple[int, ...], ...], int]
+
+
+def _freeze_plan(plan: Any) -> Optional[Tuple[Tuple[str, float], ...]]:
+    if plan is None:
+        return None
+    if isinstance(plan, dict):
+        return tuple(sorted((str(k), float(v)) for k, v in plan.items()))
+    return tuple((str(k), float(v)) for k, v in plan)
+
+
+def _freeze_placement(placement: Any) -> Optional[PlacementSpec]:
+    if placement is None:
+        return None
+    if isinstance(placement, Placement):
+        return (placement.arrangement,
+                tuple(placement.input_cores),
+                tuple(tuple(chain) for chain in placement.filter_cores),
+                placement.transfer_core)
+    arr, inputs, chains, transfer = placement
+    return (str(arr), tuple(int(c) for c in inputs),
+            tuple(tuple(int(c) for c in chain) for chain in chains),
+            int(transfer))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything that determines one run's result, and nothing else."""
+
+    #: ``"scc"`` (:class:`PipelineRunner`) or ``"hpc"``
+    #: (:class:`~repro.cluster.ClusterRunner`)
+    platform: str = "scc"
+    config: str = "one_renderer"
+    pipelines: int = 1
+    arrangement: str = "ordered"
+    frames: int = 400
+    image_side: int = 400
+    seed: int = 0
+    payload_mode: bool = False
+    power_trace_dt: Optional[float] = None
+    #: stage key -> MHz, normalised to a sorted item tuple
+    frequency_plan: Optional[Tuple[Tuple[str, float], ...]] = None
+    #: explicit core placement, normalised to nested tuples
+    placement: Optional[PlacementSpec] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pipelines", int(self.pipelines))
+        object.__setattr__(self, "frames", int(self.frames))
+        object.__setattr__(self, "image_side", int(self.image_side))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "payload_mode", bool(self.payload_mode))
+        object.__setattr__(self, "frequency_plan",
+                           _freeze_plan(self.frequency_plan))
+        object.__setattr__(self, "placement",
+                           _freeze_placement(self.placement))
+        if self.platform == "scc":
+            if self.config not in CONFIGURATIONS:
+                raise ValueError(f"unknown SCC config {self.config!r}")
+            if self.placement is None and self.arrangement not in ARRANGEMENTS:
+                raise ValueError(f"unknown arrangement {self.arrangement!r}")
+        elif self.platform == "hpc":
+            if self.config not in CLUSTER_CONFIGURATIONS:
+                raise ValueError(f"unknown cluster config {self.config!r}")
+            # the cluster has no arrangements/DVFS/power model; pin the
+            # irrelevant axes so equivalent specs hash identically
+            object.__setattr__(self, "arrangement", "cluster")
+            if (self.payload_mode or self.frequency_plan is not None
+                    or self.placement is not None
+                    or self.power_trace_dt is not None):
+                raise ValueError("payload/DVFS/placement/power options do "
+                                 "not apply to the hpc platform")
+        else:
+            raise ValueError(f"unknown platform {self.platform!r}")
+
+    # -- identity ----------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (tuples become lists; key order irrelevant)."""
+        return {
+            "platform": self.platform,
+            "config": self.config,
+            "pipelines": self.pipelines,
+            "arrangement": self.arrangement,
+            "frames": self.frames,
+            "image_side": self.image_side,
+            "seed": self.seed,
+            "payload_mode": self.payload_mode,
+            "power_trace_dt": self.power_trace_dt,
+            "frequency_plan": ([[k, v] for k, v in self.frequency_plan]
+                               if self.frequency_plan is not None else None),
+            "placement": ([self.placement[0], list(self.placement[1]),
+                           [list(c) for c in self.placement[2]],
+                           self.placement[3]]
+                          if self.placement is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "RunSpec":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in doc.items() if k in known})
+
+    def digest(self, fingerprint: Optional[str] = None) -> str:
+        """Content address of this run under the current (or given)
+        engine fingerprint."""
+        return spec_digest(self.as_dict(),
+                           fingerprint or engine_fingerprint())
+
+
+def build_runner(spec: RunSpec, telemetry: Optional[Telemetry] = None):
+    """Materialise the runner for a spec.
+
+    Both platforms share the process-wide memoized workload for the
+    spec's ``(frames, image_side)``, which is what makes a worker warm:
+    the geometry and culling profiles are built once per process, then
+    reused by every run the worker executes.
+    """
+    workload = default_workload(spec.frames, spec.image_side)
+    if spec.platform == "hpc":
+        return ClusterRunner(config=spec.config, pipelines=spec.pipelines,
+                             frames=spec.frames, image_side=spec.image_side,
+                             workload=workload)
+    placement = None
+    if spec.placement is not None:
+        arr, inputs, chains, transfer = spec.placement
+        placement = Placement(arr, list(inputs),
+                              [list(c) for c in chains], transfer)
+    return PipelineRunner(
+        config=spec.config,
+        pipelines=spec.pipelines,
+        arrangement=spec.arrangement,
+        frames=spec.frames,
+        image_side=spec.image_side,
+        workload=workload,
+        payload_mode=spec.payload_mode,
+        power_trace_dt=spec.power_trace_dt,
+        seed=spec.seed,
+        placement=placement,
+        frequency_plan=(dict(spec.frequency_plan)
+                        if spec.frequency_plan is not None else None),
+        telemetry=telemetry,
+    )
+
+
+def execute_spec(spec: RunSpec,
+                 telemetry: Optional[Telemetry] = None) -> RunResult:
+    """Run one spec in this process."""
+    return build_runner(spec, telemetry=telemetry).run()
+
+
+def _pool_worker(payload: Tuple[RunSpec, bool]):
+    """Top-level worker entry point (must be picklable for ``spawn``)."""
+    spec, want_telemetry = payload
+    hub = Telemetry(enabled=True) if want_telemetry else None
+    result = execute_spec(spec, telemetry=hub)
+    return result, (hub.snapshot() if hub is not None else None)
+
+
+@dataclass
+class ExecutionStats:
+    """What one :meth:`SweepExecutor.run` call did."""
+
+    #: points answered from the result cache
+    hits: int = 0
+    #: points not found in the cache
+    misses: int = 0
+    #: simulations actually executed (== misses after a run)
+    executed: int = 0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.executed += other.executed
+
+
+class SweepExecutor:
+    """Schedule independent run specs across workers, with caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` executes in-process (no pool, no
+        pickling) but follows the identical aggregation path, so results
+        and merged telemetry are bit-identical for any value.
+    cache:
+        Optional :class:`ResultCache`; hits skip execution entirely.
+    telemetry:
+        Optional parent hub.  Each executed run gets a private enabled
+        hub; its events and counters merge back in submission order.
+    """
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.telemetry = telemetry
+        #: cumulative over every .run() of this executor
+        self.stats = ExecutionStats()
+        #: stats of the most recent .run() only
+        self.last_stats = ExecutionStats()
+
+    # -- scheduling --------------------------------------------------------
+    def digests(self, specs: Sequence[RunSpec]) -> List[str]:
+        """Cache keys for the specs (one fingerprint computation)."""
+        fp = engine_fingerprint()
+        return [spec.digest(fp) for spec in specs]
+
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute the sweep; results come back in submission order."""
+        specs = list(specs)
+        digests = self.digests(specs)
+        stats = ExecutionStats()
+        results: List[Optional[RunResult]] = [None] * len(specs)
+
+        pending: List[int] = []
+        for i, digest in enumerate(digests):
+            cached = self.cache.get(digest) if self.cache is not None else None
+            if cached is not None:
+                results[i] = cached
+                stats.hits += 1
+            else:
+                pending.append(i)
+                stats.misses += 1
+
+        want_telemetry = (self.telemetry is not None
+                          and self.telemetry.enabled)
+        outputs = self._execute([specs[i] for i in pending], want_telemetry)
+
+        for i, (result, snapshot) in zip(pending, outputs):
+            results[i] = result
+            stats.executed += 1
+            if self.cache is not None:
+                self.cache.put(digests[i], specs[i].as_dict(), result)
+            if snapshot is not None and self.telemetry is not None:
+                self.telemetry.ingest(snapshot)
+
+        self.last_stats = stats
+        self.stats.merge(stats)
+        return results  # type: ignore[return-value]
+
+    def run_one(self, spec: RunSpec) -> RunResult:
+        """Convenience wrapper: a one-point sweep."""
+        return self.run([spec])[0]
+
+    def _execute(self, specs: List[RunSpec], want_telemetry: bool):
+        payloads = [(spec, want_telemetry) for spec in specs]
+        if self.jobs == 1 or len(specs) <= 1:
+            return [_pool_worker(p) for p in payloads]
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        workers = min(self.jobs, len(specs))
+        with ctx.Pool(processes=workers) as pool:
+            # map() preserves submission order; chunksize 1 load-balances
+            # heterogeneous points (a 7-pipeline run outweighs a 1-pipeline
+            # run several-fold).
+            return pool.map(_pool_worker, payloads, chunksize=1)
+
+    def __repr__(self) -> str:
+        return (f"<SweepExecutor jobs={self.jobs} "
+                f"cache={'on' if self.cache is not None else 'off'} "
+                f"hits={self.stats.hits} executed={self.stats.executed}>")

@@ -1,0 +1,70 @@
+"""Canonical spec hashing and the engine fingerprint.
+
+A cache key must be *stable* (the same run spec always hashes the same,
+across processes and sessions) and *honest* (any change that could alter
+a simulated result must change the key).  Two ingredients provide that:
+
+* :func:`spec_digest` — SHA-256 over the canonical JSON form of the run
+  spec.  Canonical means sorted keys, compact separators and no NaNs, so
+  dict ordering and formatting can never perturb the digest.
+* :func:`engine_fingerprint` — SHA-256 over the source of every module
+  in the ``repro`` package (plus the interpreter's major.minor version,
+  which fixes text-hash seeds and stdlib behaviour).  Editing any model
+  or kernel file invalidates every cached result; results cached by an
+  older engine are simply never read.
+
+``tests/exec/test_hashing.py`` pins digests for known specs so an
+accidental canonicalisation change fails loudly instead of silently
+splitting the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import sys
+from functools import lru_cache
+from typing import Any, Dict
+
+__all__ = ["CACHE_SCHEMA", "canonical_json", "spec_digest",
+           "engine_fingerprint"]
+
+#: bump to invalidate every existing cache entry (serialisation changes)
+CACHE_SCHEMA = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, compact, finite numbers only."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def spec_digest(spec: Dict[str, Any], fingerprint: str) -> str:
+    """The content address of one run: hash of spec + engine + schema."""
+    payload = canonical_json({
+        "schema": CACHE_SCHEMA,
+        "engine": fingerprint,
+        "spec": spec,
+    })
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def engine_fingerprint() -> str:
+    """Digest of the simulation engine: every ``repro`` source file.
+
+    Computed once per process (~170 small files, a few milliseconds).
+    The hash covers relative path *and* content, so moving a module
+    invalidates just as surely as editing one.
+    """
+    package_root = pathlib.Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    digest.update(f"python{sys.version_info[0]}.{sys.version_info[1]}"
+                  .encode("ascii"))
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()

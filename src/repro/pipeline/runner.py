@@ -135,6 +135,11 @@ class PipelineRunner:
         self.chip_config = chip_config
         self.cost = cost or CostModel()
         self.mcpc_config = mcpc_config
+        #: True when every result-determining input is declarative, i.e.
+        #: the run is expressible as a :class:`repro.exec.RunSpec` and
+        #: therefore shardable/cacheable (no live object overrides)
+        self.spec_exact = (chip_config is None and cost is None
+                          and mcpc_config is None and workload is None)
         self.payload_mode = payload_mode
         self.power_trace_dt = power_trace_dt
         self.seed = seed
@@ -151,6 +156,34 @@ class PipelineRunner:
         self.telemetry = telemetry
         #: filled during the build: stage key -> [core ids]
         self._stage_cores: dict = {}
+
+    def spec(self):
+        """This run as a :class:`repro.exec.RunSpec` (its cache identity).
+
+        Raises ``ValueError`` when the runner carries live overrides
+        (custom workload, chip config, cost model, MCPC config) that a
+        declarative spec cannot express or hash.
+        """
+        # Imported lazily: repro.exec depends on repro.pipeline.
+        from ..exec import RunSpec
+
+        if not self.spec_exact:
+            raise ValueError(
+                "runner carries live object overrides (workload/chip/"
+                "cost/mcpc); it cannot be expressed as a RunSpec")
+        return RunSpec(
+            platform="scc",
+            config=self.config,
+            pipelines=self.pipelines,
+            arrangement=self.arrangement,
+            frames=self.frames,
+            image_side=self.image_side,
+            seed=self.seed,
+            payload_mode=self.payload_mode,
+            power_trace_dt=self.power_trace_dt,
+            frequency_plan=self.frequency_plan,
+            placement=self.placement_override,
+        )
 
     # -- build ------------------------------------------------------------
     def _build_placement(self) -> Placement:

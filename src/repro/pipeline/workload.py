@@ -14,8 +14,9 @@ is done once.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from functools import lru_cache
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 from ..render import (
     DEFAULT_FRAME_COUNT,
@@ -27,11 +28,20 @@ from ..render import (
     build_city,
 )
 
-__all__ = ["WalkthroughWorkload", "default_workload", "DEFAULT_IMAGE_SIDE"]
+__all__ = ["WalkthroughWorkload", "default_workload", "DEFAULT_IMAGE_SIDE",
+           "DEFAULT_PROFILE_CACHE_CAP"]
 
 #: the paper's main experiments use 400x400 RGBA frames (640 KB — the top
 #: of the Fig. 12 sweep, consistent with its "data in kb" labels)
 DEFAULT_IMAGE_SIDE = 400
+
+#: default bound on the per-workload profile memo.  A profile is a
+#: handful of ints, and a full Table-I crossing on one shared workload
+#: (400 frames x the 1..7-strip splits plus full frames) needs ~14.8k
+#: entries, so the cap never evicts inside a paper-scale sweep; it only
+#: stops open-ended campaigns (unbounded strip-count / frame-count axes
+#: on one long-lived workload) from growing memory without limit.
+DEFAULT_PROFILE_CACHE_CAP = 32768
 
 
 class WalkthroughWorkload:
@@ -45,21 +55,30 @@ class WalkthroughWorkload:
         Square frame side in pixels.
     city:
         Scene configuration (defaults to the standard city).
+    profile_cache_cap:
+        Bound on the memoized profile count (LRU eviction beyond it);
+        profiles are pure functions of their key, so eviction can only
+        cost recomputation, never change a result.
     """
 
     def __init__(self, frames: int = DEFAULT_FRAME_COUNT,
                  image_side: int = DEFAULT_IMAGE_SIDE,
-                 city: Optional[CityConfig] = None) -> None:
+                 city: Optional[CityConfig] = None,
+                 profile_cache_cap: int = DEFAULT_PROFILE_CACHE_CAP) -> None:
         if frames < 1:
             raise ValueError("frames must be >= 1")
         if image_side < 1:
             raise ValueError("image_side must be >= 1")
+        if profile_cache_cap < 1:
+            raise ValueError("profile_cache_cap must be >= 1")
         self.frames = frames
         self.image_side = image_side
         self.city_config = city or CityConfig()
+        self.profile_cache_cap = profile_cache_cap
         self._renderer: Optional[Renderer] = None
         self.path = WalkthroughPath(frames=frames)
-        self._profiles: Dict[Tuple[int, int, int], RenderProfile] = {}
+        #: (frame, strip, num_strips) -> RenderProfile, LRU-bounded
+        self._profiles: "OrderedDict[tuple, RenderProfile]" = OrderedDict()
 
     @property
     def renderer(self) -> Renderer:
@@ -105,6 +124,7 @@ class WalkthroughWorkload:
         key = (frame, strip_index, num_strips)
         cached = self._profiles.get(key)
         if cached is not None:
+            self._profiles.move_to_end(key)
             return cached
         camera = self.path.camera_at(frame)
         camera.aspect = 1.0
@@ -113,6 +133,8 @@ class WalkthroughWorkload:
             strip_index=strip_index, num_strips=num_strips,
         )
         self._profiles[key] = prof
+        while len(self._profiles) > self.profile_cache_cap:
+            self._profiles.popitem(last=False)
         return prof
 
     def mean_full_frame_profile(self) -> RenderProfile:

@@ -136,6 +136,28 @@ class Telemetry:
                                       track=track or name,
                                       value=float(value)))
 
+    # -- cross-process merge ------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable state of the hub: retained events plus a lossless
+        counter-registry snapshot (for worker → parent merging)."""
+        return {
+            "events": list(self._events),
+            "counters": self.counters.snapshot(),
+        }
+
+    def ingest(self, snapshot: Dict[str, Any]) -> None:
+        """Merge a worker hub's :meth:`snapshot` into this hub.
+
+        Events append to the retained buffer (only while ``enabled``,
+        matching live emission) and counters fold via
+        :meth:`~repro.telemetry.counters.CounterRegistry.merge_snapshot`.
+        Sinks do **not** re-observe ingested events: per-run sinks
+        (RunMetrics, traces) already consumed them in the worker.
+        """
+        if self.enabled:
+            self._events.extend(snapshot.get("events", ()))
+        self.counters.merge_snapshot(snapshot.get("counters", {}))
+
     # -- queries ------------------------------------------------------------
     @property
     def events(self) -> List[TelemetryEvent]:

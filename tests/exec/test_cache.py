@@ -1,0 +1,98 @@
+"""The on-disk result cache: exact round-trip and corruption handling."""
+
+import json
+
+from repro.exec import ResultCache, default_cache_dir
+from repro.exec.cache import result_from_cache_dict, result_to_cache_dict
+from repro.pipeline.metrics import RunResult
+
+
+def sample_result() -> RunResult:
+    return RunResult(
+        config="one_renderer",
+        arrangement="ordered",
+        pipelines=3,
+        frames=40,
+        walkthrough_seconds=123.456789012345,
+        cores_used=17,
+        scc_energy_j=4321.0987,
+        scc_avg_power_w=35.0625,
+        mcpc_energy_above_idle_j=12.5,
+        idle_quartiles={"render": (0.1, 0.25, 0.5), "blur": (0.0, 0.0, 0.01)},
+        busy_means={"render": 0.875, "blur": 0.25},
+        mc_utilizations=[0.125, 0.25, 0.0, 0.5],
+        power_trace=[(0.0, 30.5), (1.0, 31.25)],
+        latency_quartiles=(0.01, 0.02, 0.04),
+    )
+
+
+def test_round_trip_is_exact():
+    original = sample_result()
+    clone = result_from_cache_dict(
+        json.loads(json.dumps(result_to_cache_dict(original))))
+    assert clone == original
+    # tuple-typed fields come back as tuples, not lists
+    assert isinstance(clone.idle_quartiles["render"], tuple)
+    assert isinstance(clone.power_trace[0], tuple)
+    assert isinstance(clone.latency_quartiles, tuple)
+
+
+def test_put_get_contains_len_clear(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    digest = "ab" + "0" * 62
+    assert cache.get(digest) is None
+    assert cache.misses == 1
+    assert digest not in cache
+    assert len(cache) == 0
+
+    result = sample_result()
+    cache.put(digest, {"config": "one_renderer"}, result)
+    assert digest in cache
+    assert len(cache) == 1
+    assert cache.get(digest) == result
+    assert cache.hits == 1
+    # fan-out: entries live under the first-two-hex-chars subdirectory
+    assert cache.path_for(digest).parent.name == "ab"
+
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+def test_corrupt_entry_counts_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    digest = "cd" + "1" * 62
+    cache.put(digest, {}, sample_result())
+    cache.path_for(digest).write_text("{not json")
+    assert cache.get(digest) is None
+    assert cache.misses == 1
+
+
+def test_schema_or_digest_mismatch_counts_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    digest = "ef" + "2" * 62
+    cache.put(digest, {}, sample_result())
+    doc = json.loads(cache.path_for(digest).read_text())
+
+    stale = dict(doc, schema=doc["schema"] + 1)
+    cache.path_for(digest).write_text(json.dumps(stale))
+    assert cache.get(digest) is None
+
+    moved = dict(doc, digest="ef" + "3" * 62)
+    cache.path_for(digest).write_text(json.dumps(moved))
+    assert cache.get(digest) is None
+    assert cache.hits == 0 and cache.misses == 2
+
+
+def test_put_never_leaves_temp_droppings(tmp_path):
+    cache = ResultCache(tmp_path)
+    digest = "01" + "4" * 62
+    cache.put(digest, {}, sample_result())
+    leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+    assert leftovers == []
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+    assert default_cache_dir() == tmp_path / "override"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert default_cache_dir().name == "repro-scc"

@@ -1,0 +1,109 @@
+"""RunSpec validation and the sweep executor's serial scheduling path."""
+
+import pytest
+
+from repro.exec import ResultCache, RunSpec, SweepExecutor, execute_spec
+from repro.pipeline import PipelineRunner
+
+FRAMES = 6
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        RunSpec(config="quantum")
+    with pytest.raises(ValueError):
+        RunSpec(platform="gpu")
+    with pytest.raises(ValueError):
+        RunSpec(arrangement="diagonal")
+    with pytest.raises(ValueError):
+        RunSpec(platform="hpc", config="one_renderer")
+    with pytest.raises(ValueError):
+        RunSpec(platform="hpc", config="single_renderer",
+                frequency_plan={"blur": 400})
+
+
+def test_hpc_spec_pins_arrangement():
+    spec = RunSpec(platform="hpc", config="single_renderer",
+                   arrangement="ordered")
+    assert spec.arrangement == "cluster"
+    assert spec == RunSpec(platform="hpc", config="single_renderer",
+                           arrangement="flipped")
+
+
+def test_spec_coerces_scalar_types():
+    spec = RunSpec(pipelines="3", frames=10.0, payload_mode=1)
+    assert spec.pipelines == 3 and isinstance(spec.pipelines, int)
+    assert spec.frames == 10 and isinstance(spec.frames, int)
+    assert spec.payload_mode is True
+
+
+def test_from_dict_ignores_unknown_keys():
+    doc = RunSpec(pipelines=2).as_dict()
+    doc["schema_leak"] = 99
+    assert RunSpec.from_dict(doc) == RunSpec(pipelines=2)
+
+
+def test_execute_spec_matches_direct_runner():
+    spec = RunSpec(config="one_renderer", pipelines=2, frames=FRAMES)
+    direct = PipelineRunner(config="one_renderer", pipelines=2,
+                            frames=FRAMES).run()
+    assert execute_spec(spec) == direct
+
+
+def test_runner_spec_round_trip():
+    runner = PipelineRunner(config="n_renderers", pipelines=2, frames=FRAMES)
+    assert runner.spec_exact
+    assert execute_spec(runner.spec()) == runner.run()
+
+
+def test_runner_spec_refuses_custom_components():
+    from repro.pipeline.workload import WalkthroughWorkload
+    runner = PipelineRunner(config="one_renderer", frames=FRAMES,
+                            workload=WalkthroughWorkload(frames=FRAMES))
+    assert not runner.spec_exact
+    with pytest.raises(ValueError):
+        runner.spec()
+
+
+def test_results_come_back_in_submission_order(tmp_path):
+    specs = [RunSpec(config="one_renderer", pipelines=n, frames=FRAMES)
+             for n in (3, 1, 2)]
+    executor = SweepExecutor(cache=ResultCache(tmp_path))
+    results = executor.run(specs)
+    assert [r.pipelines for r in results] == [3, 1, 2]
+    assert executor.last_stats.executed == 3
+    assert executor.last_stats.hits == 0
+
+
+def test_cache_hits_skip_execution(tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = [RunSpec(config="one_renderer", pipelines=n, frames=FRAMES)
+             for n in (1, 2)]
+    first = SweepExecutor(cache=cache).run(specs)
+
+    executor = SweepExecutor(cache=cache)
+    # one cached point, one fresh point: both slot in submission order
+    wider = specs + [RunSpec(config="one_renderer", pipelines=3,
+                             frames=FRAMES)]
+    second = executor.run(wider)
+    assert executor.last_stats.hits == 2
+    assert executor.last_stats.executed == 1
+    assert second[:2] == first
+    assert [r.pipelines for r in second] == [1, 2, 3]
+    # cumulative stats roll up across .run() calls
+    assert executor.stats.hits == 2
+
+
+def test_run_one(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = RunSpec(config="one_renderer", pipelines=1, frames=FRAMES)
+    a = SweepExecutor(cache=cache).run_one(spec)
+    executor = SweepExecutor(cache=cache)
+    assert executor.run_one(spec) == a
+    assert executor.last_stats.hits == 1
+
+
+def test_executor_repr(tmp_path):
+    executor = SweepExecutor(jobs=2, cache=ResultCache(tmp_path))
+    assert "jobs=2" in repr(executor)
+    assert "cache=on" in repr(executor)

@@ -1,0 +1,80 @@
+"""Parallel execution must be invisible in the results.
+
+The acceptance bar for the sweep executor: the same sweep run with
+``jobs=1`` and ``jobs=2`` produces byte-identical aggregated results,
+identical cache keys, and — when a telemetry hub is attached —
+identical merged counters.  These tests spawn real worker processes,
+so the sweeps are kept tiny.
+"""
+
+import json
+
+from repro.exec import ResultCache, RunSpec, SweepExecutor
+from repro.exec.cache import result_to_cache_dict
+from repro.telemetry import Telemetry
+
+FRAMES = 5
+
+SWEEP = [
+    RunSpec(config="one_renderer", pipelines=1, frames=FRAMES),
+    RunSpec(config="one_renderer", pipelines=2, frames=FRAMES),
+    RunSpec(config="n_renderers", pipelines=2, frames=FRAMES),
+    RunSpec(platform="hpc", config="single_renderer", pipelines=2,
+            frames=FRAMES),
+]
+
+
+def result_bytes(results) -> bytes:
+    return json.dumps([result_to_cache_dict(r) for r in results],
+                      sort_keys=True).encode()
+
+
+def test_jobs_1_and_2_are_byte_identical(tmp_path):
+    serial_cache = ResultCache(tmp_path / "serial")
+    parallel_cache = ResultCache(tmp_path / "parallel")
+    serial_exec = SweepExecutor(jobs=1, cache=serial_cache)
+    parallel_exec = SweepExecutor(jobs=2, cache=parallel_cache)
+
+    serial = serial_exec.run(SWEEP)
+    parallel = parallel_exec.run(SWEEP)
+
+    assert result_bytes(serial) == result_bytes(parallel)
+    # identical cache keys...
+    assert serial_exec.digests(SWEEP) == parallel_exec.digests(SWEEP)
+    # ...and identical entries on disk, byte for byte
+    for digest in serial_exec.digests(SWEEP):
+        assert (serial_cache.path_for(digest).read_bytes()
+                == parallel_cache.path_for(digest).read_bytes())
+
+
+def test_parallel_cache_serves_serial_rerun(tmp_path):
+    cache = ResultCache(tmp_path)
+    first = SweepExecutor(jobs=2, cache=cache).run(SWEEP)
+    rerun_exec = SweepExecutor(jobs=1, cache=cache)
+    rerun = rerun_exec.run(SWEEP)
+    assert rerun_exec.last_stats.executed == 0
+    assert rerun_exec.last_stats.hits == len(SWEEP)
+    assert result_bytes(rerun) == result_bytes(first)
+
+
+def test_merged_telemetry_matches_serial():
+    scc_only = [s for s in SWEEP if s.platform == "scc"]
+
+    serial_hub = Telemetry(enabled=True)
+    SweepExecutor(jobs=1, telemetry=serial_hub).run(scc_only)
+
+    parallel_hub = Telemetry(enabled=True)
+    SweepExecutor(jobs=2, telemetry=parallel_hub).run(scc_only)
+
+    assert (parallel_hub.counters.as_dict()
+            == serial_hub.counters.as_dict())
+    assert len(parallel_hub.events) == len(serial_hub.events)
+
+
+def test_disabled_parent_hub_skips_worker_telemetry():
+    hub = Telemetry(enabled=False)
+    executor = SweepExecutor(jobs=2, telemetry=hub)
+    executor.run([s for s in SWEEP if s.platform == "scc"][:2])
+    assert hub.events == []
+    assert hub.counters.as_dict() == {"counters": {}, "gauges": {},
+                                      "histograms": {}}

@@ -94,3 +94,32 @@ def test_default_workload_is_shared():
 
 def test_workload_repr(workload):
     assert "side=400" in repr(workload)
+
+
+def test_profile_cache_cap_validation():
+    with pytest.raises(ValueError):
+        WalkthroughWorkload(profile_cache_cap=0)
+
+
+def test_profile_cache_evicts_lru_and_preserves_results():
+    small = WalkthroughWorkload(frames=16, image_side=400,
+                                profile_cache_cap=4)
+    reference = {f: small.profile(f) for f in range(8)}
+    # the memo never exceeds its cap; the oldest entries were evicted
+    assert len(small._profiles) == 4
+    assert (0, 0, 1) not in small._profiles
+    # recomputing an evicted profile yields the identical result
+    for f, ref in reference.items():
+        again = small.profile(f)
+        assert again == ref
+
+
+def test_profile_cache_hit_refreshes_recency():
+    small = WalkthroughWorkload(frames=16, image_side=400,
+                                profile_cache_cap=2)
+    small.profile(0)
+    small.profile(1)
+    small.profile(0)          # touch frame 0: now most-recently used
+    small.profile(2)          # evicts frame 1, not frame 0
+    assert (0, 0, 1) in small._profiles
+    assert (1, 0, 1) not in small._profiles

@@ -127,3 +127,77 @@ def test_tune_command(capsys):
     assert main(["tune", "--config", "n_renderers", "--frames", "60"]) == 0
     out = capsys.readouterr().out
     assert "best" in out and "predicted" in out
+
+
+def test_sweep_command_cold_then_warm(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    argv = ["sweep", "--config", "one_renderer", "--pipelines", "1", "2",
+            "--frames", "5", "--cache-dir", cache_dir]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "sweep one_renderer" in out
+    assert "2 points: 0 cached, 2 simulated" in out
+
+    # warm re-run: every point answered from the cache
+    assert main(argv + ["--expect-all-cached"]) == 0
+    out = capsys.readouterr().out
+    assert "2 points: 2 cached, 0 simulated" in out
+
+
+def test_sweep_expect_all_cached_fails_on_cold_cache(tmp_path, capsys):
+    assert main(["sweep", "--config", "one_renderer", "--pipelines", "1",
+                 "--frames", "5", "--cache-dir", str(tmp_path / "fresh"),
+                 "--expect-all-cached"]) == 1
+    assert "expected a fully warm cache" in capsys.readouterr().err
+
+
+def test_sweep_no_cache_always_simulates(capsys):
+    argv = ["sweep", "--config", "one_renderer", "--pipelines", "1",
+            "--frames", "5", "--no-cache"]
+    assert main(argv) == 0
+    assert "1 simulated" in capsys.readouterr().out
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "0 cached, 1 simulated" in out
+    assert "cache off" in out
+
+
+def test_sweep_json_export(tmp_path):
+    import json
+
+    out_path = tmp_path / "sweep.json"
+    assert main(["sweep", "--config", "one_renderer", "--pipelines", "1",
+                 "--frames", "5", "--no-cache", "--json",
+                 str(out_path)]) == 0
+    doc = json.loads(out_path.read_text())
+    assert len(doc) == 1
+    assert doc[0]["config"] == "one_renderer"
+
+
+def test_run_command_uses_cache(tmp_path, capsys):
+    argv = ["run", "--config", "one_renderer", "--pipelines", "1",
+            "--frames", "5", "--cache-dir", str(tmp_path / "cache")]
+    assert main(argv) == 0
+    assert "result cache  : stored" in capsys.readouterr().out
+    assert main(argv) == 0
+    assert "result cache  : hit" in capsys.readouterr().out
+
+
+def test_run_no_cache_stays_live(capsys):
+    assert main(["run", "--config", "one_renderer", "--pipelines", "1",
+                 "--frames", "5", "--no-cache"]) == 0
+    assert "result cache" not in capsys.readouterr().out
+
+
+def test_profile_jobs_matches_serial(tmp_path):
+    import json
+
+    serial = tmp_path / "serial.json"
+    parallel = tmp_path / "parallel.json"
+    base = ["profile", "--config", "one_renderer", "--pipelines", "2",
+            "--frames", "10"]
+    assert main(base + ["--counters-out", str(serial)]) == 0
+    assert main(base + ["--jobs", "2", "--counters-out",
+                        str(parallel)]) == 0
+    assert (json.loads(serial.read_text())
+            == json.loads(parallel.read_text()))
