@@ -23,6 +23,10 @@ Modes
     CI regression gate: exit non-zero when the measured median is more
     than ``--tolerance`` (default 20%) slower than the committed
     ``current`` median.
+``--update-sanitized``
+    Measure the same profile with the runtime sanitizers enabled
+    (``repro run --sanitize``) and record the ``sanitized`` block plus
+    ``sanitizer_overhead_vs_current`` (sanitized/current median).
 
 The workload (procedural city, camera path, culling profiles) is built
 and warmed once outside the timed region, so the numbers isolate the
@@ -41,6 +45,7 @@ from pathlib import Path
 
 import _common  # noqa: F401  (bootstraps src/ onto sys.path)
 
+from repro.analysis.sanitizers import SanitizerSuite  # noqa: E402
 from repro.pipeline import PipelineRunner  # noqa: E402
 from repro.pipeline.workload import WalkthroughWorkload  # noqa: E402
 
@@ -53,7 +58,7 @@ FRAMES = 50
 RUNS = 9
 
 
-def measure(runs: int = RUNS) -> dict:
+def measure(runs: int = RUNS, sanitize: bool = False) -> dict:
     """Median wall time of the standard profile, workload pre-warmed."""
     workload = WalkthroughWorkload(frames=FRAMES)
     # Warm the lazy geometry + per-frame culling profiles and JIT-warm
@@ -63,16 +68,20 @@ def measure(runs: int = RUNS) -> dict:
     samples_ms = []
     events = 0
     for _ in range(runs):
+        suite = SanitizerSuite() if sanitize else None
         runner = PipelineRunner(config=CONFIG, pipelines=PIPELINES,
-                                frames=FRAMES, workload=workload)
+                                frames=FRAMES, workload=workload,
+                                sanitizers=suite)
         t0 = time.perf_counter()
         run_result = runner.run()
         samples_ms.append((time.perf_counter() - t0) * 1000.0)
         events = runner.last_chip.sim.event_count
         assert run_result.walkthrough_seconds == result.walkthrough_seconds, \
             "non-deterministic simulation result"
+        if suite is not None:
+            assert suite.clean, suite.summary()
     median_ms = statistics.median(samples_ms)
-    return {
+    out = {
         "config": CONFIG,
         "pipelines": PIPELINES,
         "frames": FRAMES,
@@ -84,6 +93,9 @@ def measure(runs: int = RUNS) -> dict:
         "events_processed": events,
         "events_per_ms": round(events / median_ms, 1),
     }
+    if sanitize:
+        out["sanitize"] = True
+    return out
 
 
 def load() -> dict:
@@ -102,6 +114,9 @@ def main(argv=None) -> int:
                         help="record the pre-optimisation baseline block")
     parser.add_argument("--update", action="store_true",
                         help="record the current block and speedup")
+    parser.add_argument("--update-sanitized", action="store_true",
+                        help="measure with runtime sanitizers on and "
+                             "record the sanitized block + overhead")
     parser.add_argument("--check", action="store_true",
                         help="fail when slower than committed current by "
                              "more than --tolerance")
@@ -110,6 +125,23 @@ def main(argv=None) -> int:
                              "(default 0.20)")
     parser.add_argument("--runs", type=int, default=RUNS)
     args = parser.parse_args(argv)
+
+    if args.update_sanitized:
+        data = load()
+        fresh = measure(args.runs, sanitize=True)
+        print(f"{CONFIG} x{PIPELINES} pipelines, {FRAMES} frames "
+              f"(sanitizers ON): median {fresh['median_ms']:.1f} ms over "
+              f"{args.runs} runs")
+        data["sanitized"] = fresh
+        current = data.get("current")
+        if current is not None:
+            overhead = fresh["median_ms"] / current["median_ms"]
+            data["sanitizer_overhead_vs_current"] = round(overhead, 3)
+            print(f"sanitizer overhead vs current "
+                  f"({current['median_ms']:.1f} ms): {overhead:.2f}x")
+        save(data)
+        print(f"sanitized measurement recorded in {RESULT_PATH.name}")
+        return 0
 
     fresh = measure(args.runs)
     print(f"{CONFIG} x{PIPELINES} pipelines, {FRAMES} frames "

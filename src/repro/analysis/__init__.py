@@ -1,5 +1,8 @@
-"""Analytic companions to the simulation: bottleneck/period prediction."""
+"""Analytic companions to the simulation: bottleneck/period prediction,
+static determinism lints (:mod:`repro.analysis.lints`) and runtime
+sanitizers (:mod:`repro.analysis.sanitizers`)."""
 
 from .bottleneck import PeriodPredictor, StageLoad
+from .sanitizers import Diagnostic, SanitizerSuite
 
-__all__ = ["PeriodPredictor", "StageLoad"]
+__all__ = ["PeriodPredictor", "StageLoad", "Diagnostic", "SanitizerSuite"]

@@ -1,0 +1,30 @@
+"""Static determinism lints for the non-coherent SCC model.
+
+``repro lint src --baseline lint-baseline.json`` is the CLI entry
+point; :func:`default_rules` is the catalog (see
+``docs/static-analysis.md``).
+"""
+
+from .engine import (
+    Baseline,
+    Finding,
+    LintContext,
+    LintEngine,
+    LintReport,
+    Rule,
+    iter_python_files,
+)
+from .rules import ALL_RULES, DETERMINISTIC_PACKAGES, default_rules
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintContext",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "iter_python_files",
+    "ALL_RULES",
+    "DETERMINISTIC_PACKAGES",
+    "default_rules",
+]

@@ -1,0 +1,308 @@
+"""The AST lint engine: rules, findings, baselines, suppressions.
+
+The determinism of this codebase is load-bearing: the content-addressed
+result cache (``repro.exec``) assumes a run spec *is* its result, and the
+golden-run suite assumes bit-identical replays.  A single stray
+``time.time()`` or hash-ordered ``set`` iteration on a hot path silently
+breaks both.  This module provides the machinery to catch such patterns
+mechanically; the project-specific rules live in
+:mod:`repro.analysis.lints.rules`.
+
+Key pieces
+----------
+:class:`Finding`
+    One diagnostic: rule id, file, position, message.  Its
+    :attr:`~Finding.fingerprint` is *position independent* (rule + file +
+    source-line text + occurrence index), so unrelated edits above a
+    baselined finding do not resurrect it.
+:class:`Rule`
+    Base class: subclasses declare ``rule_id``/``summary``/``rationale``
+    and implement :meth:`Rule.check` over a parsed module.
+:class:`LintEngine`
+    Walks files, runs rules, honours inline suppressions
+    (``# lint: disable=DET005 -- why``), and diffs against a committed
+    baseline so CI fails only on *new* findings.
+
+Baseline workflow (see ``docs/static-analysis.md``)
+---------------------------------------------------
+``repro lint src --baseline lint-baseline.json`` exits non-zero only for
+findings whose fingerprint is absent from the baseline.  Accepted legacy
+findings are recorded with ``--update-baseline``; fixing one makes its
+baseline entry *stale*, which is reported (and pruned on the next
+update) so the baseline only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Finding", "LintContext", "Rule", "LintEngine", "LintReport",
+           "Baseline", "iter_python_files"]
+
+#: inline suppression marker: ``# lint: disable=DET001,TEL001 -- reason``
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*disable=([A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: text of the offending source line (fingerprint ingredient)
+    source_line: str = ""
+    #: disambiguates identical findings on identical lines within a file
+    occurrence: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining (position independent)."""
+        payload = "\0".join([self.rule, self.path,
+                             self.source_line.strip(),
+                             str(self.occurrence)])
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect about one module."""
+
+    #: repo-relative posix path (``src/repro/sim/core.py``)
+    path: str
+    #: dotted module name (``repro.sim.core``) when under a package root
+    module: str
+    tree: ast.Module
+    source_lines: List[str] = field(default_factory=list)
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when the module lives under any of the dotted prefixes."""
+        return any(self.module == p or self.module.startswith(p + ".")
+                   for p in prefixes)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`rule_id` (``DET001``-style), a one-line
+    :attr:`summary` and a :attr:`rationale` paragraph (both end up in
+    ``repro lint --list-rules`` and the docs), then implement
+    :meth:`check`.
+    """
+
+    rule_id: str = "XXX000"
+    summary: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        """Yield ``(node, message)`` pairs for each violation."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def finding(self, ctx: LintContext, node: ast.AST,
+                message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(rule=self.rule_id, path=ctx.path, line=line, col=col,
+                       message=message, source_line=ctx.line_text(line))
+
+
+class Baseline:
+    """The committed set of accepted legacy findings."""
+
+    VERSION = 1
+
+    def __init__(self, fingerprints: Optional[Dict[str, Dict[str, Any]]] = None
+                 ) -> None:
+        self.fingerprints: Dict[str, Dict[str, Any]] = fingerprints or {}
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        doc = json.loads(path.read_text())
+        if doc.get("version") != cls.VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {doc.get('version')!r}")
+        return cls(doc.get("findings", {}))
+
+    def save(self, path: pathlib.Path) -> None:
+        doc = {
+            "version": self.VERSION,
+            "findings": {fp: self.fingerprints[fp]
+                         for fp in sorted(self.fingerprints)},
+        }
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls({f.fingerprint: {"rule": f.rule, "path": f.path,
+                                    "message": f.message}
+                    for f in findings})
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.fingerprints
+
+    def stale_entries(self, findings: Iterable[Finding]
+                      ) -> Dict[str, Dict[str, Any]]:
+        """Baseline entries no longer produced by the code (i.e. fixed)."""
+        live = {f.fingerprint for f in findings}
+        return {fp: meta for fp, meta in self.fingerprints.items()
+                if fp not in live}
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one engine run, split against the baseline."""
+
+    findings: List[Finding]
+    new: List[Finding]
+    baselined: List[Finding]
+    stale_baseline: Dict[str, Dict[str, Any]]
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing new was found."""
+        return not self.new
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "files_checked": self.files_checked,
+            "total": len(self.findings),
+            "new": [f.as_dict() for f in self.new],
+            "baselined": [f.as_dict() for f in self.baselined],
+            "stale_baseline": self.stale_baseline,
+        }
+
+
+def iter_python_files(paths: Sequence[pathlib.Path]
+                      ) -> Iterator[pathlib.Path]:
+    """Expand files/directories into a deterministic ``.py`` file list."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py")
+                              if "egg-info" not in str(p))
+        elif path.suffix == ".py":
+            yield path
+
+
+def _module_name(path: pathlib.Path) -> str:
+    """Dotted module name, anchored at the nearest ``src``/package root."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in ("src",):
+        if anchor in parts:
+            parts = parts[parts.index(anchor) + 1:]
+            break
+    else:
+        # fall back: keep everything from the first ``repro`` component
+        if "repro" in parts:
+            parts = parts[parts.index("repro"):]
+    return ".".join(parts)
+
+
+def _suppressed_rules(line: str) -> List[str]:
+    match = _SUPPRESS_RE.search(line)
+    if not match:
+        return []
+    return [r.strip() for r in match.group(1).split(",")]
+
+
+class LintEngine:
+    """Run a rule set over files and diff the result against a baseline."""
+
+    def __init__(self, rules: Sequence[Rule],
+                 root: Optional[pathlib.Path] = None) -> None:
+        if not rules:
+            raise ValueError("need at least one rule")
+        ids = [r.rule_id for r in rules]
+        if len(ids) != len(set(ids)):
+            raise ValueError(f"duplicate rule ids in {ids}")
+        self.rules = list(rules)
+        #: paths in findings are reported relative to this directory
+        self.root = (root or pathlib.Path.cwd()).resolve()
+
+    # -- single-module machinery ------------------------------------------
+    def check_source(self, source: str, path: str = "<memory>",
+                     module: str = "") -> List[Finding]:
+        """Lint one module given as text (the unit-test entry point)."""
+        tree = ast.parse(source, filename=path)
+        ctx = LintContext(path=path, module=module or _module_name(
+            pathlib.Path(path)), tree=tree,
+            source_lines=source.splitlines())
+        raw: List[Finding] = []
+        for rule in self.rules:
+            for node, message in rule.check(ctx):
+                raw.append(rule.finding(ctx, node, message))
+        return self._finalize(ctx, raw)
+
+    def _finalize(self, ctx: LintContext,
+                  raw: List[Finding]) -> List[Finding]:
+        """Order findings, drop suppressed ones, number duplicates."""
+        raw.sort(key=lambda f: (f.line, f.col, f.rule))
+        out: List[Finding] = []
+        seen: Dict[Tuple[str, str], int] = {}
+        for finding in raw:
+            if finding.rule in _suppressed_rules(
+                    ctx.line_text(finding.line)):
+                continue
+            key = (finding.rule, finding.source_line.strip())
+            occurrence = seen.get(key, 0)
+            seen[key] = occurrence + 1
+            if occurrence:
+                finding = Finding(**{**finding.__dict__,
+                                     "occurrence": occurrence})
+            out.append(finding)
+        return out
+
+    # -- whole-tree entry point -------------------------------------------
+    def run(self, paths: Sequence[pathlib.Path],
+            baseline: Optional[Baseline] = None) -> LintReport:
+        findings: List[Finding] = []
+        files = 0
+        for file_path in iter_python_files([pathlib.Path(p) for p in paths]):
+            files += 1
+            rel = file_path.resolve()
+            try:
+                rel_str = rel.relative_to(self.root).as_posix()
+            except ValueError:
+                rel_str = rel.as_posix()
+            source = file_path.read_text(encoding="utf-8")
+            findings.extend(self.check_source(source, path=rel_str))
+
+        baseline = baseline or Baseline()
+        new = [f for f in findings if f not in baseline]
+        old = [f for f in findings if f in baseline]
+        return LintReport(findings=findings, new=new, baselined=old,
+                          stale_baseline=baseline.stale_entries(findings),
+                          files_checked=files)

@@ -1,0 +1,428 @@
+"""Project-specific determinism lint rules.
+
+Every rule here guards an invariant the repo's correctness rests on:
+
+* The content-addressed result cache (``repro.exec``) assumes a
+  :class:`~repro.exec.RunSpec` *is* its result's identity — any
+  wall-clock read, unseeded RNG or environment dependency inside the
+  simulation packages silently breaks digest stability.
+* The golden-run suite assumes bit-identical replays, including under a
+  different ``PYTHONHASHSEED`` — hash-ordered ``set`` iteration feeding
+  results or telemetry breaks exactly that.
+* ``repro.exec.hashing`` canonicalises dataclasses into JSON — a
+  mutable (non-frozen) spec could drift between digest and execution.
+* The telemetry counter namespace is a documented contract
+  (``docs/observability.md``); a typo'd root silently forks a metric.
+
+Scopes
+------
+``DETERMINISTIC_PACKAGES`` is everything between a :class:`RunSpec` and
+its :class:`RunResult`: the kernel, the chip model, RCCE, the pipeline,
+the renderer, the filters and both host models.  Config plumbing
+(``repro.exec`` cache-dir discovery, the CLI, reporting) may read the
+environment and the clock — results never depend on them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ...telemetry.counters import KNOWN_COUNTER_ROOTS
+from .engine import LintContext, Rule
+
+__all__ = ["ALL_RULES", "DETERMINISTIC_PACKAGES", "default_rules",
+           "WallClockRule", "UnseededRandomRule", "EnvDependenceRule",
+           "UnorderedIterationRule", "MutableDefaultRule",
+           "UnfrozenSpecDataclassRule", "UnknownCounterRootRule"]
+
+#: packages on the RunSpec -> RunResult path: nothing here may read the
+#: wall clock, the environment, or unseeded randomness
+DETERMINISTIC_PACKAGES = (
+    "repro.sim", "repro.scc", "repro.rcce", "repro.pipeline",
+    "repro.render", "repro.filters", "repro.host", "repro.cluster",
+)
+
+#: wall-clock entry points, by dotted name
+_WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.perf_counter",
+    "time.perf_counter_ns", "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns", "time.localtime",
+    "time.gmtime", "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+#: stdlib ``random`` module-level functions that mutate the global RNG
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "seed", "getrandbits", "randbytes",
+}
+
+#: numpy legacy global-state RNG entry points
+_NUMPY_GLOBAL_RANDOM_FNS = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "seed", "uniform",
+    "normal", "standard_normal", "poisson", "exponential",
+}
+
+#: environment probes that make behaviour machine-dependent
+_ENV_CALLS = {
+    "os.getenv", "os.uname", "os.getlogin", "os.cpu_count",
+    "socket.gethostname", "socket.getfqdn", "getpass.getuser",
+    "locale.getlocale", "locale.getdefaultlocale",
+}
+
+#: filesystem enumerations whose order is OS-dependent
+_FS_ORDER_CALLS = {"os.listdir", "os.scandir"}
+_FS_ORDER_METHODS = {"glob", "rglob", "iterdir"}
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _import_aliases(tree: ast.Module, module: str) -> Dict[str, str]:
+    """Local name -> dotted origin for ``from module import x [as y]``."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = \
+                    f"{module}.{alias.name}"
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module and alias.asname:
+                    aliases[alias.asname] = module
+    return aliases
+
+
+def _resolved_call_name(node: ast.Call, aliases: Dict[str, str]
+                        ) -> Optional[str]:
+    """Dotted callee name with ``from x import y`` aliases resolved."""
+    name = _dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    origin = aliases.get(head)
+    if origin is not None:
+        return f"{origin}.{rest}" if rest else origin
+    return name
+
+
+class WallClockRule(Rule):
+    rule_id = "DET001"
+    summary = "wall-clock read inside the deterministic simulation core"
+    rationale = (
+        "Simulated time comes from Simulator.now; reading the host clock "
+        "on the RunSpec->RunResult path makes results (and therefore "
+        "cache digests and golden snapshots) vary run to run.")
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        if not ctx.in_package(*DETERMINISTIC_PACKAGES):
+            return
+        aliases = {**_import_aliases(ctx.tree, "time"),
+                   **_import_aliases(ctx.tree, "datetime")}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _resolved_call_name(node, aliases)
+            if name in _WALL_CLOCK_CALLS:
+                yield node, (f"`{name}()` reads the host clock; use "
+                             f"simulated time (Simulator.now) instead")
+
+
+class UnseededRandomRule(Rule):
+    rule_id = "DET002"
+    summary = "RNG without an explicit seed"
+    rationale = (
+        "Unseeded generators (and the global random/np.random state) "
+        "give different results per process, breaking RunSpec digest "
+        "stability and golden-run replays; derive generators from the "
+        "run's seed (cf. StageContext.rng_for).")
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        aliases = _import_aliases(ctx.tree, "random")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _resolved_call_name(node, aliases)
+            if name is None:
+                continue
+            if (name.endswith(".default_rng") and not node.args
+                    and not node.keywords):
+                yield node, ("`default_rng()` without a seed draws OS "
+                             "entropy; thread the run seed through")
+            elif name == "random.Random" and not node.args:
+                yield node, "`random.Random()` without a seed"
+            elif name == "random.SystemRandom":
+                yield node, "`random.SystemRandom` is OS entropy"
+            else:
+                head, _, fn = name.rpartition(".")
+                if head == "random" and fn in _GLOBAL_RANDOM_FNS:
+                    yield node, (f"`random.{fn}()` uses the global RNG; "
+                                 f"use a seeded Generator instance")
+                elif (head in ("np.random", "numpy.random")
+                        and fn in _NUMPY_GLOBAL_RANDOM_FNS):
+                    yield node, (f"`{name}()` uses numpy's legacy global "
+                                 f"RNG; use a seeded default_rng(seed)")
+
+
+class EnvDependenceRule(Rule):
+    rule_id = "DET003"
+    summary = "environment probe inside the deterministic simulation core"
+    rationale = (
+        "Host name, env vars, CPU count or locale must never steer a "
+        "simulated result: the same RunSpec would produce different "
+        "digests on different machines.  Configuration layers (exec, "
+        "cli, benchmarks) may read the environment.")
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        if not ctx.in_package(*DETERMINISTIC_PACKAGES):
+            return
+        aliases = _import_aliases(ctx.tree, "os")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = _resolved_call_name(node, aliases)
+                if name is None:
+                    continue
+                if name in _ENV_CALLS:
+                    yield node, f"`{name}()` depends on the host machine"
+                elif name.startswith("platform."):
+                    yield node, f"`{name}()` depends on the host platform"
+                elif (name == "os.environ.get"
+                        or name.startswith("os.environ.")):
+                    yield node, "`os.environ` read in the simulation core"
+            elif isinstance(node, ast.Attribute):
+                if _dotted_name(node) == "os.environ":
+                    yield node, "`os.environ` read in the simulation core"
+
+
+class UnorderedIterationRule(Rule):
+    rule_id = "DET004"
+    summary = "iteration in hash/OS order"
+    rationale = (
+        "Set iteration order follows PYTHONHASHSEED for strings, and "
+        "directory listings follow the filesystem; feeding either into "
+        "results, telemetry or digests breaks replays.  Wrap the "
+        "iterable in sorted(...) to pin an order.")
+
+    #: consumers whose result does not depend on iteration order — a
+    #: comprehension passed straight into one of these is harmless
+    _ORDER_INSENSITIVE = {"sorted", "set", "frozenset", "sum", "min",
+                          "max", "any", "all", "len", "Counter",
+                          "collections.Counter"}
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        exempt: set = set()
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and _dotted_name(node.func) in self._ORDER_INSENSITIVE):
+                for arg in node.args:
+                    if isinstance(arg, (ast.ListComp, ast.SetComp,
+                                        ast.GeneratorExp)):
+                        exempt.add(id(arg))
+        iter_sites: List[ast.expr] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iter_sites.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                if id(node) not in exempt:
+                    iter_sites.extend(gen.iter for gen in node.generators)
+        for site in iter_sites:
+            message = self._unordered(site)
+            if message is not None:
+                yield site, message
+
+    @staticmethod
+    def _unordered(node: ast.expr) -> Optional[str]:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "iterating a set literal (hash order)"
+        if not isinstance(node, ast.Call):
+            return None
+        name = _dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return f"iterating `{name}(...)` (hash order)"
+        if name in _FS_ORDER_CALLS:
+            return f"iterating `{name}(...)` (filesystem order)"
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _FS_ORDER_METHODS):
+            return (f"iterating `.{node.func.attr}(...)` "
+                    f"(filesystem order); wrap in sorted(...)")
+        return None
+
+
+class MutableDefaultRule(Rule):
+    rule_id = "DET005"
+    summary = "mutable default argument"
+    rationale = (
+        "A list/dict/set default is shared across calls: state leaks "
+        "between runs in the same process, so the first and second "
+        "simulation of one spec can diverge.")
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "deque",
+                      "defaultdict", "OrderedDict", "Counter"}
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._mutable(default):
+                    yield default, (f"mutable default in "
+                                    f"`{node.name}(...)`; use None and "
+                                    f"create inside")
+
+    @classmethod
+    def _mutable(cls, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.SetComp, ast.DictComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = _dotted_name(node.func)
+            return name in cls._MUTABLE_CALLS
+        return False
+
+
+class UnfrozenSpecDataclassRule(Rule):
+    rule_id = "DET006"
+    summary = "non-frozen dataclass participating in canonical hashing"
+    rationale = (
+        "A dataclass that exposes `digest`/`as_dict` feeds "
+        "exec.hashing's canonical JSON; if it is mutable it can change "
+        "between hashing and execution, silently splitting the result "
+        "cache.  Declare it @dataclass(frozen=True).")
+
+    _IDENTITY_METHODS = {"digest", "as_dict"}
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._is_unfrozen_dataclass(node):
+                continue
+            methods = {item.name for item in node.body
+                       if isinstance(item, (ast.FunctionDef,
+                                            ast.AsyncFunctionDef))}
+            hit = methods & self._IDENTITY_METHODS
+            if hit:
+                yield node, (f"dataclass `{node.name}` defines "
+                             f"{sorted(hit)} but is not frozen=True")
+
+    @staticmethod
+    def _is_unfrozen_dataclass(node: ast.ClassDef) -> bool:
+        for dec in node.decorator_list:
+            name = _dotted_name(dec.func if isinstance(dec, ast.Call)
+                                else dec)
+            if name not in ("dataclass", "dataclasses.dataclass"):
+                continue
+            if isinstance(dec, ast.Call):
+                for kw in dec.keywords:
+                    if (kw.arg == "frozen"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True):
+                        return False
+            return True
+        return False
+
+
+class UnknownCounterRootRule(Rule):
+    rule_id = "TEL001"
+    summary = "telemetry counter outside the registered namespace"
+    rationale = (
+        "Counter names are a contract (docs/observability.md, "
+        "KNOWN_COUNTER_ROOTS in repro.telemetry.counters): exporters, "
+        "the top report and dashboards match on the first dotted "
+        "segment.  An unregistered root is almost always a typo that "
+        "silently forks a metric.")
+
+    _MUTATORS = {"inc", "set_gauge", "observe", "counter", "gauge",
+                 "histogram"}
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call_site(node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_prefix_assignment(node)
+
+    def _check_call_site(self, node: ast.Call
+                         ) -> Iterator[Tuple[ast.AST, str]]:
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in self._MUTATORS
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "counters"
+                and node.args):
+            return
+        head = self._static_head(node.args[0])
+        yield from self._check_head(node.args[0], head)
+
+    def _check_prefix_assignment(self, node: ast.AST
+                                 ) -> Iterator[Tuple[ast.AST, str]]:
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        else:
+            assert isinstance(node, ast.AnnAssign)
+            targets, value = [node.target], node.value
+        if value is None:
+            return
+        for target in targets:
+            name = (target.attr if isinstance(target, ast.Attribute)
+                    else target.id if isinstance(target, ast.Name) else "")
+            if "counter_prefix" in name:
+                head = self._static_head(value)
+                yield from self._check_head(value, head)
+                return
+
+    def _check_head(self, node: ast.expr, head: Optional[str]
+                    ) -> Iterator[Tuple[ast.AST, str]]:
+        if not head:
+            return  # fully dynamic name: covered at the prefix assignment
+        root = head.split(".", 1)[0]
+        # An undotted head that is immediately followed by interpolation
+        # (f"stage{x}...") is an incomplete first segment: only check
+        # heads that pin the root, i.e. contain a dot or are the whole
+        # name.
+        complete = "." in head or isinstance(node, ast.Constant)
+        if complete and root not in KNOWN_COUNTER_ROOTS:
+            yield node, (f"counter root {root!r} is not in "
+                         f"KNOWN_COUNTER_ROOTS "
+                         f"({', '.join(sorted(KNOWN_COUNTER_ROOTS))})")
+
+    @staticmethod
+    def _static_head(node: ast.expr) -> Optional[str]:
+        """Leading literal text of a str constant or f-string."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.JoinedStr):
+            head = ""
+            for part in node.values:
+                if (isinstance(part, ast.Constant)
+                        and isinstance(part.value, str)):
+                    head += part.value
+                else:
+                    break
+            return head
+        return None
+
+
+def default_rules() -> Sequence[Rule]:
+    """The project rule set, in catalog order."""
+    return (WallClockRule(), UnseededRandomRule(), EnvDependenceRule(),
+            UnorderedIterationRule(), MutableDefaultRule(),
+            UnfrozenSpecDataclassRule(), UnknownCounterRootRule())
+
+
+ALL_RULES = tuple(type(r) for r in default_rules())

@@ -27,11 +27,15 @@ Subcommands
     The §VI-D frequency-tuning study (Figs 16/17).
 ``explain``
     Analytic per-stage breakdown and bottleneck for a configuration.
+``lint``
+    Static determinism/telemetry lints over the Python sources, diffed
+    against a committed baseline (see docs/static-analysis.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import List, Optional, Sequence
@@ -95,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="FILE",
                      help="write a Chrome trace-event JSON of the run "
                           "(open in Perfetto or chrome://tracing)")
+    run.add_argument("--sanitize", action="store_true",
+                     help="enable the runtime sanitizers (MPB races, "
+                          "event lifecycle, clock monotonicity); exits 3 "
+                          "when any diagnostic fires")
     _add_exec_args(run, jobs=False)
 
     sweep = sub.add_parser(
@@ -191,6 +199,24 @@ def build_parser() -> argparse.ArgumentParser:
                       default="mcpc_renderer")
     tune.add_argument("--frames", type=int, default=400)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the project's determinism/telemetry lints over "
+             "Python sources")
+    lint.add_argument("paths", nargs="*", type=pathlib.Path,
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--baseline", type=pathlib.Path, default=None,
+                      metavar="FILE",
+                      help="accepted-findings file; only findings absent "
+                           "from it fail the run")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite --baseline with the current findings "
+                           "and exit 0")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report on stdout")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+
     return parser
 
 
@@ -209,12 +235,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(problem, file=sys.stderr)
         return 2
     telemetry = Telemetry() if args.trace_out else None
+    suite = None
+    if args.sanitize:
+        from .analysis.sanitizers import SanitizerSuite
+
+        suite = SanitizerSuite()
     runner = PipelineRunner(config=args.config, pipelines=args.pipelines,
                             arrangement=args.arrangement, frames=args.frames,
-                            trace=args.gantt, telemetry=telemetry)
-    # A Gantt chart or Chrome trace needs the live run; otherwise the
-    # content-addressed cache can answer (and record) the result.
-    cache = None if (args.gantt or args.trace_out) else _cache_from(args)
+                            trace=args.gantt, telemetry=telemetry,
+                            sanitizers=suite)
+    # A Gantt chart, Chrome trace or sanitized run needs the live
+    # simulation; otherwise the content-addressed cache can answer
+    # (and record) the result.
+    cache = (None if (args.gantt or args.trace_out or args.sanitize)
+             else _cache_from(args))
     cache_note = ""
     if cache is not None:
         executor = SweepExecutor(cache=cache)
@@ -251,6 +285,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"({len(telemetry.events)} events)")
     if cache_note:
         print(f"result cache  : {cache_note}")
+    if suite is not None:
+        print(suite.summary())
+        if not suite.clean:
+            return 3
     return 0
 
 
@@ -432,6 +470,48 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.lints import Baseline, LintEngine, default_rules
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.summary}")
+            if rule.rationale:
+                print(f"        {rule.rationale}")
+        return 0
+
+    paths = args.paths or [pathlib.Path("src")]
+    engine = LintEngine(rules)
+    baseline = (Baseline.load(args.baseline) if args.baseline is not None
+                else Baseline())
+    report = engine.run(paths, baseline)
+
+    if args.update_baseline:
+        if args.baseline is None:
+            print("error: --update-baseline needs --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        Baseline.from_findings(report.findings).save(args.baseline)
+        print(f"baseline: {len(report.findings)} finding(s) -> "
+              f"{args.baseline}")
+        return 0
+
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in report.new:
+            print(finding.format())
+        for fp, meta in sorted(report.stale_baseline.items()):
+            print(f"stale baseline entry {fp}: {meta.get('rule')} in "
+                  f"{meta.get('path')} no longer occurs "
+                  f"(run --update-baseline to prune)")
+        print(f"{report.files_checked} file(s): {len(report.new)} new, "
+              f"{len(report.baselined)} baselined, "
+              f"{len(report.stale_baseline)} stale")
+    return 0 if report.clean else 1
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
@@ -443,6 +523,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "describe": _cmd_describe,
     "chip": _cmd_chip,
+    "lint": _cmd_lint,
 }
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass, fields
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cluster import CLUSTER_CONFIGURATIONS, ClusterRunner
 from ..pipeline.arrangements import ARRANGEMENTS, Placement
@@ -147,7 +147,8 @@ class RunSpec:
                            fingerprint or engine_fingerprint())
 
 
-def build_runner(spec: RunSpec, telemetry: Optional[Telemetry] = None):
+def build_runner(spec: RunSpec, telemetry: Optional[Telemetry] = None
+                 ) -> Union[PipelineRunner, ClusterRunner]:
     """Materialise the runner for a spec.
 
     Both platforms share the process-wide memoized workload for the
@@ -188,7 +189,8 @@ def execute_spec(spec: RunSpec,
     return build_runner(spec, telemetry=telemetry).run()
 
 
-def _pool_worker(payload: Tuple[RunSpec, bool]):
+def _pool_worker(payload: Tuple[RunSpec, bool]
+                 ) -> Tuple[RunResult, Optional[Dict[str, Any]]]:
     """Top-level worker entry point (must be picklable for ``spawn``)."""
     spec, want_telemetry = payload
     hub = Telemetry(enabled=True) if want_telemetry else None
@@ -282,7 +284,8 @@ class SweepExecutor:
         """Convenience wrapper: a one-point sweep."""
         return self.run([spec])[0]
 
-    def _execute(self, specs: List[RunSpec], want_telemetry: bool):
+    def _execute(self, specs: List[RunSpec], want_telemetry: bool
+                 ) -> List[Tuple[RunResult, Optional[Dict[str, Any]]]]:
         payloads = [(spec, want_telemetry) for spec in specs]
         if self.jobs == 1 or len(specs) <= 1:
             return [_pool_worker(p) for p in payloads]

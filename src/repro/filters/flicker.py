@@ -29,7 +29,7 @@ class FlickerFilter(ImageFilter):
     def apply(self, image: np.ndarray,
               rng: Optional[np.random.Generator] = None) -> np.ndarray:
         image = validate_image(image)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         delta = np.float32(rng.uniform(-self.amplitude, self.amplitude))
         return clamp01(image + delta).astype(np.float32)
 

@@ -38,7 +38,7 @@ class ScratchFilter(ImageFilter):
     def apply(self, image: np.ndarray,
               rng: Optional[np.random.Generator] = None) -> np.ndarray:
         image = validate_image(image)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         out = image.copy()
         n = int(rng.integers(0, self.max_scratches + 1))
         if n == 0:
@@ -90,7 +90,7 @@ class OrientedScratchFilter(ImageFilter):
     def apply(self, image: np.ndarray,
               rng: Optional[np.random.Generator] = None) -> np.ndarray:
         image = validate_image(image)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         out = image.copy()
         h, w, _ = image.shape
         n = int(rng.integers(0, self.max_scratches + 1))

@@ -18,7 +18,7 @@ Configurations (paper §V):
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, List, Optional
 
 import numpy as np
 
@@ -92,6 +92,11 @@ class PipelineRunner:
         the run (events, counters, Chrome traces); available as
         ``self.last_telemetry`` afterwards.  When omitted, a private
         disabled hub carries the metrics with near-zero overhead.
+    sanitizers:
+        A :class:`~repro.analysis.sanitizers.SanitizerSuite` to run the
+        MPB-race / event-lifecycle / sim-clock checkers during the
+        simulation (``repro run --sanitize``).  Diagnostics accumulate on
+        the suite; the runner also performs the teardown accounting pass.
     """
 
     def __init__(
@@ -112,6 +117,7 @@ class PipelineRunner:
         frequency_plan: Optional[dict] = None,
         trace: bool = False,
         telemetry: Optional[Telemetry] = None,
+        sanitizers: Optional[Any] = None,
     ) -> None:
         if config not in CONFIGURATIONS:
             raise ValueError(
@@ -154,6 +160,9 @@ class PipelineRunner:
         self.trace = trace
         #: optional telemetry hub shared by all subsystems of the run
         self.telemetry = telemetry
+        #: optional runtime-sanitizer suite (duck-typed: the runner never
+        #: imports repro.analysis, which would create an import cycle)
+        self.sanitizers = sanitizers
         #: filled during the build: stage key -> [core ids]
         self._stage_cores: dict = {}
 
@@ -205,6 +214,12 @@ class PipelineRunner:
         """Simulate the walkthrough and return the metrics."""
         sim = Simulator()
         telemetry = self.telemetry or Telemetry(enabled=False)
+        suite = self.sanitizers
+        if suite is not None:
+            if suite.telemetry is None:
+                suite.telemetry = telemetry
+            telemetry.attach_sanitizers(suite)
+            suite.attach_kernel(sim)
         chip = SCCChip(sim, self.chip_config, telemetry=telemetry)
         comm = RCCEComm(chip)
         mcpc = MCPC(sim, self.mcpc_config)
@@ -257,10 +272,14 @@ class PipelineRunner:
             sim.run(until=sim.all_of(processes))
             end = sim.now
             chip.power.set_cores_active(active_cores, False)
+            if suite is not None:
+                suite.check_teardown(sim, processes)
         finally:
             # The metrics/trace sinks are per-run; leave a caller-supplied
             # hub clean so a second run does not double-record.
             ctx.detach_sinks()
+            if suite is not None:
+                telemetry.detach_sanitizers()
 
         #: exposed for post-run inspection (tests, notebooks)
         self.last_metrics = ctx.metrics

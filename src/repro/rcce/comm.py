@@ -116,7 +116,14 @@ class RCCEComm:
         if via == "dram":
             yield from self.chip.memory.write_to(src, dst, nbytes)
         else:
+            # The completed rendezvous is the RCCE handshake that entitles
+            # the sender to the receiver's MPB window.
+            san = self.chip.telemetry.sanitizers
+            if san is not None:
+                san.on_mpb_handshake(dst, src, self.sim.now)
             yield from self._mpb_push(src, dst, nbytes)
+            if san is not None:
+                san.on_mpb_complete(dst, src, self.sim.now)
 
         msg = Message(src, dst, nbytes, tag=tag, payload=payload)
         yield chan.data_ready.put((msg, via))
@@ -165,15 +172,22 @@ class RCCEComm:
         mpb = self.chip.mpb.of(dst)
         src_coord = self.chip.topology.core(src).coord
         dst_coord = self.chip.topology.core(dst).coord
+        san = self.chip.telemetry.sanitizers
         remaining = nbytes
         while remaining > 0:
             chunk = min(remaining, self.mpb_chunk_bytes)
             yield mpb.reserve(chunk)
             # Sender-side copy into the window, over the mesh.
+            write_start = self.sim.now
             yield from self.chip.mesh.transfer(src_coord, dst_coord, chunk)
             yield self.sim.timeout(chunk / mem_cfg.core_copy_bandwidth)
+            if san is not None:
+                san.on_mpb_write(dst, src, write_start, self.sim.now)
             # Receiver-side copy out of the window.
+            read_start = self.sim.now
             yield self.sim.timeout(chunk / mem_cfg.core_copy_bandwidth)
+            if san is not None:
+                san.on_mpb_read(dst, dst, read_start, self.sim.now)
             yield mpb.release(chunk)
             remaining -= chunk
 

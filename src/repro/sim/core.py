@@ -61,6 +61,10 @@ class Simulator:
         self._timeout_pool: Optional[List[Timeout]] = (
             [] if hasattr(sys, "getrefcount") else None
         )
+        # Optional runtime sanitizer (repro.analysis.sanitizers).  When
+        # set, run() switches to a checked loop; the fast loop is
+        # untouched, so sanitizer-off runs pay nothing.
+        self._sanitizer: Optional[Any] = None
 
     # -- introspection -----------------------------------------------------
     @property
@@ -94,6 +98,8 @@ class Simulator:
             if delay < 0:
                 raise ValueError(f"negative delay {delay!r}")
             timeout = pool.pop()
+            if self._sanitizer is not None:
+                self._sanitizer.on_reuse(timeout)
             timeout.callbacks = []
             timeout._value = value
             timeout._ok = True
@@ -134,6 +140,16 @@ class Simulator:
         event._scheduled = True
         self._seq += 1
         heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def _recycle(self, event: Timeout) -> None:
+        """Return a Timeout to the free list (kernel-internal)."""
+        pool = self._timeout_pool
+        if pool is None:
+            return
+        if self._sanitizer is not None:
+            self._sanitizer.on_recycle(event, self._now)
+        if len(pool) < _TIMEOUT_POOL_MAX:
+            pool.append(event)
 
     # -- execution ------------------------------------------------------------
     def step(self) -> None:
@@ -212,25 +228,50 @@ class Simulator:
         pool = self._timeout_pool
         getref = getattr(sys, "getrefcount", None)
         pop = heappop
+        san = self._sanitizer
         processed = 0
         try:
-            while queue:
-                self._now, _, _, event = pop(queue)
-                processed += 1
+            if san is not None:
+                # Checked variant of the loop below: every pop goes through
+                # the sanitizer, which may veto already-consumed events.
+                while queue:
+                    t, _, _, event = pop(queue)
+                    if not san.on_event_pop(event, t, self._now):
+                        continue
+                    self._now = t
+                    processed += 1
 
-                callbacks = event.callbacks
-                event.callbacks = None
-                assert callbacks is not None, "event processed twice"
-                for callback in callbacks:
-                    callback(event)
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
 
-                if not event._ok and not event._defused:
-                    raise event._value
+                    if not event._ok and not event._defused:
+                        raise event._value
 
-                if (type(event) is Timeout and pool is not None
-                        and len(pool) < _TIMEOUT_POOL_MAX
-                        and getref(event) == 2):
-                    pool.append(event)
+                    if (type(event) is Timeout and pool is not None
+                            and len(pool) < _TIMEOUT_POOL_MAX
+                            and getref(event) == 2):
+                        san.on_recycle(event, self._now)
+                        pool.append(event)
+            else:
+                while queue:
+                    self._now, _, _, event = pop(queue)
+                    processed += 1
+
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    assert callbacks is not None, "event processed twice"
+                    for callback in callbacks:
+                        callback(event)
+
+                    if not event._ok and not event._defused:
+                        raise event._value
+
+                    if (type(event) is Timeout and pool is not None
+                            and len(pool) < _TIMEOUT_POOL_MAX
+                            and getref(event) == 2):
+                        pool.append(event)
         except StopSimulation as stop_exc:
             if until_event is not None:
                 if not until_event.ok:

@@ -26,7 +26,17 @@ from typing import Dict, List, Tuple, Union
 
 from ..sim import StatAccumulator
 
-__all__ = ["Counter", "Gauge", "Histogram", "CounterRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "CounterRegistry",
+           "KNOWN_COUNTER_ROOTS"]
+
+#: The registered first segments of the dotted counter namespace.  The
+#: ``TEL001`` determinism lint (repro.analysis.lints) rejects call sites
+#: whose static name root is not listed here — add the root *and* its
+#: convention to ``docs/observability.md`` when opening a new subsystem.
+KNOWN_COUNTER_ROOTS = frozenset({
+    "mesh", "dram", "mpb", "stage", "dvfs", "power", "cache", "rcce",
+    "sanitizer",
+})
 
 
 class Counter:

@@ -87,6 +87,20 @@ class Telemetry:
         self.counters = CounterRegistry()
         self._events: List[TelemetryEvent] = []
         self._sinks: List[Sink] = []
+        # Optional runtime sanitizer suite (repro.analysis.sanitizers).
+        # Model-layer hooks (RCCE, MPB) guard with ``if sanitizers is not
+        # None`` — a direct attribute check, no event allocation — so
+        # sanitizer-off runs pay one comparison per site.
+        self.sanitizers: Optional[Any] = None
+
+    def attach_sanitizers(self, suite: Any) -> Any:
+        """Route runtime-sanitizer hooks from instrumented subsystems to
+        ``suite``; returns it (for later :meth:`detach_sanitizers`)."""
+        self.sanitizers = suite
+        return suite
+
+    def detach_sanitizers(self) -> None:
+        self.sanitizers = None
 
     # -- sinks ------------------------------------------------------------
     def add_sink(self, sink: Sink) -> Sink:

@@ -1,0 +1,309 @@
+"""The static lint framework: rules, suppressions, baselines, CLI."""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis.lints import (
+    ALL_RULES,
+    Baseline,
+    DETERMINISTIC_PACKAGES,
+    LintEngine,
+    default_rules,
+)
+from repro.cli import main
+from repro.telemetry.counters import KNOWN_COUNTER_ROOTS
+
+
+def lint(source: str, module: str = "repro.sim.fake") -> list:
+    engine = LintEngine(default_rules())
+    return engine.check_source(textwrap.dedent(source),
+                               path="src/repro/sim/fake.py", module=module)
+
+
+def rules_of(findings) -> list:
+    return [f.rule for f in findings]
+
+
+# -- DET001: wall clock -----------------------------------------------------
+
+def test_wall_clock_flagged_in_hot_packages():
+    findings = lint("""\
+        import time
+        def f():
+            return time.perf_counter()
+        """)
+    assert rules_of(findings) == ["DET001"]
+    assert "perf_counter" in findings[0].message
+
+
+def test_wall_clock_through_alias_and_from_import():
+    findings = lint("""\
+        import time as t
+        from datetime import datetime
+        def f():
+            return t.time(), datetime.now()
+        """)
+    assert rules_of(findings) == ["DET001", "DET001"]
+
+
+def test_wall_clock_allowed_outside_deterministic_packages():
+    engine = LintEngine(default_rules())
+    findings = engine.check_source(
+        "import time\nx = time.time()\n",
+        path="benchmarks/bench.py", module="benchmarks.bench")
+    assert findings == []
+
+
+# -- DET002: unseeded randomness --------------------------------------------
+
+def test_unseeded_default_rng_flagged():
+    findings = lint("""\
+        import numpy as np
+        rng = np.random.default_rng()
+        """)
+    assert rules_of(findings) == ["DET002"]
+
+
+def test_seeded_default_rng_clean():
+    assert lint("import numpy as np\nrng = np.random.default_rng(0)\n") == []
+
+
+def test_global_random_module_flagged():
+    findings = lint("import random\nx = random.random()\n")
+    assert rules_of(findings) == ["DET002"]
+
+
+# -- DET003: environment dependence -----------------------------------------
+
+def test_env_dependence_flagged():
+    findings = lint("""\
+        import os
+        def f():
+            return os.getenv("HOME"), os.cpu_count()
+        """)
+    assert rules_of(findings) == ["DET003", "DET003"]
+
+
+# -- DET004: unordered iteration --------------------------------------------
+
+def test_set_iteration_flagged():
+    findings = lint("""\
+        def f(xs):
+            for x in {a for a in xs}:
+                print(x)
+        """)
+    assert rules_of(findings) == ["DET004"]
+
+
+def test_sorted_set_iteration_clean():
+    assert lint("""\
+        def f(xs):
+            for x in sorted({a for a in xs}):
+                print(x)
+        """) == []
+
+
+def test_listdir_iteration_flagged():
+    findings = lint("""\
+        import os
+        def f():
+            for name in os.listdir('.'):
+                print(name)
+        """)
+    assert rules_of(findings) == ["DET004"]
+
+
+# -- DET005: mutable defaults -----------------------------------------------
+
+def test_mutable_default_flagged_everywhere():
+    engine = LintEngine(default_rules())
+    findings = engine.check_source(
+        "def f(xs=[]):\n    return xs\n",
+        path="src/repro/report/fake.py", module="repro.report.fake")
+    assert rules_of(findings) == ["DET005"]
+
+
+# -- DET006: unfrozen spec dataclasses --------------------------------------
+
+def test_unfrozen_digest_dataclass_flagged():
+    findings = lint("""\
+        from dataclasses import dataclass
+        @dataclass
+        class Spec:
+            x: int = 0
+            def digest(self):
+                return str(self.x)
+        """, module="repro.exec.fake")
+    assert rules_of(findings) == ["DET006"]
+
+
+def test_frozen_digest_dataclass_clean():
+    assert lint("""\
+        from dataclasses import dataclass
+        @dataclass(frozen=True)
+        class Spec:
+            x: int = 0
+            def digest(self):
+                return str(self.x)
+        """, module="repro.exec.fake") == []
+
+
+# -- TEL001: unknown counter roots ------------------------------------------
+
+def test_unknown_counter_root_flagged():
+    findings = lint("""\
+        def f(tel):
+            tel.counters.inc("bogus.things")
+        """)
+    assert rules_of(findings) == ["TEL001"]
+    assert "bogus" in findings[0].message
+
+
+def test_known_counter_roots_clean():
+    for root in sorted(KNOWN_COUNTER_ROOTS):
+        assert lint(f"""\
+            def f(tel):
+                tel.counters.inc("{root}.things")
+            """) == [], root
+
+
+def test_dynamic_counter_tail_with_known_root_clean():
+    assert lint("""\
+        def f(tel, k):
+            tel.counters.inc(f"mesh.{k}.hops")
+        """) == []
+
+
+# -- engine mechanics --------------------------------------------------------
+
+def test_inline_suppression_drops_finding():
+    findings = lint("""\
+        import time
+        def f():
+            return time.time()  # lint: disable=DET001 -- bench harness only
+        """)
+    assert findings == []
+
+
+def test_suppression_is_per_rule():
+    findings = lint("""\
+        import time, random
+        def f():
+            return time.time(), random.random()  # lint: disable=DET001 -- timed
+        """)
+    assert rules_of(findings) == ["DET002"]
+
+
+def test_fingerprint_survives_moving_the_line():
+    a = lint("import time\n\ndef f():\n    return time.time()\n")
+    b = lint("import time\n# a new comment above\n\ndef f():\n"
+             "    return time.time()\n")
+    assert a[0].fingerprint == b[0].fingerprint
+    assert a[0].line != b[0].line
+
+
+def test_duplicate_lines_get_distinct_fingerprints():
+    findings = lint("""\
+        import time
+        def f():
+            return time.time()
+        def g():
+            return time.time()
+        """)
+    assert len(findings) == 2
+    assert findings[0].fingerprint != findings[1].fingerprint
+
+
+def test_baseline_round_trip_and_staleness(tmp_path):
+    findings = lint("import time\nx = time.time()\n")
+    baseline = Baseline.from_findings(findings)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert findings[0] in loaded
+    assert loaded.stale_entries(findings) == {}
+    assert len(loaded.stale_entries([])) == 1
+
+
+def test_baseline_version_check(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": {}}))
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+
+
+def test_rule_ids_unique_and_documented():
+    ids = [r.rule_id for r in ALL_RULES]
+    assert len(ids) == len(set(ids))
+    for rule in ALL_RULES:
+        assert rule.summary, rule.rule_id
+        assert rule.rationale, rule.rule_id
+
+
+def test_repo_sources_lint_clean_against_committed_baseline():
+    """The PR gate: src must produce nothing new vs lint-baseline.json."""
+    repo = pathlib.Path(__file__).resolve().parents[2]
+    engine = LintEngine(default_rules(), root=repo)
+    baseline = Baseline.load(repo / "lint-baseline.json")
+    report = engine.run([repo / "src"], baseline)
+    assert report.clean, "\n".join(f.format() for f in report.new)
+    assert report.files_checked > 50
+
+
+def test_deterministic_packages_exist():
+    repo = pathlib.Path(__file__).resolve().parents[2]
+    for pkg in DETERMINISTIC_PACKAGES:
+        rel = pathlib.Path(*pkg.split("."))
+        assert (repo / "src" / rel).is_dir(), pkg
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_lint_clean_file(tmp_path, capsys):
+    target = tmp_path / "ok.py"
+    target.write_text("x = 1\n")
+    assert main(["lint", str(target)]) == 0
+    assert "0 new" in capsys.readouterr().out
+
+
+def test_cli_lint_finding_and_baseline_cycle(tmp_path, capsys):
+    target = tmp_path / "src" / "repro" / "sim" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import time\nx = time.time()\n")
+    baseline = tmp_path / "baseline.json"
+
+    assert main(["lint", str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "1 new" in out
+
+    assert main(["lint", str(target), "--baseline", str(baseline),
+                 "--update-baseline"]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(target), "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # fixing the finding makes its baseline entry stale, still exit 0
+    target.write_text("x = 1\n")
+    assert main(["lint", str(target), "--baseline", str(baseline)]) == 0
+    assert "stale" in capsys.readouterr().out
+
+
+def test_cli_lint_json_output(tmp_path, capsys):
+    target = tmp_path / "src" / "repro" / "sim" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import random\nx = random.random()\n")
+    assert main(["lint", "--json", str(target)]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["total"] == 1
+    assert doc["new"][0]["rule"] == "DET002"
+    assert doc["new"][0]["fingerprint"]
+
+
+def test_cli_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.rule_id in out

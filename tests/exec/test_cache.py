@@ -87,7 +87,7 @@ def test_put_never_leaves_temp_droppings(tmp_path):
     cache = ResultCache(tmp_path)
     digest = "01" + "4" * 62
     cache.put(digest, {}, sample_result())
-    leftovers = [p for p in tmp_path.rglob("*") if p.suffix == ".tmp"]
+    leftovers = sorted(p for p in tmp_path.rglob("*") if p.suffix == ".tmp")
     assert leftovers == []
 
 
