@@ -27,6 +27,11 @@ Modes
     Measure the same profile with the runtime sanitizers enabled
     (``repro run --sanitize``) and record the ``sanitized`` block plus
     ``sanitizer_overhead_vs_current`` (sanitized/current median).
+``--update-analyzer``
+    Measure the insight engine (``repro analyze``: critical path,
+    attribution, verdict) on the standard profile's retained telemetry
+    and record the ``analyzer`` block plus ``analyzer_cost_vs_run``
+    (analysis median / current simulation median).
 
 The workload (procedural city, camera path, culling profiles) is built
 and warmed once outside the timed region, so the numbers isolate the
@@ -98,6 +103,42 @@ def measure(runs: int = RUNS, sanitize: bool = False) -> dict:
     return out
 
 
+def measure_analyzer(runs: int = RUNS) -> dict:
+    """Median wall time of the post-run insight analysis alone.
+
+    One telemetry-enabled run supplies the event stream; the analysis
+    (critical path + attribution + verdict) is then re-run ``runs``
+    times over the same events.
+    """
+    from repro.analysis import analyze_telemetry
+    from repro.telemetry import Telemetry
+
+    workload = WalkthroughWorkload(frames=FRAMES)
+    telemetry = Telemetry()
+    result = PipelineRunner(config=CONFIG, pipelines=PIPELINES,
+                            frames=FRAMES, workload=workload,
+                            telemetry=telemetry).run()
+    insight = analyze_telemetry(telemetry, result)  # warm
+    samples_ms = []
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        insight = analyze_telemetry(telemetry, result)
+        samples_ms.append((time.perf_counter() - t0) * 1000.0)
+    assert insight.critical_path.duration == insight.makespan
+    return {
+        "config": CONFIG,
+        "pipelines": PIPELINES,
+        "frames": FRAMES,
+        "runs": runs,
+        "median_ms": round(statistics.median(samples_ms), 3),
+        "min_ms": round(min(samples_ms), 3),
+        "max_ms": round(max(samples_ms), 3),
+        "events_analyzed": len(telemetry.events),
+        "tracks": len(insight.tracks),
+        "path_segments": len(insight.critical_path.segments),
+    }
+
+
 def load() -> dict:
     if RESULT_PATH.exists():
         return json.loads(RESULT_PATH.read_text())
@@ -117,6 +158,10 @@ def main(argv=None) -> int:
     parser.add_argument("--update-sanitized", action="store_true",
                         help="measure with runtime sanitizers on and "
                              "record the sanitized block + overhead")
+    parser.add_argument("--update-analyzer", action="store_true",
+                        help="measure the insight engine on the standard "
+                             "profile's telemetry and record the analyzer "
+                             "block + relative cost")
     parser.add_argument("--check", action="store_true",
                         help="fail when slower than committed current by "
                              "more than --tolerance")
@@ -125,6 +170,25 @@ def main(argv=None) -> int:
                              "(default 0.20)")
     parser.add_argument("--runs", type=int, default=RUNS)
     args = parser.parse_args(argv)
+
+    if args.update_analyzer:
+        data = load()
+        fresh = measure_analyzer(args.runs)
+        print(f"{CONFIG} x{PIPELINES} pipelines, {FRAMES} frames: insight "
+              f"analysis median {fresh['median_ms']:.1f} ms over "
+              f"{args.runs} runs ({fresh['events_analyzed']} events, "
+              f"{fresh['tracks']} tracks, "
+              f"{fresh['path_segments']} path segments)")
+        data["analyzer"] = fresh
+        current = data.get("current")
+        if current is not None:
+            cost = fresh["median_ms"] / current["median_ms"]
+            data["analyzer_cost_vs_run"] = round(cost, 3)
+            print(f"analysis cost vs one telemetry-off run "
+                  f"({current['median_ms']:.1f} ms): {cost:.2f}x")
+        save(data)
+        print(f"analyzer measurement recorded in {RESULT_PATH.name}")
+        return 0
 
     if args.update_sanitized:
         data = load()

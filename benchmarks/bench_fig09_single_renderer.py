@@ -7,6 +7,7 @@ rendering bottleneck."
 
 import pytest
 
+from repro.analysis import verdict_from_result
 from repro.pipeline import ARRANGEMENTS
 from repro.report import format_series, paper
 
@@ -39,6 +40,18 @@ def test_fig09_one_renderer_sweep(once, runs):
         assert max(vals[2:]) / min(vals[2:]) < 1.03
         # The knee: 2 pipelines ~halve the time, 3 gain little more.
         assert vals[0] / vals[1] == pytest.approx(2.0, rel=0.10)
+
+
+def test_fig09_bottleneck_verdict(runs):
+    """The insight engine's automated diagnosis matches the paper: "this
+    configuration does not scale well due to the rendering bottleneck"."""
+    for n in (5, 7, 8):
+        verdict = verdict_from_result(runs.scc("one_renderer", n))
+        assert verdict.stage == "render", verdict.describe()
+        assert verdict.resource == "core"
+        assert verdict.utilization > 0.95
+    # With the saturating pipeline count the verdict is unambiguous.
+    assert verdict_from_result(runs.scc("one_renderer", 8)).confidence > 0.5
 
 
 def test_fig09_arrangement_invariance(runs):

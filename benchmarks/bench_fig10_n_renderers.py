@@ -7,6 +7,7 @@ not shrink with the strip count.
 
 import pytest
 
+from repro.analysis import verdict_from_result
 from repro.pipeline import ARRANGEMENTS
 from repro.report import format_series, paper
 
@@ -43,6 +44,19 @@ def test_fig10_beats_fig09_beyond_two_pipelines(runs):
         nrend = runs.scc("n_renderers", n).walkthrough_seconds
         onerend = runs.scc("one_renderer", n).walkthrough_seconds
         assert nrend < onerend
+
+
+def test_fig10_bottleneck_verdict(runs):
+    """Rendering still tops the utilisation ranking (per-strip culling
+    does not shrink with the strip count), but — unlike Fig. 9 — the
+    load is spread over n render cores, so the verdict is a weak one:
+    the system is close to balanced rather than render-bound."""
+    verdict = verdict_from_result(runs.scc("n_renderers", 7))
+    assert verdict.stage == "render", verdict.describe()
+    assert verdict.confidence < 0.5
+    # Contrast with the single-renderer configuration at the same width.
+    assert verdict.confidence \
+        < verdict_from_result(runs.scc("one_renderer", 7)).confidence
 
 
 def test_fig10_arrangement_invariance(runs):

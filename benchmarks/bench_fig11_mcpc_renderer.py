@@ -7,6 +7,7 @@ a slight dip as the connect stage's per-strip dispatch grows.
 
 import pytest
 
+from repro.analysis import verdict_from_result
 from repro.pipeline import ARRANGEMENTS
 from repro.report import format_series, paper
 
@@ -48,6 +49,23 @@ def test_fig11_wins_overall(runs):
     best_nrend = min(runs.scc("n_renderers", n).walkthrough_seconds
                      for n in (6, 7))
     assert best_mcpc < best_nrend
+
+
+def test_fig11_bottleneck_verdict(runs):
+    """The automated diagnosis of the heterogeneous configuration:
+    past the optimum the connect stage's per-strip dispatch is the
+    whole-run bottleneck, while among the per-pipeline filter stages
+    blur dominates — the paper's Fig. 15 "blur waits least" story."""
+    verdict = verdict_from_result(runs.scc("mcpc_renderer", 8))
+    assert verdict.stage == "connect", verdict.describe()
+    assert verdict.resource == "core"
+    assert verdict.confidence > 0.25
+
+    for n in (5, 8):
+        filt = verdict_from_result(runs.scc("mcpc_renderer", n),
+                                   filters_only=True)
+        assert filt.stage == "blur", filt.describe()
+        assert filt.confidence > 0.25
 
 
 def test_fig11_speedup_vs_one_core(runs):

@@ -9,8 +9,16 @@ Checks (exit code 1 on any failure):
   required keys (``ph``/``ts``/``pid``/``tid``/``name``) on every event
   and monotone ``ts`` per (pid, tid) track of complete events;
 * the trace contains at least one stage track and one mesh-link track;
+* cumulative counter series (``C`` events named ``*.bytes`` /
+  ``*.messages`` / ``*.frames`` / ``*.requests`` / ``*.count``) never
+  decrease over time;
+* stage activity slices never overlap on the same core: each core's
+  ``stage``/``host`` busy spans (mapped through the stages' ``bind``
+  instants) form a sequential timeline — two stages computing
+  simultaneously on one core would be a scheduling bug;
 * when a counters dump is given: the ``mesh.link.*`` / ``dram.mc*`` /
-  ``stage.*`` counter families are all present.
+  ``stage.*`` counter families are all present, and every counter value
+  is finite and non-negative (counters are monotone from zero).
 
 CI runs this against a fresh ``repro profile`` run on every build.
 """
@@ -18,9 +26,75 @@ CI runs this against a fresh ``repro profile`` run on every build.
 from __future__ import annotations
 
 import json
+import math
 import sys
 
-from repro.telemetry import validate_chrome_trace
+from repro.telemetry import events_from_chrome, validate_chrome_trace
+
+#: dotted-name suffixes that mark a cumulative (monotone) counter series
+CUMULATIVE_SUFFIXES = (".bytes", ".messages", ".frames", ".requests",
+                       ".count")
+
+
+def check_counter_monotonicity(doc: dict) -> list:
+    """Cumulative ``C`` series must never decrease over time."""
+    problems = []
+    last: dict = {}
+    for e in doc.get("traceEvents", []):
+        if not isinstance(e, dict) or e.get("ph") != "C":
+            continue
+        name = e.get("name", "")
+        if not name.endswith(CUMULATIVE_SUFFIXES):
+            continue
+        for counter, value in e.get("args", {}).items():
+            key = (e.get("pid"), e.get("tid"), counter)
+            if not isinstance(value, (int, float)) \
+                    or not math.isfinite(value):
+                problems.append(f"counter {counter!r}: non-finite "
+                                f"sample {value!r}")
+                continue
+            prev = last.get(key)
+            if prev is not None and value < prev:
+                problems.append(
+                    f"counter {counter!r} decreases: {prev} -> {value} "
+                    f"at ts={e.get('ts')}")
+            last[key] = value
+    return problems
+
+
+def check_stage_slices(doc: dict) -> list:
+    """Per core, stage busy slices must be sequential (no overlap)."""
+    events = events_from_chrome(doc)
+    core_tracks: dict = {}
+    for ev in events:
+        if (ev.kind == "instant" and ev.category == "stage"
+                and ev.name == "bind" and ev.fields.get("core") is not None):
+            core_tracks.setdefault(int(ev.fields["core"]),
+                                   set()).add(ev.track)
+    track_core = {track: core for core, tracks in core_tracks.items()
+                  for track in tracks}
+    by_core: dict = {}
+    for ev in events:
+        if (ev.kind == "span" and ev.category in ("stage", "host")
+                and ev.name == "busy" and ev.track in track_core):
+            by_core.setdefault(track_core[ev.track], []).append(
+                (ev.t, ev.end, ev.track))
+    problems = []
+    horizon = max((end for spans in by_core.values()
+                   for _, end, _ in spans), default=1.0)
+    tol = 1e-9 * max(horizon, 1.0)  # us-round-trip ulp noise
+    for core in sorted(by_core):
+        spans = sorted(by_core[core])
+        for (a0, a1, atrack), (b0, b1, btrack) in zip(spans, spans[1:]):
+            if b0 < a1 - tol:
+                problems.append(
+                    f"core {core}: busy slices overlap: {atrack!r} "
+                    f"[{a0:.6f}, {a1:.6f}] vs {btrack!r} "
+                    f"[{b0:.6f}, {b1:.6f}]")
+    if not by_core:
+        problems.append("no core-bound stage busy slices in the trace "
+                        "(missing 'bind' instants?)")
+    return problems
 
 
 def check_trace(path: str) -> list:
@@ -37,6 +111,8 @@ def check_trace(path: str) -> list:
     n_spans = sum(1 for e in events if e.get("ph") == "X")
     if n_spans == 0:
         problems.append("trace contains no complete ('X') events")
+    problems += check_counter_monotonicity(doc)
+    problems += check_stage_slices(doc)
     print(f"{path}: {len(events)} events, {n_spans} spans, "
           f"categories {sorted(c for c in categories if c)}")
     return problems
@@ -50,6 +126,12 @@ def check_counters(path: str) -> list:
     for prefix in ("mesh.link.", "dram.mc", "stage."):
         if not any(name.startswith(prefix) for name in counters):
             problems.append(f"{path}: no {prefix}* counters")
+    for name in sorted(counters):
+        value = counters[name]
+        if not isinstance(value, (int, float)) or not math.isfinite(value) \
+                or value < 0:
+            problems.append(f"{path}: counter {name} has non-monotone "
+                            f"value {value!r}")
     print(f"{path}: {len(counters)} counters, "
           f"{len(dump.get('gauges', {}))} gauges")
     return problems

@@ -28,13 +28,15 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ...telemetry.counters import KNOWN_COUNTER_ROOTS
+from ...telemetry.counters import (KNOWN_COUNTER_ROOTS,
+                                   KNOWN_METRIC_ROOTS)
 from .engine import LintContext, Rule
 
 __all__ = ["ALL_RULES", "DETERMINISTIC_PACKAGES", "default_rules",
            "WallClockRule", "UnseededRandomRule", "EnvDependenceRule",
            "UnorderedIterationRule", "MutableDefaultRule",
-           "UnfrozenSpecDataclassRule", "UnknownCounterRootRule"]
+           "UnfrozenSpecDataclassRule", "UnknownCounterRootRule",
+           "UnknownMetricRootRule"]
 
 #: packages on the RunSpec -> RunResult path: nothing here may read the
 #: wall clock, the environment, or unseeded randomness
@@ -418,11 +420,42 @@ class UnknownCounterRootRule(Rule):
         return None
 
 
+class UnknownMetricRootRule(Rule):
+    rule_id = "TEL002"
+    summary = "derived metric outside the registered namespace"
+    rationale = (
+        "Snapshot metric names are a cross-run contract "
+        "(KNOWN_METRIC_ROOTS in repro.telemetry.counters): tolerance "
+        "files and committed baselines for `repro diff` key on them, so "
+        "an unregistered root silently escapes the regression gate.  "
+        "Register the root and document it in docs/observability.md.")
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute)
+                    and func.attr == "add_metric"
+                    and node.args):
+                continue
+            head = UnknownCounterRootRule._static_head(node.args[0])
+            if not head:
+                continue  # fully dynamic name: checked at runtime
+            root = head.split(".", 1)[0]
+            complete = "." in head or isinstance(node.args[0], ast.Constant)
+            if complete and root not in KNOWN_METRIC_ROOTS:
+                yield node.args[0], (
+                    f"metric root {root!r} is not in KNOWN_METRIC_ROOTS "
+                    f"({', '.join(sorted(KNOWN_METRIC_ROOTS))})")
+
+
 def default_rules() -> Sequence[Rule]:
     """The project rule set, in catalog order."""
     return (WallClockRule(), UnseededRandomRule(), EnvDependenceRule(),
             UnorderedIterationRule(), MutableDefaultRule(),
-            UnfrozenSpecDataclassRule(), UnknownCounterRootRule())
+            UnfrozenSpecDataclassRule(), UnknownCounterRootRule(),
+            UnknownMetricRootRule())
 
 
 ALL_RULES = tuple(type(r) for r in default_rules())

@@ -1,0 +1,367 @@
+"""Metrics snapshots and the ``repro diff`` regression gate.
+
+A *snapshot* is a canonical JSON document capturing one run's derived
+metrics under stable dotted names (roots registered in
+:data:`~repro.telemetry.KNOWN_METRIC_ROOTS`; the ``TEL002`` lint keeps
+call sites honest).  Snapshots serve two purposes:
+
+* **regression gating** — ``repro diff baseline.json current.json
+  --tolerances tol.json`` compares two snapshots metric-by-metric under
+  per-metric tolerance rules and exits nonzero on any regression; CI
+  runs this against the committed ``metrics-baseline.json``;
+* **provenance** — each snapshot records the :class:`~repro.exec`
+  RunSpec digest that produced it, so a diff can tell "same spec, new
+  numbers" from "you are comparing different experiments".
+
+Determinism contract: :func:`snapshot_from_result` is a pure function of
+the :class:`~repro.pipeline.metrics.RunResult` (plus the optional spec
+digest), so analyzing a cache-served run (PR 3's ``ResultCache`` stores
+only the result) yields a snapshot *byte-identical* to a fresh run's.
+Deep metrics (``attr.*`` / ``critpath.*``) are an optional additive
+layer that requires live telemetry events.
+
+The tolerance file (JSON) looks like::
+
+    {
+      "default": {"rel": 0.0, "abs": 0.0},
+      "rules": [
+        {"pattern": "time.*",          "rel": 0.02},
+        {"pattern": "stage.*.idle_*",  "rel": 0.10, "abs": 1e-6}
+      ]
+    }
+
+The first rule whose glob matches the metric name wins; unmatched names
+use ``default`` (which itself defaults to exact equality).  A metric
+passes when ``|current - baseline| <= max(abs, rel * |baseline|)``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..pipeline.metrics import RunResult
+from ..telemetry import KNOWN_METRIC_ROOTS
+from .insights import RunInsight, verdict_from_result
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "MetricSet",
+    "snapshot_from_result",
+    "canonical_json",
+    "write_snapshot",
+    "read_snapshot",
+    "Tolerances",
+    "MetricDelta",
+    "DiffResult",
+    "diff_snapshots",
+]
+
+#: bump when the snapshot document layout changes incompatibly
+SNAPSHOT_SCHEMA = 1
+
+
+class MetricSet:
+    """Validated collection of derived metrics (dotted name -> float).
+
+    ``add_metric`` enforces the :data:`KNOWN_METRIC_ROOTS` namespace
+    contract at runtime; the ``TEL002`` lint enforces it statically at
+    every call site.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = {}
+
+    def add_metric(self, name: str, value: float) -> None:
+        root = name.split(".", 1)[0]
+        if root not in KNOWN_METRIC_ROOTS:
+            raise ValueError(
+                f"metric root {root!r} (from {name!r}) is not in "
+                f"KNOWN_METRIC_ROOTS; register it in "
+                f"repro.telemetry.counters and docs/observability.md")
+        if name in self._values:
+            raise ValueError(f"duplicate metric {name!r}")
+        v = float(value)
+        if not math.isfinite(v):
+            raise ValueError(f"metric {name!r} is not finite: {value!r}")
+        self._values[name] = v
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(sorted(self._values.items()))
+
+
+def snapshot_from_result(result: RunResult,
+                         digest: Optional[str] = None,
+                         insight: Optional[RunInsight] = None
+                         ) -> Dict[str, Any]:
+    """Build the snapshot document for one run.
+
+    Without ``insight`` this is a pure function of ``result`` (and the
+    digest string), which is what makes cached-run snapshots
+    byte-identical to fresh ones.  Passing the run's :class:`RunInsight`
+    adds the deep ``attr.*`` / ``critpath.*`` metrics.
+    """
+    metrics = MetricSet()
+    metrics.add_metric("time.walkthrough_s", result.walkthrough_seconds)
+    metrics.add_metric("time.seconds_per_frame", result.seconds_per_frame)
+    metrics.add_metric("energy.scc_j", result.scc_energy_j)
+    metrics.add_metric("energy.total_j", result.total_energy_j())
+    metrics.add_metric("energy.mcpc_above_idle_j",
+                       result.mcpc_energy_above_idle_j)
+    metrics.add_metric("power.scc_avg_w", result.scc_avg_power_w)
+    if result.latency_quartiles is not None:
+        q1, med, q3 = result.latency_quartiles
+        metrics.add_metric("latency.q1_s", q1)
+        metrics.add_metric("latency.median_s", med)
+        metrics.add_metric("latency.q3_s", q3)
+    for kind in sorted(result.busy_means):
+        metrics.add_metric(f"stage.{kind}.busy_mean_s",
+                           result.busy_means[kind])
+    for kind in sorted(result.idle_quartiles):
+        q1, med, q3 = result.idle_quartiles[kind]
+        metrics.add_metric(f"stage.{kind}.idle_q1_s", q1)
+        metrics.add_metric(f"stage.{kind}.idle_median_s", med)
+        metrics.add_metric(f"stage.{kind}.idle_q3_s", q3)
+    for i, util in enumerate(result.mc_utilizations):
+        metrics.add_metric(f"mc.{i}.utilization", util)
+
+    verdict = verdict_from_result(result)
+    metrics.add_metric("verdict.confidence", verdict.confidence)
+    metrics.add_metric("verdict.utilization", verdict.utilization)
+    for kind in sorted(verdict.utilizations):
+        metrics.add_metric(f"util.{kind}", verdict.utilizations[kind])
+    labels = {
+        "verdict.stage": verdict.stage,
+        "verdict.resource": verdict.resource,
+    }
+    if result.busy_means.keys() - {"single-core"}:
+        fverdict = verdict_from_result(result, filters_only=True)
+        labels["verdict.filter_stage"] = fverdict.stage
+
+    if insight is not None:
+        metrics.add_metric("critpath.duration_s",
+                           insight.critical_path.duration)
+        metrics.add_metric("critpath.segments",
+                           float(len(insight.critical_path.segments)))
+        for kind, seconds in insight.critical_path.seconds_by_kind().items():
+            metrics.add_metric(f"critpath.{kind}_s", seconds)
+        for kind in sorted(insight.kind_seconds):
+            for category, seconds in insight.kind_seconds[kind].items():
+                metrics.add_metric(f"attr.{kind}.{category}_s", seconds)
+        labels["verdict.deep_stage"] = insight.verdict.stage
+        labels["verdict.deep_resource"] = insight.verdict.resource
+
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "run": {
+            "config": result.config,
+            "arrangement": result.arrangement,
+            "pipelines": result.pipelines,
+            "frames": result.frames,
+            "cores_used": result.cores_used,
+            "spec_digest": digest,
+        },
+        "labels": dict(sorted(labels.items())),
+        "metrics": metrics.as_dict(),
+    }
+
+
+def canonical_json(doc: Dict[str, Any]) -> str:
+    """The canonical serialization (stable key order, trailing newline).
+
+    Two snapshots are "bit-identical" exactly when their canonical JSON
+    strings are equal byte-for-byte.
+    """
+    return json.dumps(doc, indent=2, sort_keys=True,
+                      ensure_ascii=True) + "\n"
+
+
+def write_snapshot(path: Union[str, Path], doc: Dict[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(canonical_json(doc), encoding="ascii")
+    return path
+
+
+def read_snapshot(path: Union[str, Path]) -> Dict[str, Any]:
+    doc = json.loads(Path(path).read_text(encoding="ascii"))
+    if not isinstance(doc, dict) or "metrics" not in doc:
+        raise ValueError(f"{path}: not a metrics snapshot")
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# tolerances and diffing
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Rule:
+    pattern: str
+    rel: float
+    abs: float
+
+
+class Tolerances:
+    """Per-metric tolerance rules (first matching glob wins)."""
+
+    def __init__(self, rules: Optional[List[_Rule]] = None,
+                 default_rel: float = 0.0,
+                 default_abs: float = 0.0) -> None:
+        self._rules = list(rules or [])
+        self._default = _Rule("*", default_rel, default_abs)
+
+    @classmethod
+    def exact(cls) -> "Tolerances":
+        return cls()
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Tolerances":
+        default = doc.get("default", {})
+        rules = [_Rule(pattern=str(r["pattern"]),
+                       rel=float(r.get("rel", 0.0)),
+                       abs=float(r.get("abs", 0.0)))
+                 for r in doc.get("rules", [])]
+        return cls(rules, default_rel=float(default.get("rel", 0.0)),
+                   default_abs=float(default.get("abs", 0.0)))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Tolerances":
+        return cls.from_dict(json.loads(
+            Path(path).read_text(encoding="ascii")))
+
+    def rule_for(self, name: str) -> _Rule:
+        for rule in self._rules:
+            if fnmatchcase(name, rule.pattern):
+                return rule
+        return self._default
+
+    def allowed(self, name: str, baseline: float) -> float:
+        rule = self.rule_for(name)
+        return max(rule.abs, rule.rel * abs(baseline))
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric."""
+
+    name: str
+    baseline: float
+    current: float
+    allowed: float
+
+    @property
+    def delta(self) -> float:
+        return self.current - self.baseline
+
+    @property
+    def rel(self) -> float:
+        if self.baseline == 0.0:
+            return math.inf if self.delta else 0.0
+        return self.delta / self.baseline
+
+    @property
+    def ok(self) -> bool:
+        return abs(self.delta) <= self.allowed
+
+
+@dataclass
+class DiffResult:
+    """The outcome of comparing two snapshots."""
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    #: hard failures: out-of-tolerance metrics, missing metrics,
+    #: changed labels, schema mismatches
+    regressions: List[str] = field(default_factory=list)
+    #: informational: extra metrics, differing run identity/digest
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format_text(self, verbose: bool = False) -> str:
+        lines: List[str] = []
+        changed = [d for d in self.deltas if d.delta != 0.0]
+        lines.append(f"compared {len(self.deltas)} metrics: "
+                     f"{len(changed)} changed, "
+                     f"{len(self.regressions)} regression(s), "
+                     f"{len(self.warnings)} warning(s)")
+        show = self.deltas if verbose else \
+            [d for d in changed if not d.ok or verbose]
+        for d in sorted(show, key=lambda d: (-abs(d.rel), d.name)):
+            mark = "FAIL" if not d.ok else "  ok"
+            rel = f"{100.0 * d.rel:+.2f}%" if math.isfinite(d.rel) else "new"
+            lines.append(f"  {mark} {d.name}: {d.baseline:.6g} -> "
+                         f"{d.current:.6g} ({rel}, allowed "
+                         f"±{d.allowed:.3g})")
+        for msg in self.regressions:
+            if not msg.startswith("metric "):
+                lines.append(f"  FAIL {msg}")
+        for msg in self.warnings:
+            lines.append(f"  warn {msg}")
+        lines.append("verdict: " + ("OK" if self.ok else "REGRESSION"))
+        return "\n".join(lines)
+
+
+def diff_snapshots(baseline: Dict[str, Any], current: Dict[str, Any],
+                   tolerances: Optional[Tolerances] = None) -> DiffResult:
+    """Compare two snapshot documents under tolerance rules.
+
+    Regressions (nonzero exit): schema mismatch, a changed label, a
+    baseline metric that is missing or out of tolerance in the current
+    snapshot.  Run-identity and digest differences are warnings — the
+    spec digest hashes the engine sources, so it legitimately changes
+    with every code edit; the *metrics* are the contract.
+    """
+    tol = tolerances or Tolerances.exact()
+    out = DiffResult()
+    if baseline.get("schema") != current.get("schema"):
+        out.regressions.append(
+            f"schema mismatch: baseline {baseline.get('schema')!r} vs "
+            f"current {current.get('schema')!r}")
+        return out
+
+    b_run = baseline.get("run", {})
+    c_run = current.get("run", {})
+    for key in sorted(set(b_run) | set(c_run)):
+        if b_run.get(key) != c_run.get(key):
+            out.warnings.append(
+                f"run.{key} differs: {b_run.get(key)!r} vs "
+                f"{c_run.get(key)!r}")
+
+    b_labels = baseline.get("labels", {})
+    c_labels = current.get("labels", {})
+    for key in sorted(set(b_labels) | set(c_labels)):
+        if key not in b_labels:
+            # additive layer (e.g. deep verdict labels): informational
+            out.warnings.append(
+                f"label {key} is new (not in baseline): {c_labels[key]!r}")
+        elif b_labels.get(key) != c_labels.get(key):
+            out.regressions.append(
+                f"label {key} changed: {b_labels.get(key)!r} -> "
+                f"{c_labels.get(key)!r}")
+
+    b_metrics = baseline.get("metrics", {})
+    c_metrics = current.get("metrics", {})
+    for name in sorted(b_metrics):
+        if name not in c_metrics:
+            out.regressions.append(f"metric {name} missing from current "
+                                   f"snapshot")
+            continue
+        delta = MetricDelta(name=name, baseline=float(b_metrics[name]),
+                            current=float(c_metrics[name]),
+                            allowed=tol.allowed(name, float(b_metrics[name])))
+        out.deltas.append(delta)
+        if not delta.ok:
+            out.regressions.append(
+                f"metric {name} out of tolerance: {delta.baseline:.6g} -> "
+                f"{delta.current:.6g} (allowed ±{delta.allowed:.3g})")
+    for name in sorted(set(c_metrics) - set(b_metrics)):
+        out.warnings.append(f"metric {name} is new (not in baseline)")
+    return out

@@ -27,6 +27,15 @@ Subcommands
     The §VI-D frequency-tuning study (Figs 16/17).
 ``explain``
     Analytic per-stage breakdown and bottleneck for a configuration.
+``analyze``
+    Post-run trace insights: critical path, per-stage wall-time
+    attribution, upstream starvation causes and a bottleneck verdict —
+    from a fresh run or an exported Chrome trace (``--trace``), with
+    text/JSON output, an HTML report (``--html``) and a canonical
+    metrics snapshot (``--snapshot-out``) for ``repro diff``.
+``diff``
+    Compare two metrics snapshots under per-metric tolerance rules;
+    exits 1 on regression (the CI metrics gate).
 ``lint``
     Static determinism/telemetry lints over the Python sources, diffed
     against a committed baseline (see docs/static-analysis.md).
@@ -198,6 +207,53 @@ def build_parser() -> argparse.ArgumentParser:
                                if c != "single_core"],
                       default="mcpc_renderer")
     tune.add_argument("--frames", type=int, default=400)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="post-run trace insights: critical path, attribution, "
+             "bottleneck verdict, metrics snapshot")
+    analyze.add_argument("--trace", type=pathlib.Path, default=None,
+                         metavar="FILE",
+                         help="analyze an exported Chrome trace instead "
+                              "of simulating")
+    analyze.add_argument("--config", choices=CONFIGURATIONS,
+                         default="mcpc_renderer")
+    analyze.add_argument("--pipelines", type=int, default=5)
+    analyze.add_argument("--arrangement", choices=ARRANGEMENTS,
+                         default="ordered")
+    analyze.add_argument("--frames", type=int, default=50)
+    analyze.add_argument("--shallow", action="store_true",
+                         help="skip event analysis: verdict and snapshot "
+                              "from the RunResult only (cache-eligible; "
+                              "byte-identical for cached vs fresh runs)")
+    analyze.add_argument("--sanitize", action="store_true",
+                         help="enable the runtime sanitizers during the "
+                              "run; exits 3 when any diagnostic fires")
+    analyze.add_argument("--json", action="store_true",
+                         help="machine-readable insight summary on stdout")
+    analyze.add_argument("--html", type=pathlib.Path, default=None,
+                         metavar="FILE",
+                         help="write a self-contained HTML report "
+                              "(Gantt, utilization, contention heatmap)")
+    analyze.add_argument("--snapshot-out", type=pathlib.Path, default=None,
+                         metavar="FILE",
+                         help="write the canonical metrics snapshot for "
+                              "repro diff")
+    _add_exec_args(analyze, jobs=False)
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two metrics snapshots; exit 1 on regression")
+    diff.add_argument("baseline", type=pathlib.Path,
+                      help="baseline snapshot JSON")
+    diff.add_argument("current", type=pathlib.Path,
+                      help="current snapshot JSON")
+    diff.add_argument("--tolerances", type=pathlib.Path, default=None,
+                      metavar="FILE",
+                      help="tolerance rules (JSON; default: exact "
+                           "equality)")
+    diff.add_argument("--verbose", action="store_true",
+                      help="list every changed metric, not just failures")
 
     lint = sub.add_parser(
         "lint",
@@ -470,6 +526,119 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import (
+        analyze_events,
+        analyze_telemetry,
+        snapshot_from_result,
+        write_snapshot,
+    )
+
+    problem = _check_out_paths(args.html, args.snapshot_out)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
+
+    if args.trace is not None:
+        # A trace file carries events but no RunResult: deep analysis
+        # only, nothing to snapshot.
+        if args.shallow or args.sanitize or args.snapshot_out:
+            print("error: --trace is incompatible with --shallow, "
+                  "--sanitize and --snapshot-out (no RunResult)",
+                  file=sys.stderr)
+            return 2
+        from .telemetry import events_from_chrome
+
+        try:
+            doc = json.loads(args.trace.read_text(encoding="ascii"))
+            insight = analyze_events(events_from_chrome(doc))
+        except (OSError, ValueError) as exc:
+            print(f"error: {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        result = None
+    elif args.shallow:
+        runner = PipelineRunner(config=args.config,
+                                pipelines=args.pipelines,
+                                arrangement=args.arrangement,
+                                frames=args.frames)
+        spec = runner.spec()
+        cache = _cache_from(args)
+        if cache is not None:
+            result = SweepExecutor(cache=cache).run_one(spec)
+        else:
+            result = runner.run()
+        snapshot = snapshot_from_result(result, digest=spec.digest())
+        insight = None
+    else:
+        suite = None
+        if args.sanitize:
+            from .analysis.sanitizers import SanitizerSuite
+
+            suite = SanitizerSuite()
+        telemetry = Telemetry()
+        runner = PipelineRunner(config=args.config,
+                                pipelines=args.pipelines,
+                                arrangement=args.arrangement,
+                                frames=args.frames, telemetry=telemetry,
+                                sanitizers=suite)
+        result = runner.run()
+        insight = analyze_telemetry(telemetry, result)
+        if suite is not None and not suite.clean:
+            print(suite.summary(), file=sys.stderr)
+            return 3
+
+    if args.shallow:
+        from .analysis import verdict_from_result
+
+        verdict = verdict_from_result(result)
+        if args.json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(f"config     : {result.config} / {result.arrangement}, "
+                  f"{result.pipelines} pipelines, {result.frames} frames")
+            print(f"bottleneck : {verdict.describe()}")
+            print(f"walkthrough: {result.walkthrough_seconds:.3f} s")
+    else:
+        if args.json:
+            print(json.dumps(insight.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(insight.format_text())
+        if args.snapshot_out is not None:
+            assert result is not None
+            snapshot = snapshot_from_result(
+                result, digest=runner.spec().digest(), insight=insight)
+        if args.html is not None:
+            from .report import insight_to_html
+
+            what = (str(args.trace) if args.trace is not None else
+                    f"{args.config} x{args.pipelines}, "
+                    f"{args.frames} frames")
+            args.html.write_text(insight_to_html(insight, title=what),
+                                 encoding="utf-8")
+            print(f"html report : {args.html}")
+    if args.snapshot_out is not None:
+        write_snapshot(args.snapshot_out, snapshot)
+        print(f"snapshot    : {args.snapshot_out} "
+              f"({len(snapshot['metrics'])} metrics)")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .analysis import Tolerances, diff_snapshots, read_snapshot
+
+    try:
+        baseline = read_snapshot(args.baseline)
+        current = read_snapshot(args.current)
+        tolerances = (Tolerances.load(args.tolerances)
+                      if args.tolerances is not None else None)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    outcome = diff_snapshots(baseline, current, tolerances)
+    print(outcome.format_text(verbose=args.verbose))
+    return 0 if outcome.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis.lints import Baseline, LintEngine, default_rules
 
@@ -523,6 +692,8 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "describe": _cmd_describe,
     "chip": _cmd_chip,
+    "analyze": _cmd_analyze,
+    "diff": _cmd_diff,
     "lint": _cmd_lint,
 }
 

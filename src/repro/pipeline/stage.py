@@ -154,19 +154,23 @@ class Stage:
         """The stage's process body (override)."""
         raise NotImplementedError
 
-    def record_busy(self, start: float) -> None:
+    def record_busy(self, start: float, frame: Optional[int] = None) -> None:
         """Log a service interval via the telemetry hub.
 
         The attached :class:`~repro.telemetry.MetricsSink` turns the span
         into the historical ``metrics.record_busy`` call; a
         :class:`~repro.telemetry.TraceSink` (when tracing) adds the
-        Gantt-chart span.
+        Gantt-chart span.  ``frame`` tags the span with the frame being
+        served so the insight engine can label critical-path segments.
         """
         ctx = self.ctx
         now = ctx.sim.now
         tel = ctx.telemetry
         assert tel is not None
-        tel.span("stage", self.key, "busy", start, now)
+        if frame is None:
+            tel.span("stage", self.key, "busy", start, now)
+        else:
+            tel.span("stage", self.key, "busy", start, now, frame=frame)
         if tel.enabled:
             # Per-instance keys (blur[2], not blur): RunMetrics already
             # aggregates per kind; the registry keeps the resolution.
@@ -185,6 +189,13 @@ class Stage:
 
     def start(self):
         """Spawn the stage on the context's simulator."""
+        tel = self.ctx.telemetry
+        assert tel is not None
+        if tel.enabled:
+            # Track -> core binding: lets trace consumers group stage
+            # slices by the core they actually ran on.
+            tel.emit("stage", "bind", self.ctx.sim.now, track=self.key,
+                     core=self.core_id)
         return self.ctx.sim.process(self.run(), name=self.key)
 
     def __repr__(self) -> str:
@@ -226,7 +237,7 @@ class SingleRendererStage(Stage):
                 yield from ctx.comm.send(self.core_id, dst, nbytes,
                                          tag=frame,
                                          payload=(frame, p, payload))
-            self.record_busy(start)
+            self.record_busy(start, frame)
 
 
 class StripRendererStage(Stage):
@@ -262,7 +273,7 @@ class StripRendererStage(Stage):
             nbytes = ctx.workload.strip_bytes(p, n)
             yield from ctx.comm.send(self.core_id, self.next_core, nbytes,
                                      tag=frame, payload=(frame, p, payload))
-            self.record_busy(start)
+            self.record_busy(start, frame)
 
 
 class MCPCRenderProcess:
@@ -278,8 +289,11 @@ class MCPCRenderProcess:
     def run(self) -> Generator[Any, Any, None]:
         ctx = self.ctx
         assert ctx.mcpc is not None and ctx.uplink is not None
+        tel = ctx.telemetry
+        assert tel is not None
         for frame in range(ctx.frames):
-            ctx.metrics.mark_frame_birth(frame, ctx.sim.now)
+            start = ctx.sim.now
+            ctx.metrics.mark_frame_birth(frame, start)
             profile = ctx.workload.profile(frame)
             # mcpc.compute() takes SCC-core-seconds and applies the
             # Xeon's speed-up internally.
@@ -291,6 +305,11 @@ class MCPCRenderProcess:
                     camera, ctx.workload.viewport())
             yield from ctx.uplink.transfer(ctx.workload.frame_bytes())
             yield self.connect_queue.put((frame, image))
+            if tel.enabled:
+                # Category "host", not "stage": the MCPC is no SCC core
+                # and must stay invisible to RunMetrics' stage sink.
+                tel.span("host", "mcpc-render", "busy", start, ctx.sim.now,
+                         frame=frame)
 
     def start(self):
         return self.ctx.sim.process(self.run(), name="mcpc-render")
@@ -326,7 +345,7 @@ class ConnectStage(Stage):
             # The frame enters the chip at the system interface router
             # and crosses the mesh to this core...
             yield from ctx.chip.mesh.transfer(
-                SIF_LOCATION, my_coord, frame_bytes)
+                SIF_LOCATION, my_coord, frame_bytes, core=self.core_id)
             # ...then kernel/UDP processing of the fragments, then
             # landing the frame in the private partition.
             yield from self.compute(connect_cost)
@@ -340,7 +359,7 @@ class ConnectStage(Stage):
                 yield from ctx.comm.send(self.core_id, dst, nbytes,
                                          tag=frame,
                                          payload=(frame, p, payload))
-            self.record_busy(start)
+            self.record_busy(start, frame)
 
 
 # ---------------------------------------------------------------------------
@@ -386,7 +405,7 @@ class FilterStage(Stage):
             yield from ctx.comm.send(self.core_id, self.next_core,
                                      msg.nbytes, tag=msg.tag,
                                      payload=payload)
-            self.record_busy(start)
+            self.record_busy(start, msg.tag)
 
 
 # ---------------------------------------------------------------------------
@@ -403,20 +422,43 @@ class TransferStage(Stage):
         super().__init__("transfer", core_id, ctx)
         self.last_filter_cores = last_filter_cores
 
+    def _wait_recorder(self, src_core: int):
+        """Callback recording a p>=1 strip wait as a ``wait`` span.
+
+        RunMetrics' Fig. 15 idle definition only counts the first strip's
+        wait (``idle`` spans); the later strips' waits use a distinct
+        span name so the metrics sink ignores them while the insight
+        engine still sees the full starvation window.
+        """
+        tel = self.ctx.telemetry
+
+        def record(seconds: float) -> None:
+            if seconds > 0.0:
+                now = self.ctx.sim.now
+                tel.span("stage", self.key, "wait", now - seconds, now,
+                         src_core=src_core)
+
+        return record
+
     def run(self) -> Generator[Any, Any, None]:
         ctx = self.ctx
         assert ctx.downlink is not None and ctx.viewer is not None
+        tel = ctx.telemetry
+        assert tel is not None
         n = len(self.last_filter_cores)
         frame_pixels = ctx.workload.image_side ** 2
         frame_bytes = ctx.workload.frame_bytes()
         assemble_cost = ctx.cost.assemble_seconds(frame_pixels)
+        idle_cbs: List[Any] = [self.record_idle]
+        for p in range(1, n):
+            idle_cbs.append(self._wait_recorder(self.last_filter_cores[p])
+                            if tel.enabled else None)
         for frame in range(ctx.frames):
             strips: List[Any] = [None] * n
             wait_start = ctx.sim.now
             for p, src in enumerate(self.last_filter_cores):
                 msg = yield from ctx.comm.recv(
-                    self.core_id, src,
-                    idle_cb=(self.record_idle if p == 0 else None))
+                    self.core_id, src, idle_cb=idle_cbs[p])
                 if msg.payload is not None:
                     _, strip_idx, image = msg.payload
                     strips[strip_idx] = image
@@ -430,7 +472,7 @@ class TransferStage(Stage):
             yield from ctx.downlink.transfer(frame_bytes)
             ctx.viewer.display(frame, assembled)
             ctx.metrics.record_frame_done(frame, ctx.sim.now)
-            self.record_busy(start)
+            self.record_busy(start, frame)
 
 
 # ---------------------------------------------------------------------------
@@ -467,4 +509,4 @@ class SingleCoreProcess(Stage):
             yield from ctx.downlink.transfer(frame_bytes)
             ctx.viewer.display(frame, image)
             ctx.metrics.record_frame_done(frame, ctx.sim.now)
-            self.record_busy(start)
+            self.record_busy(start, frame)

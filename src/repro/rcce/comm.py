@@ -110,8 +110,19 @@ class RCCEComm:
         if via not in ("dram", "mpb"):
             raise ValueError(f"unknown path {via!r}")
         chan = self._channel(src, dst)
+        tel = self.chip.telemetry
         # Rendezvous: wait until the receiver is ready (RCCE is synchronous).
-        yield chan.recv_posted.get()
+        if tel.enabled:
+            t0 = self.sim.now
+            yield chan.recv_posted.get()
+            t1 = self.sim.now
+            if t1 > t0:
+                # The sender sat blocked on its downstream neighbour; the
+                # insight engine charges this window as blocked time.
+                tel.span("rcce", f"core{src}", "rendezvous", t0, t1,
+                         src=src, dst=dst, tag=tag, bytes=nbytes)
+        else:
+            yield chan.recv_posted.get()
 
         if via == "dram":
             yield from self.chip.memory.write_to(src, dst, nbytes)
@@ -129,7 +140,6 @@ class RCCEComm:
         yield chan.data_ready.put((msg, via))
         self.messages_delivered += 1
         self.bytes_delivered += nbytes
-        tel = self.chip.telemetry
         if tel.enabled:
             tel.counters.inc("rcce.messages")
             tel.counters.inc("rcce.bytes", nbytes)
@@ -172,14 +182,26 @@ class RCCEComm:
         mpb = self.chip.mpb.of(dst)
         src_coord = self.chip.topology.core(src).coord
         dst_coord = self.chip.topology.core(dst).coord
-        san = self.chip.telemetry.sanitizers
+        tel = self.chip.telemetry
+        san = tel.sanitizers
         remaining = nbytes
         while remaining > 0:
             chunk = min(remaining, self.mpb_chunk_bytes)
-            yield mpb.reserve(chunk)
+            if tel.enabled:
+                tr = self.sim.now
+                yield mpb.reserve(chunk)
+                now = self.sim.now
+                if now > tr:
+                    # Back-pressure: the window was full and the sender
+                    # stalled until the receiver drained a chunk.
+                    tel.span("mpb", f"win core{dst}", "wait", tr, now,
+                             src=src, dst=dst, bytes=chunk)
+            else:
+                yield mpb.reserve(chunk)
             # Sender-side copy into the window, over the mesh.
             write_start = self.sim.now
-            yield from self.chip.mesh.transfer(src_coord, dst_coord, chunk)
+            yield from self.chip.mesh.transfer(src_coord, dst_coord, chunk,
+                                               core=src)
             yield self.sim.timeout(chunk / mem_cfg.core_copy_bandwidth)
             if san is not None:
                 san.on_mpb_write(dst, src, write_start, self.sim.now)

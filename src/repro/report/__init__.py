@@ -7,6 +7,7 @@ from .export import (
     results_to_csv,
     results_to_json,
 )
+from .html import insight_to_html
 from .plots import ascii_chart, sparkline
 from .tables import (
     deviation_pct,
@@ -23,6 +24,7 @@ __all__ = [
     "deviation_pct",
     "ascii_chart",
     "sparkline",
+    "insight_to_html",
     "result_to_dict",
     "results_to_json",
     "results_from_json",

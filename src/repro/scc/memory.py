@@ -160,11 +160,15 @@ class MemorySystem:
             tel.counters.inc(f"dram.mc{mc.index}.requests")
 
         # 1. command trip to the controller
-        yield from self.mesh.transfer(core_coord, mc.coord, cfg.command_bytes)
+        yield from self.mesh.transfer(core_coord, mc.coord, cfg.command_bytes,
+                                      core=acting_core)
         # 2. controller occupancy (the shared, contended part)
         service = cfg.mc_latency_s + nbytes / cfg.mc_bandwidth
         if tel.enabled:
-            # Inline the acquire so the span covers service, not queueing.
+            # Inline the acquire so the span covers service, not queueing;
+            # the grant wait gets its own "queue" span so the insight
+            # engine can attribute MC queueing to the waiting core.
+            tq = sim.now
             req = mc.resource.request()
             yield req
             t0 = sim.now
@@ -172,6 +176,9 @@ class MemorySystem:
                 yield sim.timeout(service)
             finally:
                 mc.resource.release(req)
+            if t0 > tq:
+                tel.span("dram", f"mc{mc.index}", "queue", tq, t0,
+                         core=acting_core, bytes=nbytes)
             tel.span("dram", f"mc{mc.index}", "access", t0, sim.now,
                      core=acting_core, bytes=nbytes,
                      direction="read" if data_inbound else "write")
@@ -186,9 +193,11 @@ class MemorySystem:
                 mc.resource.release(req)
         # 3. payload over the mesh, in the data direction
         if data_inbound:
-            yield from self.mesh.transfer(mc.coord, core_coord, nbytes)
+            yield from self.mesh.transfer(mc.coord, core_coord, nbytes,
+                                          core=acting_core)
         else:
-            yield from self.mesh.transfer(core_coord, mc.coord, nbytes)
+            yield from self.mesh.transfer(core_coord, mc.coord, nbytes,
+                                          core=acting_core)
         # 4. core-side copy loop (slow P54C + network interface)
         yield sim.timeout(nbytes / cfg.core_copy_bandwidth)
 
@@ -222,7 +231,7 @@ class MemorySystem:
             # Direct put into the receiver's local store over the mesh.
             src = self._coord_of(src_core)
             dst = self._coord_of(dst_core)
-            yield from self.mesh.transfer(src, dst, nbytes)
+            yield from self.mesh.transfer(src, dst, nbytes, core=src_core)
             yield self.sim.timeout(nbytes / self.config.local_bandwidth)
             self._account(src_core, nbytes)
             return

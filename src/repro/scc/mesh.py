@@ -159,13 +159,16 @@ class Mesh:
         # the head flit pays the per-hop latency on every hop.
         return hops * per_hop + serialization * max(hops, 1)
 
-    def transfer(self, src: Coord, dst: Coord,
-                 nbytes: int) -> Generator[Any, Any, None]:
+    def transfer(self, src: Coord, dst: Coord, nbytes: int,
+                 core: Optional[int] = None) -> Generator[Any, Any, None]:
         """Process fragment moving ``nbytes`` from ``src`` to ``dst``.
 
         Use as ``yield from mesh.transfer(a, b, n)``.  Holds each link on
         the path, in order, for the serialization time — so concurrent
-        messages sharing a link queue up behind each other.
+        messages sharing a link queue up behind each other.  ``core`` (if
+        given) names the core whose process is blocked on the transfer;
+        telemetry ``queue`` spans carry it so the insight engine can
+        attribute link-grant waits to the waiting stage.
         """
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
@@ -196,7 +199,10 @@ class Mesh:
                 tel.counters.inc(f"mesh.link.{link.tag}.bytes", nbytes)
                 tel.counters.inc(f"mesh.link.{link.tag}.messages")
                 # Inline the acquire so the recorded span covers only the
-                # occupancy window (grant -> release), not the queueing.
+                # occupancy window (grant -> release), not the queueing;
+                # the grant wait gets its own "queue" span (the mesh
+                # contention the insight engine attributes to ``core``).
+                tq = sim.now
                 req = link.resource.request()
                 yield req
                 t0 = sim.now
@@ -204,6 +210,9 @@ class Mesh:
                     yield sim.timeout(hold)
                 finally:
                     link.resource.release(req)
+                if t0 > tq:
+                    tel.span("mesh", f"link {link.tag}", "queue",
+                             tq, t0, bytes=nbytes, core=core)
                 tel.span("mesh", f"link {link.tag}", "xfer",
                          t0, sim.now, bytes=nbytes)
             else:

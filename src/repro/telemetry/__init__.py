@@ -12,10 +12,18 @@ The single instrumentation subsystem the whole simulator reports into
 True
 """
 
-from .counters import Counter, CounterRegistry, Gauge, Histogram
+from .counters import (
+    KNOWN_COUNTER_ROOTS,
+    KNOWN_METRIC_ROOTS,
+    Counter,
+    CounterRegistry,
+    Gauge,
+    Histogram,
+)
 from .export import (
     chrome_trace,
     counters_dump,
+    events_from_chrome,
     spans_to_chrome,
     top_report,
     validate_chrome_trace,
@@ -40,7 +48,10 @@ __all__ = [
     "Gauge",
     "Histogram",
     "CounterRegistry",
+    "KNOWN_COUNTER_ROOTS",
+    "KNOWN_METRIC_ROOTS",
     "chrome_trace",
+    "events_from_chrome",
     "spans_to_chrome",
     "write_chrome_trace",
     "counters_dump",

@@ -27,7 +27,7 @@ from typing import Dict, List, Tuple, Union
 from ..sim import StatAccumulator
 
 __all__ = ["Counter", "Gauge", "Histogram", "CounterRegistry",
-           "KNOWN_COUNTER_ROOTS"]
+           "KNOWN_COUNTER_ROOTS", "KNOWN_METRIC_ROOTS"]
 
 #: The registered first segments of the dotted counter namespace.  The
 #: ``TEL001`` determinism lint (repro.analysis.lints) rejects call sites
@@ -36,6 +36,18 @@ __all__ = ["Counter", "Gauge", "Histogram", "CounterRegistry",
 KNOWN_COUNTER_ROOTS = frozenset({
     "mesh", "dram", "mpb", "stage", "dvfs", "power", "cache", "rcce",
     "sanitizer",
+})
+
+#: The registered first segments of the *derived-metric* namespace: the
+#: names the insight engine / metrics snapshots publish (``repro analyze
+#: --snapshot-out``, ``repro diff``).  The ``TEL002`` lint rejects
+#: ``add_metric`` call sites whose static name root is not listed here —
+#: the snapshot schema is a cross-run contract (tolerance files and
+#: committed baselines key on these names), so new roots must be added
+#: here and documented in ``docs/observability.md`` first.
+KNOWN_METRIC_ROOTS = frozenset({
+    "time", "energy", "power", "latency", "stage", "util", "mc",
+    "attr", "critpath", "verdict",
 })
 
 

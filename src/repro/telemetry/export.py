@@ -28,6 +28,7 @@ __all__ = [
     "chrome_trace",
     "spans_to_chrome",
     "write_chrome_trace",
+    "events_from_chrome",
     "counters_dump",
     "write_counters",
     "top_report",
@@ -125,6 +126,58 @@ def write_chrome_trace(path: Union[str, Path],
     path.write_text(json.dumps(chrome_trace(telemetry)) + "\n",
                     encoding="ascii")
     return path
+
+
+def events_from_chrome(doc: Dict[str, Any]) -> List[TelemetryEvent]:
+    """Inverse of :func:`chrome_trace`: rebuild hub events from a trace.
+
+    Lets the insight engine (``repro analyze --trace run.json``) consume
+    a previously exported trace file instead of a live hub.  Metadata
+    events resolve pid/tid back to category/track names; ``X``/``i``/``C``
+    phases map back to span/instant/sample.  Unknown phases are skipped.
+    Timestamps round-trip through microseconds, so a re-export of the
+    parsed events reproduces the original ``ts``/``dur`` values.
+    """
+    raw = doc.get("traceEvents")
+    if not isinstance(raw, list):
+        raise ValueError("missing or non-list 'traceEvents'")
+    categories: Dict[int, str] = {}
+    tracks: Dict[Tuple[int, int], str] = {}
+    for ev in raw:
+        if not isinstance(ev, dict) or ev.get("ph") != "M":
+            continue
+        if ev.get("name") == "process_name":
+            categories[ev["pid"]] = ev["args"]["name"]
+        elif ev.get("name") == "thread_name":
+            tracks[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+    events: List[TelemetryEvent] = []
+    for ev in raw:
+        if not isinstance(ev, dict):
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "C"):
+            continue
+        pid = ev.get("pid", 0)
+        tid = ev.get("tid", 0)
+        category = categories.get(pid, ev.get("cat", "trace"))
+        track = tracks.get((pid, tid))
+        t = float(ev["ts"]) / _US
+        if ph == "X":
+            events.append(TelemetryEvent(
+                "span", category, ev["name"], t,
+                dur=float(ev.get("dur", 0.0)) / _US, track=track,
+                fields=dict(ev.get("args", {}))))
+        elif ph == "C":
+            args = ev.get("args", {})
+            value = args.get(ev["name"])
+            events.append(TelemetryEvent(
+                "sample", category, ev["name"], t, track=track or ev["name"],
+                value=float(value) if value is not None else None))
+        else:
+            events.append(TelemetryEvent(
+                "instant", category, ev["name"], t, track=track,
+                fields=dict(ev.get("args", {}))))
+    return events
 
 
 # ---------------------------------------------------------------------------

@@ -14,7 +14,8 @@ from repro.analysis.lints import (
     default_rules,
 )
 from repro.cli import main
-from repro.telemetry.counters import KNOWN_COUNTER_ROOTS
+from repro.telemetry.counters import (KNOWN_COUNTER_ROOTS,
+                                      KNOWN_METRIC_ROOTS)
 
 
 def lint(source: str, module: str = "repro.sim.fake") -> list:
@@ -175,6 +176,55 @@ def test_dynamic_counter_tail_with_known_root_clean():
         def f(tel, k):
             tel.counters.inc(f"mesh.{k}.hops")
         """) == []
+
+
+# -- TEL002: unknown derived-metric roots ------------------------------------
+
+def test_unknown_metric_root_flagged():
+    findings = lint("""\
+        def f(metrics):
+            metrics.add_metric("bogus.walltime_s", 1.0)
+        """)
+    assert rules_of(findings) == ["TEL002"]
+    assert "bogus" in findings[0].message
+
+
+def test_known_metric_roots_clean():
+    for root in sorted(KNOWN_METRIC_ROOTS):
+        assert lint(f"""\
+            def f(metrics):
+                metrics.add_metric("{root}.thing", 1.0)
+            """) == [], root
+
+
+def test_dynamic_metric_tail_with_known_root_clean():
+    assert lint("""\
+        def f(metrics, kind):
+            metrics.add_metric(f"stage.{kind}.busy_s", 1.0)
+        """) == []
+
+
+def test_dynamic_metric_root_not_statically_checkable():
+    # A fully dynamic first segment can't be checked statically;
+    # MetricSet.add_metric validates the root at runtime instead.
+    assert lint("""\
+        def f(metrics, name):
+            metrics.add_metric(name, 1.0)
+        """) == []
+
+
+def test_metric_set_runtime_validation():
+    from repro.analysis import MetricSet
+
+    ms = MetricSet()
+    ms.add_metric("time.walkthrough_s", 1.5)
+    with pytest.raises(ValueError, match="KNOWN_METRIC_ROOTS"):
+        ms.add_metric("bogus.thing", 1.0)
+    with pytest.raises(ValueError, match="duplicate"):
+        ms.add_metric("time.walkthrough_s", 2.0)
+    with pytest.raises(ValueError, match="finite"):
+        ms.add_metric("time.nan", float("nan"))
+    assert ms.as_dict() == {"time.walkthrough_s": 1.5}
 
 
 # -- engine mechanics --------------------------------------------------------

@@ -1,0 +1,180 @@
+"""Metrics snapshots and the ``repro diff`` regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.analysis import (
+    SNAPSHOT_SCHEMA,
+    Tolerances,
+    analyze_telemetry,
+    canonical_json,
+    diff_snapshots,
+    read_snapshot,
+    snapshot_from_result,
+    write_snapshot,
+)
+from repro.exec import ResultCache, RunSpec, SweepExecutor, execute_spec
+from repro.pipeline import PipelineRunner
+from repro.telemetry import Telemetry
+
+SPEC = RunSpec(config="mcpc_renderer", pipelines=3, frames=16)
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    """A fresh-run snapshot plus a cache-served one for the same spec."""
+    digest = SPEC.digest()
+    fresh = snapshot_from_result(execute_spec(SPEC), digest)
+    cache = ResultCache(tmp_path_factory.mktemp("result-cache"))
+    executor = SweepExecutor(cache=cache)
+    executor.run_one(SPEC)                    # populate
+    cached_result = executor.run_one(SPEC)    # served from disk
+    assert executor.last_stats.hits == 1
+    cached = snapshot_from_result(cached_result, digest)
+    return fresh, cached
+
+
+def test_cached_run_snapshot_byte_identical(snapshot):
+    """The ISSUE's determinism clause: analyzing a cache-served run is
+    byte-identical to analyzing a fresh run of the same spec."""
+    fresh, cached = snapshot
+    assert canonical_json(fresh) == canonical_json(cached)
+
+
+def test_snapshot_shape(snapshot):
+    fresh, _ = snapshot
+    assert fresh["schema"] == SNAPSHOT_SCHEMA
+    assert fresh["run"]["config"] == "mcpc_renderer"
+    assert fresh["run"]["spec_digest"] == SPEC.digest()
+    assert fresh["labels"]["verdict.stage"]
+    assert fresh["labels"]["verdict.filter_stage"] == "blur"
+    metrics = fresh["metrics"]
+    assert metrics["time.walkthrough_s"] > 0.0
+    assert any(name.startswith("stage.blur.") for name in metrics)
+    assert any(name.startswith("mc.") for name in metrics)
+    # shallow snapshots carry no deep metrics
+    assert not any(name.startswith(("attr.", "critpath."))
+                   for name in metrics)
+
+
+def test_deep_snapshot_adds_attribution_metrics():
+    telemetry = Telemetry()
+    result = PipelineRunner(config="mcpc_renderer", pipelines=3, frames=16,
+                            telemetry=telemetry).run()
+    insight = analyze_telemetry(telemetry, result)
+    doc = snapshot_from_result(result, insight=insight)
+    metrics = doc["metrics"]
+    assert metrics["critpath.duration_s"] == result.walkthrough_seconds
+    assert any(name.startswith("attr.blur.") for name in metrics)
+    assert doc["labels"]["verdict.deep_stage"]
+    # the deep layer is additive: a shallow baseline diffs clean
+    shallow = snapshot_from_result(result)
+    diff = diff_snapshots(shallow, doc)
+    assert diff.ok
+    assert any("new" in w for w in diff.warnings)
+
+
+def test_write_read_round_trip(tmp_path, snapshot):
+    fresh, _ = snapshot
+    path = write_snapshot(tmp_path / "snap.json", fresh)
+    assert read_snapshot(path) == fresh
+    bad = tmp_path / "bad.json"
+    bad.write_text("[1, 2]\n")
+    with pytest.raises(ValueError, match="not a metrics snapshot"):
+        read_snapshot(bad)
+
+
+# -- diffing ------------------------------------------------------------------
+
+def test_diff_identical_is_clean(snapshot):
+    fresh, cached = snapshot
+    diff = diff_snapshots(fresh, cached)
+    assert diff.ok
+    assert not diff.warnings
+    assert all(d.delta == 0.0 for d in diff.deltas)
+    assert "OK" in diff.format_text()
+
+
+def test_diff_detects_injected_regression(snapshot):
+    fresh, _ = snapshot
+    worse = copy.deepcopy(fresh)
+    worse["metrics"]["time.walkthrough_s"] *= 1.10  # +10%
+    tol = Tolerances.from_dict(
+        {"rules": [{"pattern": "time.*", "rel": 0.02}]})
+    diff = diff_snapshots(fresh, worse, tol)
+    assert not diff.ok
+    assert any("time.walkthrough_s" in r for r in diff.regressions)
+    assert "REGRESSION" in diff.format_text()
+    # a generous tolerance absorbs the same delta
+    assert diff_snapshots(fresh, worse, Tolerances.from_dict(
+        {"rules": [{"pattern": "time.*", "rel": 0.2}]})).ok
+
+
+def test_tolerance_first_match_wins_and_abs_floor():
+    tol = Tolerances.from_dict({
+        "default": {"rel": 0.01},
+        "rules": [
+            {"pattern": "time.*", "rel": 0.5},
+            {"pattern": "*", "rel": 0.0, "abs": 1e-6},
+        ],
+    })
+    assert tol.allowed("time.walkthrough_s", 10.0) == 5.0
+    assert tol.allowed("energy.scc_j", 10.0) == 1e-6
+    assert tol.rule_for("unmatched") .pattern == "*"
+    exact = Tolerances.exact()
+    assert exact.allowed("time.walkthrough_s", 10.0) == 0.0
+
+
+def test_diff_label_change_is_regression(snapshot):
+    fresh, _ = snapshot
+    flipped = copy.deepcopy(fresh)
+    flipped["labels"]["verdict.stage"] = "blur"
+    diff = diff_snapshots(fresh, flipped)
+    assert not diff.ok
+    assert any("verdict.stage" in r for r in diff.regressions)
+
+
+def test_diff_missing_metric_is_regression(snapshot):
+    fresh, _ = snapshot
+    pruned = copy.deepcopy(fresh)
+    del pruned["metrics"]["time.walkthrough_s"]
+    diff = diff_snapshots(fresh, pruned)
+    assert not diff.ok
+    assert any("missing" in r for r in diff.regressions)
+
+
+def test_diff_extra_metric_is_warning(snapshot):
+    fresh, _ = snapshot
+    extended = copy.deepcopy(fresh)
+    extended["metrics"]["time.extra_s"] = 1.0
+    diff = diff_snapshots(fresh, extended)
+    assert diff.ok
+    assert any("time.extra_s" in w for w in diff.warnings)
+
+
+def test_diff_schema_mismatch_is_regression(snapshot):
+    fresh, _ = snapshot
+    future = copy.deepcopy(fresh)
+    future["schema"] = SNAPSHOT_SCHEMA + 1
+    diff = diff_snapshots(fresh, future)
+    assert not diff.ok
+    assert any("schema" in r for r in diff.regressions)
+
+
+def test_diff_run_identity_is_warning_only(snapshot):
+    fresh, _ = snapshot
+    moved = copy.deepcopy(fresh)
+    moved["run"]["spec_digest"] = "0" * 16
+    diff = diff_snapshots(fresh, moved)
+    assert diff.ok
+    assert any("spec_digest" in w for w in diff.warnings)
+
+
+def test_canonical_json_is_stable():
+    doc = {"b": 1, "a": {"y": 2.5, "x": [1, 2]}}
+    text = canonical_json(doc)
+    assert text == canonical_json(json.loads(text))
+    assert text.endswith("\n")
+    assert text.index('"a"') < text.index('"b"')

@@ -201,3 +201,96 @@ def test_profile_jobs_matches_serial(tmp_path):
                         str(parallel)]) == 0
     assert (json.loads(serial.read_text())
             == json.loads(parallel.read_text()))
+
+
+# -- analyze / diff -----------------------------------------------------------
+
+def test_analyze_deep_with_html_and_snapshot(tmp_path, capsys):
+    import json
+
+    html = tmp_path / "report.html"
+    snap = tmp_path / "snap.json"
+    assert main(["analyze", "--config", "mcpc_renderer", "--pipelines", "3",
+                 "--frames", "16", "--no-cache", "--html", str(html),
+                 "--snapshot-out", str(snap)]) == 0
+    out = capsys.readouterr().out
+    assert "makespan" in out
+    assert "bottleneck" in out
+    assert "pipeline filter" in out
+    text = html.read_text(encoding="utf-8")
+    assert "<svg" in text and "critical path" in text
+    doc = json.loads(snap.read_text())
+    assert any(k.startswith("critpath.") for k in doc["metrics"])
+    assert any(k.startswith("attr.") for k in doc["metrics"])
+
+
+def test_analyze_shallow_json_snapshot(capsys):
+    import json
+
+    assert main(["analyze", "--shallow", "--config", "one_renderer",
+                 "--pipelines", "4", "--frames", "16", "--no-cache",
+                 "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["labels"]["verdict.stage"] == "render"
+    assert not any(k.startswith("critpath.") for k in doc["metrics"])
+
+
+def test_analyze_sanitized_run(capsys):
+    assert main(["analyze", "--config", "one_renderer", "--pipelines", "2",
+                 "--frames", "10", "--no-cache", "--sanitize"]) == 0
+    assert "bottleneck" in capsys.readouterr().out
+
+
+def test_analyze_trace_file(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    assert main(["run", "--config", "mcpc_renderer", "--pipelines", "2",
+                 "--frames", "10", "--no-cache",
+                 "--trace-out", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["analyze", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "makespan" in out and "bottleneck" in out
+
+
+def test_analyze_trace_flag_conflicts(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    trace.write_text("{}")
+    assert main(["analyze", "--trace", str(trace), "--shallow"]) == 2
+    assert "incompatible" in capsys.readouterr().err
+
+
+def test_analyze_trace_bad_file(tmp_path, capsys):
+    bad = tmp_path / "not-a-trace.json"
+    bad.write_text("{\"traceEvents\": []}")
+    assert main(["analyze", "--trace", str(bad)]) == 2
+    assert "error" in capsys.readouterr().err
+    assert main(["analyze", "--trace", str(tmp_path / "missing.json")]) == 2
+
+
+def test_diff_command_gate_cycle(tmp_path, capsys):
+    import json
+
+    base_args = ["analyze", "--shallow", "--config", "one_renderer",
+                 "--pipelines", "2", "--frames", "10", "--no-cache",
+                 "--snapshot-out"]
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    assert main(base_args + [str(a)]) == 0
+    assert main(base_args + [str(b)]) == 0
+    capsys.readouterr()
+
+    # bit-identical rerun: exit 0
+    assert main(["diff", str(a), str(b)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+    # injected 10% regression: exit 1 under a 2% tolerance
+    doc = json.loads(b.read_text())
+    doc["metrics"]["time.walkthrough_s"] *= 1.10
+    b.write_text(json.dumps(doc))
+    tol = tmp_path / "tol.json"
+    tol.write_text(json.dumps(
+        {"default": {"rel": 0.02}, "rules": []}))
+    assert main(["diff", str(a), str(b), "--tolerances", str(tol)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+    # unreadable input: exit 2
+    assert main(["diff", str(a), str(tmp_path / "nope.json")]) == 2
