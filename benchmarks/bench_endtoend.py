@@ -37,6 +37,11 @@ The workload (procedural city, camera path, culling profiles) is built
 and warmed once outside the timed region, so the numbers isolate the
 discrete-event engine: kernel dispatch, mesh/memory modelling and the
 stage processes.
+
+Every measurement additionally appends a schema-versioned trend record
+to ``BENCH_history.jsonl`` (``--history``/``--no-history``); ``repro
+bench trend`` reads the last N records to catch slow drift that the
+single committed number cannot show.
 """
 
 from __future__ import annotations
@@ -51,11 +56,13 @@ from pathlib import Path
 import _common  # noqa: F401  (bootstraps src/ onto sys.path)
 
 from repro.analysis.sanitizers import SanitizerSuite  # noqa: E402
+from repro.obsv import append_history  # noqa: E402
 from repro.pipeline import PipelineRunner  # noqa: E402
 from repro.pipeline.workload import WalkthroughWorkload  # noqa: E402
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 RESULT_PATH = REPO_ROOT / "BENCH_endtoend.json"
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
 
 CONFIG = "mcpc_renderer"
 PIPELINES = 5
@@ -169,7 +176,21 @@ def main(argv=None) -> int:
                         help="allowed relative slowdown for --check "
                              "(default 0.20)")
     parser.add_argument("--runs", type=int, default=RUNS)
+    parser.add_argument("--history", type=Path, default=HISTORY_PATH,
+                        help="append a trend record here "
+                             f"(default {HISTORY_PATH.name})")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the trend-record append")
     args = parser.parse_args(argv)
+
+    def record_history(bench: str, fresh: dict) -> None:
+        """One schema-versioned trend record per measurement."""
+        if args.no_history:
+            return
+        metrics = {k: fresh[k] for k in ("median_ms", "min_ms", "max_ms")}
+        meta = {k: v for k, v in fresh.items() if k not in metrics}
+        append_history(args.history, bench, metrics, meta=meta)
+        print(f"trend record appended to {args.history.name}")
 
     if args.update_analyzer:
         data = load()
@@ -188,6 +209,7 @@ def main(argv=None) -> int:
                   f"({current['median_ms']:.1f} ms): {cost:.2f}x")
         save(data)
         print(f"analyzer measurement recorded in {RESULT_PATH.name}")
+        record_history("endtoend_analyzer", fresh)
         return 0
 
     if args.update_sanitized:
@@ -205,6 +227,7 @@ def main(argv=None) -> int:
                   f"({current['median_ms']:.1f} ms): {overhead:.2f}x")
         save(data)
         print(f"sanitized measurement recorded in {RESULT_PATH.name}")
+        record_history("endtoend_sanitized", fresh)
         return 0
 
     fresh = measure(args.runs)
@@ -213,6 +236,7 @@ def main(argv=None) -> int:
           f"{args.runs} runs  [{fresh['min_ms']:.1f}..{fresh['max_ms']:.1f}]  "
           f"{fresh['events_processed']} events, "
           f"{fresh['events_per_ms']:.0f} events/ms")
+    record_history("endtoend", fresh)
 
     data = load()
 

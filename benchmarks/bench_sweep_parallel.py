@@ -19,9 +19,13 @@ enjoys.  The three passes must produce bit-identical result lists —
 the bench asserts it.
 
 Results land in ``BENCH_sweep.json`` at the repository root via
-``--update``; plain runs just measure and print.  ``cpu_count`` is
-recorded alongside, because the cold-cache speedup is bounded by the
-cores the machine actually has.
+``--update``; plain runs just measure and print.  ``cpu_count`` *and*
+``cpu_affinity_count`` (the scheduler mask — what a cgroup-limited CI
+runner can actually use) are recorded alongside, because the cold-cache
+speedup is bounded by the cores the process really has; the bench warns
+when ``--jobs`` oversubscribes them.  Every measurement also appends a
+trend record to ``BENCH_history.jsonl`` (``repro bench trend`` reads
+it; ``--no-history`` to skip).
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sys
 import tempfile
 import time
 from pathlib import Path
@@ -37,12 +42,30 @@ import _common
 
 from repro.exec import ResultCache, RunSpec, SweepExecutor  # noqa: E402
 from repro.exec.cache import result_to_cache_dict  # noqa: E402
+from repro.obsv import append_history  # noqa: E402
 from repro.pipeline import ARRANGEMENTS  # noqa: E402
 from repro.pipeline.workload import default_workload  # noqa: E402
 from repro.report import paper  # noqa: E402
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 RESULT_PATH = REPO_ROOT / "BENCH_sweep.json"
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
+
+
+def available_cpus() -> int:
+    """CPUs this *process* may run on — the honest parallelism bound.
+
+    ``os.cpu_count()`` reports the machine; under cgroup/affinity limits
+    (CI runners, containers) the scheduler mask is smaller and is what
+    actually caps the cold-cache speedup.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0))
+        except OSError:
+            pass
+    return os.cpu_count() or 1
 
 SCC_CONFIGS = ("one_renderer", "n_renderers", "mcpc_renderer")
 HPC_CONFIGS = ("external_renderer", "single_renderer", "parallel_renderer")
@@ -116,6 +139,7 @@ def measure(frames: int, jobs: int) -> dict:
         "frames": frames,
         "jobs": jobs,
         "cpu_count": os.cpu_count(),
+        "cpu_affinity_count": available_cpus(),
         "serial_ms": round(serial_ms, 1),
         "parallel_cold_ms": round(cold_ms, 1),
         "parallel_warm_ms": round(warm_ms, 1),
@@ -133,12 +157,25 @@ def main(argv=None) -> int:
                              "the paper's full axis is 400)")
     parser.add_argument("--update", action="store_true",
                         help=f"record the measurement in {RESULT_PATH.name}")
+    parser.add_argument("--history", type=Path, default=HISTORY_PATH,
+                        help="append a trend record here "
+                             f"(default {HISTORY_PATH.name})")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the trend-record append")
     _common.add_exec_arguments(parser, jobs_default=4)
     args = parser.parse_args(argv)
 
+    usable = available_cpus()
+    if args.jobs > usable:
+        print(f"warning: --jobs {args.jobs} exceeds the {usable} CPU(s) "
+              f"this process may run on; workers will time-share and the "
+              f"parallel numbers will under-report the speedup",
+              file=sys.stderr)
+
     fresh = measure(args.frames, args.jobs)
     print(f"Table-I sweep, {fresh['points']} points x {args.frames} frames "
-          f"on {fresh['cpu_count']} CPU(s):")
+          f"on {fresh['cpu_count']} CPU(s) "
+          f"({fresh['cpu_affinity_count']} usable):")
     print(f"  serial (jobs=1, no cache) : {fresh['serial_ms']:9.1f} ms")
     print(f"  jobs={args.jobs}, cold cache       : "
           f"{fresh['parallel_cold_ms']:9.1f} ms "
@@ -151,6 +188,16 @@ def main(argv=None) -> int:
         RESULT_PATH.write_text(json.dumps(fresh, indent=2, sort_keys=True)
                                + "\n")
         print(f"recorded in {RESULT_PATH.name}")
+
+    if not args.no_history:
+        append_history(args.history, "sweep", {
+            "serial_ms": fresh["serial_ms"],
+            "parallel_cold_ms": fresh["parallel_cold_ms"],
+            "parallel_warm_ms": fresh["parallel_warm_ms"],
+        }, meta={k: fresh[k] for k in ("points", "frames", "jobs",
+                                       "cpu_count", "cpu_affinity_count",
+                                       "speedup_cold", "speedup_warm")})
+        print(f"trend record appended to {args.history.name}")
     return 0
 
 

@@ -1,7 +1,10 @@
 #!/usr/bin/env python
 """Validate a Chrome trace-event JSON file produced by ``repro profile``.
 
-Usage: ``python scripts/validate_trace.py run.json [counters.json]``
+Usage::
+
+    python scripts/validate_trace.py run.json [counters.json]
+    python scripts/validate_trace.py --eventlog events.jsonl [run.json ...]
 
 Checks (exit code 1 on any failure):
 
@@ -18,17 +21,24 @@ Checks (exit code 1 on any failure):
   simultaneously on one core would be a scheduling bug;
 * when a counters dump is given: the ``mesh.link.*`` / ``dram.mc*`` /
   ``stage.*`` counter families are all present, and every counter value
-  is finite and non-negative (counters are monotone from zero).
+  is finite and non-negative (counters are monotone from zero);
+* when ``--eventlog`` names a JSONL operational log (``repro sweep
+  --log``): every line parses as one JSON object carrying the required
+  keys (``v``/``ts``/``level``/``event``), the schema version and level
+  are known, ``ts`` never decreases within a writing process, and every
+  run-scoped record (``run.*``) carries its spec ``digest``.
 
 CI runs this against a fresh ``repro profile`` run on every build.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import math
 import sys
 
+from repro.obsv import LEVELS, LOG_SCHEMA
 from repro.telemetry import events_from_chrome, validate_chrome_trace
 
 #: dotted-name suffixes that mark a cumulative (monotone) counter series
@@ -137,13 +147,87 @@ def check_counters(path: str) -> list:
     return problems
 
 
+def check_eventlog(path: str) -> list:
+    """Structural validation of a JSONL operational event log."""
+    problems = []
+    records = 0
+    run_scoped = 0
+    last_ts: dict = {}  # per pid: forked workers interleave in the file
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if not line.strip():
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                problems.append(f"{where}: not JSON: {exc}")
+                continue
+            if not isinstance(record, dict):
+                problems.append(f"{where}: record is not an object")
+                continue
+            records += 1
+            missing = [k for k in ("v", "ts", "level", "event")
+                       if k not in record]
+            if missing:
+                problems.append(f"{where}: missing required keys {missing}")
+                continue
+            if record["v"] != LOG_SCHEMA:
+                problems.append(f"{where}: unknown schema version "
+                                f"{record['v']!r} (expected {LOG_SCHEMA})")
+            if record["level"] not in LEVELS:
+                problems.append(f"{where}: unknown level "
+                                f"{record['level']!r}")
+            ts = record["ts"]
+            if not isinstance(ts, (int, float)) or not math.isfinite(ts):
+                problems.append(f"{where}: non-finite ts {ts!r}")
+            else:
+                pid = record.get("pid")
+                prev = last_ts.get(pid)
+                if prev is not None and ts < prev:
+                    problems.append(f"{where}: ts goes backwards for "
+                                    f"pid {pid} ({prev} -> {ts}); the "
+                                    f"log clock is monotonic")
+                last_ts[pid] = ts
+            event = record["event"]
+            if not isinstance(event, str) or not event:
+                problems.append(f"{where}: event name must be a non-empty "
+                                f"string, got {event!r}")
+                continue
+            if event.startswith("run."):
+                run_scoped += 1
+                if "digest" not in record:
+                    problems.append(f"{where}: run-scoped record "
+                                    f"{event!r} lacks a digest")
+    if records == 0:
+        problems.append(f"{path}: no event records")
+    print(f"{path}: {records} event records ({run_scoped} run-scoped)")
+    return problems
+
+
 def main(argv: list) -> int:
-    if not 1 <= len(argv) <= 2:
-        print(__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[1] if __doc__ else None)
+    parser.add_argument("trace", nargs="?", default=None,
+                        help="Chrome trace-event JSON from repro profile")
+    parser.add_argument("counters", nargs="?", default=None,
+                        help="counter dump JSON from repro profile "
+                             "--counters-out")
+    parser.add_argument("--eventlog", default=None, metavar="FILE",
+                        help="JSONL operational event log from repro "
+                             "sweep --log")
+    args = parser.parse_args(argv)
+    if args.trace is None and args.eventlog is None:
+        parser.print_usage(sys.stderr)
         return 2
-    problems = check_trace(argv[0])
-    if len(argv) == 2:
-        problems += check_counters(argv[1])
+
+    problems = []
+    if args.trace is not None:
+        problems += check_trace(args.trace)
+    if args.counters is not None:
+        problems += check_counters(args.counters)
+    if args.eventlog is not None:
+        problems += check_eventlog(args.eventlog)
     for problem in problems:
         print(f"FAIL: {problem}", file=sys.stderr)
     if not problems:

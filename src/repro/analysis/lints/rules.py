@@ -36,7 +36,7 @@ __all__ = ["ALL_RULES", "DETERMINISTIC_PACKAGES", "default_rules",
            "WallClockRule", "UnseededRandomRule", "EnvDependenceRule",
            "UnorderedIterationRule", "MutableDefaultRule",
            "UnfrozenSpecDataclassRule", "UnknownCounterRootRule",
-           "UnknownMetricRootRule"]
+           "UnknownMetricRootRule", "DirectPrintRule"]
 
 #: packages on the RunSpec -> RunResult path: nothing here may read the
 #: wall clock, the environment, or unseeded randomness
@@ -450,12 +450,42 @@ class UnknownMetricRootRule(Rule):
                     f"({', '.join(sorted(KNOWN_METRIC_ROOTS))})")
 
 
+class DirectPrintRule(Rule):
+    rule_id = "OBS001"
+    summary = "direct print() in library code"
+    rationale = (
+        "Library modules reporting through print() are invisible to the "
+        "structured event log (repro.obsv.eventlog): records bypass "
+        "levels, the JSONL sink and digest context, so operational "
+        "tooling cannot see them.  Emit through EVENT_LOG (or return "
+        "the text to the caller); only the user-facing surfaces in "
+        "_PRINT_SURFACES legitimately write the terminal.")
+
+    #: modules whose whole purpose is terminal output
+    _PRINT_SURFACES = (
+        "repro.cli", "repro.__main__", "repro.report", "repro.obsv.top",
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        if not ctx.in_package("repro"):
+            return  # scripts/benchmarks/tests print freely
+        if ctx.in_package(*self._PRINT_SURFACES):
+            return
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                yield node, ("`print()` bypasses the structured event "
+                             "log; emit through repro.obsv EVENT_LOG or "
+                             "return the text to a CLI/report surface")
+
+
 def default_rules() -> Sequence[Rule]:
     """The project rule set, in catalog order."""
     return (WallClockRule(), UnseededRandomRule(), EnvDependenceRule(),
             UnorderedIterationRule(), MutableDefaultRule(),
             UnfrozenSpecDataclassRule(), UnknownCounterRootRule(),
-            UnknownMetricRootRule())
+            UnknownMetricRootRule(), DirectPrintRule())
 
 
 ALL_RULES = tuple(type(r) for r in default_rules())

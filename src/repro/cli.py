@@ -12,6 +12,15 @@ Subcommands
     Run a configuration across pipeline counts and arrangements with
     ``--jobs N`` worker processes and the result cache
     (see docs/performance.md, "Parallel sweeps and the result cache").
+    ``--serve-metrics PORT`` exposes live ``/metrics`` + ``/healthz``
+    while it runs; ``--log FILE`` appends the structured JSONL
+    operational event log (see docs/observability.md).
+``top``
+    The same sweep under a live terminal dashboard: per-worker progress
+    bars, cache stats, throughput/ETA and bottleneck verdicts.
+``bench trend``
+    Compare each bench's newest ``BENCH_history.jsonl`` record against
+    its windowed median; exits 1 on regression (the CI trend gate).
 ``profile``
     Simulate with full telemetry: Chrome-trace JSON for Perfetto,
     counter dumps and a text "top" report of the hottest mesh links,
@@ -47,6 +56,7 @@ import argparse
 import json
 import pathlib
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .analysis import PeriodPredictor
@@ -80,6 +90,25 @@ def _add_exec_args(parser: argparse.ArgumentParser,
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore the result cache: always simulate, "
                              "never store")
+
+
+def _add_obsv_args(parser: argparse.ArgumentParser) -> None:
+    """The observability flags shared by ``sweep`` and ``top``."""
+    parser.add_argument("--serve-metrics", type=int, default=None,
+                        metavar="PORT",
+                        help="serve Prometheus /metrics and /healthz on "
+                             "127.0.0.1:PORT while the sweep runs "
+                             "(0 picks an ephemeral port)")
+    parser.add_argument("--serve-hold", type=float, default=0.0,
+                        metavar="SEC",
+                        help="keep the endpoint up SEC seconds after the "
+                             "sweep finishes so scrapers catch the final "
+                             "state (default 0)")
+    parser.add_argument("--log", type=pathlib.Path, default=None,
+                        metavar="FILE",
+                        help="append structured JSONL operational events "
+                             "to FILE (validate with "
+                             "scripts/validate_trace.py --eventlog)")
 
 
 def _cache_from(args: argparse.Namespace):
@@ -136,6 +165,52 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit non-zero if any point had to be "
                             "simulated (CI cache-effectiveness gate)")
     _add_exec_args(sweep)
+    _add_obsv_args(sweep)
+
+    top = sub.add_parser(
+        "top",
+        help="run a sweep under a live terminal dashboard: per-worker "
+             "progress bars, cache stats, throughput/ETA, verdicts")
+    top.add_argument("--config", choices=CONFIGURATIONS,
+                     default="mcpc_renderer")
+    top.add_argument("--pipelines", type=int, nargs="+", metavar="N",
+                     default=list(paper.TABLE1_PIPELINES),
+                     help="pipeline counts (default: the Table I axis)")
+    top.add_argument("--arrangements", choices=ARRANGEMENTS, nargs="+",
+                     default=["ordered"], metavar="ARR",
+                     help="arrangements to cross with the counts")
+    top.add_argument("--frames", type=int, default=400)
+    top.add_argument("--image-side", type=int, default=400)
+    top.add_argument("--interval", type=float, default=0.25, metavar="SEC",
+                     help="minimum seconds between dashboard redraws "
+                          "(default 0.25)")
+    _add_exec_args(top)
+    _add_obsv_args(top)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark-history utilities (BENCH_history.jsonl)")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    trend = bench_sub.add_parser(
+        "trend",
+        help="compare each bench's newest record against its windowed "
+             "median; exit 1 on regression")
+    trend.add_argument("--history", type=pathlib.Path,
+                       default=pathlib.Path("BENCH_history.jsonl"),
+                       metavar="FILE",
+                       help="history file (default ./BENCH_history.jsonl)")
+    trend.add_argument("--window", type=int, default=None, metavar="N",
+                       help="records per bench to look back over "
+                            "(default 10)")
+    trend.add_argument("--bench", default=None, metavar="NAME",
+                       help="restrict to one bench name")
+    trend.add_argument("--tolerances", type=pathlib.Path, default=None,
+                       metavar="FILE",
+                       help="tolerance rules JSON (same format as repro "
+                            "diff; default: 10%% relative)")
+    trend.add_argument("--json", action="store_true",
+                       help="machine-readable report on stdout")
+    trend.add_argument("--verbose", action="store_true",
+                       help="list every metric, not just regressions")
 
     profile = sub.add_parser(
         "profile",
@@ -348,38 +423,157 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_specs(args: argparse.Namespace) -> List[RunSpec]:
+    return [RunSpec(config=args.config, pipelines=n, arrangement=arr,
+                    frames=args.frames, image_side=args.image_side)
+            for arr in args.arrangements for n in args.pipelines]
+
+
+class _ObsvSession:
+    """CLI lifetime of the observability plane (log, aggregator, endpoint).
+
+    Builds whatever the flags ask for, hands the executor one progress
+    callback (or ``None``, preserving the exact streaming-off path) and
+    tears everything down — including the post-sweep ``--serve-hold``
+    window — in :meth:`close`.
+    """
+
+    def __init__(self, args: argparse.Namespace,
+                 on_update=None, aggregate: bool = False) -> None:
+        self.args = args
+        self.aggregator = None
+        self.server = None
+        self.progress = None
+        if args.log is not None:
+            from .obsv import configure_event_log
+
+            configure_event_log(str(args.log))
+        if args.serve_metrics is not None or aggregate:
+            from .obsv import FleetAggregator
+
+            self.aggregator = FleetAggregator(on_update=on_update)
+            self.progress = self.aggregator.consume
+        if args.serve_metrics is not None:
+            from .obsv import MetricsServer
+
+            self.server = MetricsServer(self.aggregator,
+                                        port=args.serve_metrics).start()
+
+    def close(self) -> None:
+        if self.server is not None:
+            if self.args.serve_hold > 0:
+                time.sleep(self.args.serve_hold)
+            self.server.stop()
+            self.server = None
+        if self.args.log is not None:
+            from .obsv import reset_event_log
+
+            reset_event_log()
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    problem = _check_out_paths(args.json)
+    problem = _check_out_paths(args.json, args.log)
     if problem:
         print(problem, file=sys.stderr)
         return 2
-    specs = [RunSpec(config=args.config, pipelines=n, arrangement=arr,
-                     frames=args.frames, image_side=args.image_side)
-             for arr in args.arrangements for n in args.pipelines]
+    specs = _sweep_specs(args)
     cache = _cache_from(args)
-    executor = SweepExecutor(jobs=args.jobs, cache=cache)
-    results = executor.run(specs)
+    obsv = _ObsvSession(args)
+    if obsv.server is not None:
+        print(f"metrics: {obsv.server.url}/metrics   "
+              f"health: {obsv.server.url}/healthz")
+    executor = SweepExecutor(jobs=args.jobs, cache=cache,
+                             progress=obsv.progress)
+    try:
+        results = executor.run(specs)
 
-    rows = []
-    per_arr = len(args.pipelines)
-    for i, arr in enumerate(args.arrangements):
-        chunk = results[i * per_arr:(i + 1) * per_arr]
-        rows.append([arr, *[f"{r.walkthrough_seconds:.1f}" for r in chunk]])
-    print(format_table(
-        ["arrangement", *[f"{n} pl." for n in args.pipelines]], rows,
-        title=f"sweep {args.config}, {args.frames} frames (seconds)"))
-    stats = executor.last_stats
-    where = f" ({cache.root})" if cache is not None else " (cache off)"
-    print(f"{len(specs)} points: {stats.hits} cached, "
-          f"{stats.executed} simulated, jobs={args.jobs}{where}")
-    if args.json is not None:
-        results_to_json(results, args.json)
-        print(f"results -> {args.json}")
-    if args.expect_all_cached and stats.executed:
-        print(f"error: expected a fully warm cache but {stats.executed} "
-              f"point(s) were simulated", file=sys.stderr)
-        return 1
-    return 0
+        rows = []
+        per_arr = len(args.pipelines)
+        for i, arr in enumerate(args.arrangements):
+            chunk = results[i * per_arr:(i + 1) * per_arr]
+            rows.append([arr,
+                         *[f"{r.walkthrough_seconds:.1f}" for r in chunk]])
+        print(format_table(
+            ["arrangement", *[f"{n} pl." for n in args.pipelines]], rows,
+            title=f"sweep {args.config}, {args.frames} frames (seconds)"))
+        stats = executor.last_stats
+        where = f" ({cache.root})" if cache is not None else " (cache off)"
+        print(f"{len(specs)} points: {stats.hits} cached, "
+              f"{stats.executed} simulated, jobs={args.jobs}{where}")
+        if args.json is not None:
+            results_to_json(results, args.json)
+            print(f"results -> {args.json}")
+        if args.expect_all_cached and stats.executed:
+            print(f"error: expected a fully warm cache but {stats.executed} "
+                  f"point(s) were simulated", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        obsv.close()
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    problem = _check_out_paths(args.log)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
+    from .obsv import TopDashboard
+
+    specs = _sweep_specs(args)
+    cache = _cache_from(args)
+    dash: Optional[TopDashboard] = None
+
+    def on_update(aggregator) -> None:
+        if dash is not None:
+            dash.on_update(aggregator)
+
+    obsv = _ObsvSession(args, on_update=on_update, aggregate=True)
+    assert obsv.aggregator is not None
+    dash = TopDashboard(obsv.aggregator, interval=args.interval)
+    executor = SweepExecutor(jobs=args.jobs, cache=cache,
+                             progress=obsv.progress)
+    try:
+        executor.run(specs)
+        dash.finish()
+        stats = executor.last_stats
+        print(f"{len(specs)} points: {stats.hits} cached, "
+              f"{stats.executed} simulated, jobs={args.jobs}")
+        if obsv.server is not None:
+            print(f"metrics: {obsv.server.url}/metrics")
+        return 0
+    finally:
+        obsv.close()
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.bench_command == "trend":
+        return _cmd_bench_trend(args)
+    raise AssertionError(args.bench_command)  # pragma: no cover
+
+
+def _cmd_bench_trend(args: argparse.Namespace) -> int:
+    from .analysis import Tolerances
+    from .obsv import load_history, trend_report
+    from .obsv.history import DEFAULT_WINDOW
+
+    try:
+        records = load_history(args.history, bench=args.bench)
+        tolerances = (Tolerances.load(args.tolerances)
+                      if args.tolerances is not None else None)
+        report = trend_report(records, tolerances=tolerances,
+                              window=args.window or DEFAULT_WINDOW)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"error: no history records in {args.history}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text(verbose=args.verbose))
+    return 0 if report.ok else 1
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -684,6 +878,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
+    "top": _cmd_top,
+    "bench": _cmd_bench,
     "profile": _cmd_profile,
     "tune": _cmd_tune,
     "table1": _cmd_table1,

@@ -19,16 +19,28 @@ result's identity: :meth:`RunSpec.digest` gives the content address the
 * when a parent :class:`~repro.telemetry.Telemetry` hub is supplied,
   each run executes under a private hub whose events and counter
   snapshot are merged back in submission order — ``repro profile``
-  totals match the serial run exactly.
+  totals match the serial run exactly;
+* when a ``progress`` callback is supplied, workers stream live
+  :class:`~repro.obsv.progress.ProgressEvent` records (state changes,
+  frame heartbeats) back over a multiprocessing queue that a parent
+  drain thread forwards — a strictly observational side channel, so the
+  result list stays bit-identical with the stream on or off, and the
+  disabled path (``progress=None``, the default) is byte-for-byte the
+  pre-streaming code path.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import threading
+import time
 from dataclasses import dataclass, fields
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cluster import CLUSTER_CONFIGURATIONS, ClusterRunner
+from ..obsv.eventlog import EVENT_LOG
+from ..obsv.progress import (FrameProgressSink, ProgressCallback,
+                             ProgressEvent, state_event, sweep_event)
 from ..pipeline.arrangements import ARRANGEMENTS, Placement
 from ..pipeline.metrics import RunResult
 from ..pipeline.runner import CONFIGURATIONS, PipelineRunner
@@ -189,13 +201,91 @@ def execute_spec(spec: RunSpec,
     return build_runner(spec, telemetry=telemetry).run()
 
 
-def _pool_worker(payload: Tuple[RunSpec, bool]
+def _short_verdict(result: RunResult) -> str:
+    """Best-effort one-line bottleneck verdict for progress events."""
+    try:
+        # Imported lazily: repro.analysis depends on repro.exec siblings.
+        from ..analysis import verdict_from_result
+
+        return verdict_from_result(result).describe()
+    except Exception:
+        return ""
+
+
+#: per-worker progress queue, installed by the pool initializer
+_PROGRESS_QUEUE: Optional[Any] = None
+
+
+def _pool_init(queue: Any) -> None:
+    """Pool initializer: give this worker the parent's progress queue."""
+    global _PROGRESS_QUEUE
+    _PROGRESS_QUEUE = queue
+
+
+def _run_payload(spec: RunSpec, want_telemetry: bool, index: int,
+                 digest: str,
+                 emit: Optional[ProgressCallback]
+                 ) -> Tuple[RunResult, Optional[Dict[str, Any]]]:
+    """Execute one spec, optionally narrating progress through ``emit``."""
+    if emit is None:
+        # The pre-streaming path, untouched: no hub unless telemetry is
+        # wanted, no sinks, no clock reads.
+        hub = Telemetry(enabled=True) if want_telemetry else None
+        result = execute_spec(spec, telemetry=hub)
+        return result, (hub.snapshot() if hub is not None else None)
+
+    worker = multiprocessing.current_process().name
+    hub = Telemetry(enabled=want_telemetry)
+    sink = FrameProgressSink(emit, index, digest, spec.frames,
+                             worker=worker)
+    hub.add_sink(sink)
+    emit(state_event("running", index, digest, worker=worker,
+                     frames_total=spec.frames))
+    t0 = time.perf_counter()
+    try:
+        result = execute_spec(spec, telemetry=hub)
+    except BaseException as exc:
+        emit(state_event("failed", index, digest, worker=worker,
+                         wall_s=time.perf_counter() - t0,
+                         error=repr(exc)))
+        raise
+    finally:
+        hub.remove_sink(sink)
+    emit(state_event("done", index, digest, worker=worker,
+                     wall_s=time.perf_counter() - t0,
+                     frames_done=sink.frames_done,
+                     frames_total=spec.frames,
+                     verdict=_short_verdict(result)))
+    return result, (hub.snapshot() if want_telemetry else None)
+
+
+def _pool_worker(payload: Tuple[RunSpec, bool, int, str, bool]
                  ) -> Tuple[RunResult, Optional[Dict[str, Any]]]:
     """Top-level worker entry point (must be picklable for ``spawn``)."""
-    spec, want_telemetry = payload
-    hub = Telemetry(enabled=True) if want_telemetry else None
-    result = execute_spec(spec, telemetry=hub)
-    return result, (hub.snapshot() if hub is not None else None)
+    spec, want_telemetry, index, digest, stream = payload
+    emit: Optional[ProgressCallback] = None
+    if stream and _PROGRESS_QUEUE is not None:
+        emit = _PROGRESS_QUEUE.put
+    return _run_payload(spec, want_telemetry, index, digest, emit)
+
+
+def _drain_progress(queue: Any, callback: Optional[ProgressCallback]
+                    ) -> None:
+    """Forward worker events to the callback until the ``None`` sentinel.
+
+    Callback failures are swallowed: progress display must never be
+    able to wedge or kill the sweep itself.
+    """
+    while True:
+        event = queue.get()
+        if event is None:
+            return
+        if callback is None:
+            continue
+        try:
+            callback(event)
+        except Exception:
+            pass
 
 
 @dataclass
@@ -229,13 +319,23 @@ class SweepExecutor:
     telemetry:
         Optional parent hub.  Each executed run gets a private enabled
         hub; its events and counters merge back in submission order.
+    progress:
+        Optional :class:`~repro.obsv.progress.ProgressCallback`.  When
+        set, every point's lifecycle (``queued``/``running``/``cached``/
+        ``done``/``failed``) plus frame heartbeats stream to it live —
+        from worker processes over a multiprocessing queue drained on a
+        parent thread.  Purely observational: results are bit-identical
+        with or without it, and ``None`` (default) keeps the exact
+        pre-streaming execution path.
     """
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
-                 telemetry: Optional[Telemetry] = None) -> None:
+                 telemetry: Optional[Telemetry] = None,
+                 progress: Optional[ProgressCallback] = None) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.telemetry = telemetry
+        self.progress = progress
         #: cumulative over every .run() of this executor
         self.stats = ExecutionStats()
         #: stats of the most recent .run() only
@@ -253,6 +353,16 @@ class SweepExecutor:
         digests = self.digests(specs)
         stats = ExecutionStats()
         results: List[Optional[RunResult]] = [None] * len(specs)
+        progress = self.progress
+        log = EVENT_LOG
+        if progress is not None:
+            progress(sweep_event("start", len(specs)))
+            for i, digest in enumerate(digests):
+                progress(state_event("queued", i, digest,
+                                     frames_total=specs[i].frames))
+        if log.enabled:
+            log.info("exec.sweep.start", points=len(specs), jobs=self.jobs,
+                     cache=self.cache is not None)
 
         pending: List[int] = []
         for i, digest in enumerate(digests):
@@ -260,13 +370,27 @@ class SweepExecutor:
             if cached is not None:
                 results[i] = cached
                 stats.hits += 1
+                if progress is not None:
+                    progress(state_event("cached", i, digest,
+                                         frames_total=specs[i].frames))
+                if log.enabled:
+                    log.info("run.cached", digest=digest, index=i)
             else:
                 pending.append(i)
                 stats.misses += 1
 
         want_telemetry = (self.telemetry is not None
                           and self.telemetry.enabled)
-        outputs = self._execute([specs[i] for i in pending], want_telemetry)
+        try:
+            outputs = self._execute(
+                [(i, specs[i], digests[i]) for i in pending], want_telemetry)
+        except BaseException:
+            if progress is not None:
+                progress(sweep_event("finish", len(specs)))
+            if log.enabled:
+                log.error("exec.sweep.abort", points=len(specs),
+                          pending=len(pending))
+            raise
 
         for i, (result, snapshot) in zip(pending, outputs):
             results[i] = result
@@ -275,7 +399,15 @@ class SweepExecutor:
                 self.cache.put(digests[i], specs[i].as_dict(), result)
             if snapshot is not None and self.telemetry is not None:
                 self.telemetry.ingest(snapshot)
+            if log.enabled:
+                log.info("run.executed", digest=digests[i], index=i,
+                         walkthrough_s=result.walkthrough_seconds)
 
+        if progress is not None:
+            progress(sweep_event("finish", len(specs)))
+        if log.enabled:
+            log.info("exec.sweep.finish", points=len(specs),
+                     hits=stats.hits, executed=stats.executed)
         self.last_stats = stats
         self.stats.merge(stats)
         return results  # type: ignore[return-value]
@@ -284,20 +416,43 @@ class SweepExecutor:
         """Convenience wrapper: a one-point sweep."""
         return self.run([spec])[0]
 
-    def _execute(self, specs: List[RunSpec], want_telemetry: bool
+    def _execute(self, work: List[Tuple[int, RunSpec, str]],
+                 want_telemetry: bool
                  ) -> List[Tuple[RunResult, Optional[Dict[str, Any]]]]:
-        payloads = [(spec, want_telemetry) for spec in specs]
-        if self.jobs == 1 or len(specs) <= 1:
-            return [_pool_worker(p) for p in payloads]
+        stream = self.progress is not None
+        if self.jobs == 1 or len(work) <= 1:
+            return [_run_payload(spec, want_telemetry, i, digest,
+                                 self.progress)
+                    for i, spec, digest in work]
+        payloads = [(spec, want_telemetry, i, digest, stream)
+                    for i, spec, digest in work]
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn")
-        workers = min(self.jobs, len(specs))
-        with ctx.Pool(processes=workers) as pool:
-            # map() preserves submission order; chunksize 1 load-balances
-            # heterogeneous points (a 7-pipeline run outweighs a 1-pipeline
-            # run several-fold).
-            return pool.map(_pool_worker, payloads, chunksize=1)
+        workers = min(self.jobs, len(work))
+        queue: Optional[Any] = None
+        drain: Optional[threading.Thread] = None
+        if stream:
+            # Workers put ProgressEvents here; a parent daemon thread
+            # forwards them to the callback while pool.map blocks below.
+            queue = ctx.Queue()
+            drain = threading.Thread(
+                target=_drain_progress, args=(queue, self.progress),
+                name="repro-progress-drain", daemon=True)
+            drain.start()
+        try:
+            with ctx.Pool(processes=workers,
+                          initializer=_pool_init if stream else None,
+                          initargs=(queue,) if stream else ()) as pool:
+                # map() preserves submission order; chunksize 1
+                # load-balances heterogeneous points (a 7-pipeline run
+                # outweighs a 1-pipeline run several-fold).
+                return pool.map(_pool_worker, payloads, chunksize=1)
+        finally:
+            if queue is not None:
+                queue.put(None)  # sentinel: stream closed
+                assert drain is not None
+                drain.join(timeout=10)
 
     def __repr__(self) -> str:
         return (f"<SweepExecutor jobs={self.jobs} "

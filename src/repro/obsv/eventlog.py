@@ -1,0 +1,201 @@
+"""Structured JSONL operational event log.
+
+The telemetry hub (:mod:`repro.telemetry`) records what happens *inside
+simulated time*; this module records what the tooling does in *host
+time*: runs starting and finishing, sweeps scheduling points, cache
+hits, workers heartbeating.  Every record is one JSON object per line —
+the format ``scripts/validate_trace.py --eventlog`` checks and any log
+shipper can ingest.
+
+Record schema (version :data:`LOG_SCHEMA`)
+------------------------------------------
+Required keys on every record:
+
+* ``v`` — schema version;
+* ``ts`` — seconds from a monotonic host clock (never goes backwards
+  within one process, not wall time: differences are durations,
+  absolutes are opaque);
+* ``pid`` — the writing process (forked sweep workers append to the
+  shared file; group by pid before comparing timestamps);
+* ``level`` — one of :data:`LEVELS`;
+* ``event`` — dotted event name (``exec.sweep.start``, ``run.finish``).
+
+Run-scoped records — every event whose name starts with ``run.`` —
+additionally carry ``digest``, the :class:`~repro.exec.RunSpec` content
+address, so log lines join against the result cache and metrics
+snapshots.  Free-form fields ride alongside.
+
+Determinism
+-----------
+This module reads the host clock, which is exactly why it lives outside
+the ``DETERMINISTIC_PACKAGES`` fence (see
+:mod:`repro.analysis.lints.rules`).  Instrumented subsystems inside the
+fence never read the clock themselves: they hand fields to a logger and
+*it* stamps ``ts`` — e.g. :class:`~repro.sim.Simulator` exposes a
+duck-typed ``obs_log`` attribute this module's :class:`EventLog`
+satisfies.
+
+The process-wide logger (:data:`EVENT_LOG`) starts disabled; a disabled
+logger costs one attribute check per call site.  ``repro sweep --log
+FILE`` (and friends) enable it via :func:`configure_event_log`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import IO, Any, Dict, Optional, Union
+
+__all__ = ["LOG_SCHEMA", "LEVELS", "EventLog", "EVENT_LOG",
+           "configure_event_log", "reset_event_log"]
+
+#: JSONL record schema version (bump on incompatible key changes)
+LOG_SCHEMA = 1
+
+#: severity levels, least to most severe
+LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+class EventLog:
+    """A leveled, JSONL-emitting operational logger.
+
+    Parameters
+    ----------
+    stream:
+        Where records go (any ``.write(str)`` target).  ``None`` keeps
+        the logger disabled: every call returns after one check.
+    level:
+        Minimum severity to emit (default ``"info"``).
+    context:
+        Fields merged into every record (e.g. ``{"digest": ...}``).
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None,
+                 level: str = "info",
+                 context: Optional[Dict[str, Any]] = None) -> None:
+        if level not in _LEVEL_RANK:
+            raise ValueError(f"unknown level {level!r}; choose from {LEVELS}")
+        self._stream = stream
+        self._min_rank = _LEVEL_RANK[level]
+        self._context: Dict[str, Any] = dict(context or {})
+        self._lock = threading.Lock()
+        #: monotonic stamp source (overridable in tests)
+        self._clock = time.monotonic
+
+    # -- state -------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """True when records have somewhere to go."""
+        return self._stream is not None
+
+    def open(self, stream: IO[str], level: str = "info") -> None:
+        """(Re)target the logger at ``stream``."""
+        if level not in _LEVEL_RANK:
+            raise ValueError(f"unknown level {level!r}; choose from {LEVELS}")
+        with self._lock:
+            self._stream = stream
+            self._min_rank = _LEVEL_RANK[level]
+
+    def close(self) -> None:
+        """Disable the logger (closes a stream it owns a ``close`` on)."""
+        with self._lock:
+            stream, self._stream = self._stream, None
+        if stream is not None and not getattr(stream, "closed", True):
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+    def bind(self, **context: Any) -> "EventLog":
+        """A child logger whose records carry extra context fields.
+
+        The child shares the parent's stream, level, clock and lock, so
+        binding is cheap and records interleave safely.
+        """
+        child = EventLog.__new__(EventLog)
+        child._stream = self._stream
+        child._min_rank = self._min_rank
+        child._context = {**self._context, **context}
+        child._lock = self._lock
+        child._clock = self._clock
+        # A bound child is a snapshot of the parent's target; it tracks
+        # the parent so configure-after-bind still works.
+        child._parent = self  # type: ignore[attr-defined]
+        return child
+
+    # -- emission ----------------------------------------------------------
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        """Emit one record (no-op when disabled or below the level)."""
+        parent = getattr(self, "_parent", None)
+        stream = (parent._stream if parent is not None else self._stream)
+        if stream is None:
+            return
+        rank = _LEVEL_RANK.get(level)
+        if rank is None:
+            raise ValueError(f"unknown level {level!r}; choose from {LEVELS}")
+        min_rank = (parent._min_rank if parent is not None
+                    else self._min_rank)
+        if rank < min_rank:
+            return
+        # pid is stamped per record (not per logger): forked sweep
+        # workers inherit the configured logger and append to the same
+        # file, and per-pid grouping is what keeps the monotonic-ts
+        # check meaningful across interleaved writers.
+        record: Dict[str, Any] = {"v": LOG_SCHEMA, "ts": self._clock(),
+                                  "pid": os.getpid(),
+                                  "level": level, "event": event}
+        record.update(self._context)
+        record.update(fields)
+        if event.startswith("run.") and "digest" not in record:
+            raise ValueError(
+                f"run-scoped record {event!r} must carry a digest "
+                f"(bind(digest=...) or pass digest=)")
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            stream.write(line + "\n")
+            flush = getattr(stream, "flush", None)
+            if flush is not None:
+                flush()
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return f"<EventLog {state} context={sorted(self._context)}>"
+
+
+#: The process-wide operational logger.  Disabled until
+#: :func:`configure_event_log` points it somewhere; instrumented call
+#: sites go through it unconditionally (one ``enabled`` check each).
+EVENT_LOG = EventLog()
+
+
+def configure_event_log(path_or_stream: Union[str, "os.PathLike[str]",
+                                              IO[str]],
+                        level: str = "info") -> EventLog:
+    """Point :data:`EVENT_LOG` at a file path or open stream."""
+    if isinstance(path_or_stream, (str, os.PathLike)):
+        stream: IO[str] = open(path_or_stream, "a", encoding="utf-8")
+    else:
+        stream = path_or_stream
+    EVENT_LOG.open(stream, level=level)
+    return EVENT_LOG
+
+
+def reset_event_log() -> None:
+    """Disable :data:`EVENT_LOG` again (tests, end of a CLI command)."""
+    EVENT_LOG.close()

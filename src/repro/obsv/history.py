@@ -1,0 +1,225 @@
+"""Benchmark history (``BENCH_history.jsonl``) and trend detection.
+
+``BENCH_endtoend.json`` / ``BENCH_sweep.json`` hold one committed
+measurement each; the *trajectory* between commits was invisible.  The
+benchmarks now also append schema-versioned records here, and ``repro
+bench trend`` reads the last N records per bench to detect regressions
+— the same :class:`~repro.analysis.metrics_snapshot.Tolerances` glob
+rules the metrics gate uses, applied one-sided (every recorded metric
+is lower-is-better wall time, so only increases regress).
+
+Record schema (version :data:`HISTORY_SCHEMA`)
+----------------------------------------------
+One JSON object per line::
+
+    {"schema": 1, "bench": "endtoend", "recorded": "2026-08-08T12:00:00Z",
+     "metrics": {"median_ms": 117.9, ...}, "meta": {"runs": 9, ...}}
+
+``metrics`` values must be finite numbers and lower-is-better;
+informational context (cpu counts, event totals, speedups) belongs in
+``meta``.  Records with a *newer* schema than this code fail loudly —
+silently reinterpreting a future format is how gates rot.
+
+Trend semantics
+---------------
+For each bench, the newest record is *current* and the **median of the
+preceding records in the window** is the baseline — a single noisy
+historical sample should neither mask nor fake a regression.  A metric
+regresses when ``current - baseline`` exceeds the tolerance for
+``{bench}.{metric}`` (default: 10% relative).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import math
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..analysis.metrics_snapshot import Tolerances
+
+__all__ = ["HISTORY_SCHEMA", "DEFAULT_WINDOW", "append_history",
+           "load_history", "TrendDelta", "TrendReport", "trend_report",
+           "default_trend_tolerances"]
+
+#: JSONL record schema version
+HISTORY_SCHEMA = 1
+
+#: how many records (per bench) the trend looks back over
+DEFAULT_WINDOW = 10
+
+
+def default_trend_tolerances() -> Tolerances:
+    """10% relative slack on every bench metric, absent explicit rules."""
+    return Tolerances(default_rel=0.10)
+
+
+def append_history(path: Union[str, Path], bench: str,
+                   metrics: Dict[str, float],
+                   meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Append one record; returns the record written."""
+    if not bench:
+        raise ValueError("bench name must be non-empty")
+    clean: Dict[str, float] = {}
+    for name, value in sorted(metrics.items()):
+        number = float(value)
+        if not math.isfinite(number):
+            raise ValueError(f"metric {bench}.{name} is not finite: {value!r}")
+        clean[name] = number
+    if not clean:
+        raise ValueError("need at least one metric")
+    record = {
+        "schema": HISTORY_SCHEMA,
+        "bench": bench,
+        "recorded": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "metrics": clean,
+        "meta": dict(meta or {}),
+    }
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def load_history(path: Union[str, Path],
+                 bench: Optional[str] = None) -> List[Dict[str, Any]]:
+    """All records (optionally one bench), in file (= chronological) order.
+
+    A missing file is an empty history.  Malformed lines and records
+    from a *newer* schema raise ``ValueError`` — the file is an
+    append-only contract, not a best-effort scratchpad.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+        if not isinstance(record, dict):
+            raise ValueError(f"{path}:{lineno}: record is not an object")
+        schema = record.get("schema")
+        if not isinstance(schema, int) or schema > HISTORY_SCHEMA:
+            raise ValueError(
+                f"{path}:{lineno}: unsupported schema {schema!r} "
+                f"(this build reads <= {HISTORY_SCHEMA})")
+        if not isinstance(record.get("bench"), str) or not record["bench"]:
+            raise ValueError(f"{path}:{lineno}: missing bench name")
+        if not isinstance(record.get("metrics"), dict):
+            raise ValueError(f"{path}:{lineno}: missing metrics object")
+        if bench is None or record["bench"] == bench:
+            records.append(record)
+    return records
+
+
+@dataclass
+class TrendDelta:
+    """One metric of one bench, current vs the windowed baseline."""
+
+    bench: str
+    metric: str
+    baseline: float
+    current: float
+    allowed: float
+    samples: int
+
+    @property
+    def delta(self) -> float:
+        return self.current - self.baseline
+
+    @property
+    def regressed(self) -> bool:
+        """One-sided: only an *increase* beyond the allowance regresses."""
+        return self.delta > self.allowed
+
+    def format(self) -> str:
+        arrow = "REGRESSED" if self.regressed else "ok"
+        rel = (self.delta / self.baseline * 100
+               if self.baseline else math.inf)
+        return (f"{self.bench}.{self.metric}: {self.baseline:.3f} -> "
+                f"{self.current:.3f} ({rel:+.1f}%, allowed "
+                f"+{self.allowed:.3f} over {self.samples} samples) {arrow}")
+
+
+@dataclass(frozen=True)
+class TrendReport:
+    """Outcome of one trend evaluation across benches."""
+
+    deltas: List[TrendDelta] = field(default_factory=list)
+    #: benches with fewer than 2 records (nothing to compare)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[TrendDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format_text(self, verbose: bool = False) -> str:
+        lines: List[str] = []
+        for delta in self.deltas:
+            if verbose or delta.regressed:
+                lines.append(delta.format())
+        for bench in self.skipped:
+            lines.append(f"{bench}: <2 records, nothing to compare")
+        lines.append(
+            f"{len(self.regressions)} regression(s) across "
+            f"{len(self.deltas)} metric(s)"
+            + (" — trend OK" if self.ok else ""))
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "skipped": list(self.skipped),
+            "deltas": [{
+                "bench": d.bench, "metric": d.metric,
+                "baseline": d.baseline, "current": d.current,
+                "allowed": d.allowed, "samples": d.samples,
+                "regressed": d.regressed,
+            } for d in self.deltas],
+        }
+
+
+def trend_report(records: List[Dict[str, Any]],
+                 tolerances: Optional[Tolerances] = None,
+                 window: int = DEFAULT_WINDOW) -> TrendReport:
+    """Compare each bench's newest record against its windowed median."""
+    if window < 2:
+        raise ValueError("window must be >= 2 (baseline needs history)")
+    tolerances = tolerances or default_trend_tolerances()
+    by_bench: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        by_bench.setdefault(record["bench"], []).append(record)
+
+    report = TrendReport()
+    for bench in sorted(by_bench):
+        chain = by_bench[bench][-window:]
+        if len(chain) < 2:
+            report.skipped.append(bench)
+            continue
+        current = chain[-1]["metrics"]
+        history = chain[:-1]
+        for metric in sorted(current):
+            past = [float(r["metrics"][metric]) for r in history
+                    if metric in r["metrics"]]
+            if not past:
+                continue  # metric is new in the latest record
+            baseline = statistics.median(past)
+            name = f"{bench}.{metric}"
+            report.deltas.append(TrendDelta(
+                bench=bench, metric=metric, baseline=baseline,
+                current=float(current[metric]),
+                allowed=tolerances.allowed(name, baseline),
+                samples=len(past)))
+    return report

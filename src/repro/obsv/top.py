@@ -1,0 +1,182 @@
+"""``repro top`` — a live, curses-free terminal dashboard.
+
+Renders a :class:`~repro.obsv.progress.FleetSnapshot` as a plain-ANSI
+frame: overall progress bar, per-worker rows with their current run and
+frame progress, cache statistics, throughput/ETA, and the bottleneck
+verdict of each finished run.  Redraws are whole-frame (cursor-home +
+erase-to-end), so any terminal that understands basic CSI sequences
+works and a dumb pipe just sees the final frame.
+
+Rendering is pure (snapshot in, string out) — the tests cover it
+without a terminal — and the :class:`TopDashboard` wrapper adds the
+throttled redraw loop the CLI drives from the executor's progress
+callback.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+from typing import IO, List, Optional
+
+from .progress import FleetAggregator, FleetSnapshot, RunProgress
+
+__all__ = ["render_top", "progress_bar", "TopDashboard"]
+
+#: ANSI bits (kept minimal on purpose)
+_HOME_CLEAR = "\x1b[H\x1b[J"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RED = "\x1b[31m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+_RESET = "\x1b[0m"
+
+_STATE_GLYPH = {
+    "queued": ".",
+    "running": ">",
+    "cached": "=",
+    "done": "#",
+    "failed": "!",
+}
+
+
+def progress_bar(done: int, total: int, width: int = 30) -> str:
+    """``[#####.....]`` — integer-safe, never over- or under-fills."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    inner = width - 2
+    if total <= 0:
+        return "[" + "." * inner + "]"
+    filled = min(inner, inner * done // total)
+    return "[" + "#" * filled + "." * (inner - filled) + "]"
+
+
+def _fmt_eta(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "--"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+def _paint(text: str, code: str, color: bool) -> str:
+    return f"{code}{text}{_RESET}" if color else text
+
+
+def _run_label(run: RunProgress) -> str:
+    digest = run.digest[:10] if run.digest else "?"
+    return f"#{run.index:<3d} {digest}"
+
+
+def render_top(snapshot: FleetSnapshot, width: int = 80,
+               color: bool = True, max_finished: int = 8) -> str:
+    """One dashboard frame for a fleet snapshot (pure function)."""
+    lines: List[str] = []
+    counts = snapshot.counts
+    completed = snapshot.completed
+    title = (f"repro top — {completed}/{snapshot.total} runs, "
+             f"{snapshot.elapsed_s:.1f}s elapsed")
+    lines.append(_paint(title, _BOLD, color))
+
+    bar = progress_bar(completed, snapshot.total, width=min(40, width - 30))
+    pct = (100 * completed // snapshot.total) if snapshot.total else 0
+    lines.append(f"overall  {bar} {pct:3d}%   eta {_fmt_eta(snapshot.eta_s)}")
+
+    states = "  ".join(
+        f"{state}:{counts.get(state, 0)}"
+        for state in ("queued", "running", "cached", "done", "failed"))
+    lines.append(f"states   {states}")
+    lines.append(
+        f"cache    {snapshot.cache_hits} hit / "
+        f"{snapshot.cache_misses} miss    "
+        f"throughput {snapshot.throughput_runs_per_s:.2f} runs/s    "
+        + (f"util {snapshot.utilization * 100:.0f}%"
+           if snapshot.utilization is not None else "util --"))
+    if snapshot.frames_total:
+        lines.append(f"frames   {snapshot.frames_done}/"
+                     f"{snapshot.frames_total} completed")
+    lines.append("")
+
+    # -- workers -----------------------------------------------------------
+    lines.append(_paint("workers", _BOLD, color))
+    if not snapshot.workers:
+        lines.append(_paint("  (no progress events yet)", _DIM, color))
+    by_index = {run.index: run for run in snapshot.runs}
+    for worker in snapshot.workers:
+        if worker.current >= 0 and worker.current in by_index:
+            run = by_index[worker.current]
+            bar = progress_bar(run.frames_done, run.frames_total, width=22)
+            doing = (f"{_run_label(run)} {bar} "
+                     f"{run.frames_done}/{run.frames_total} frames")
+            doing = _paint(doing, _YELLOW, color)
+        else:
+            doing = _paint("idle", _DIM, color)
+        lines.append(f"  {worker.name:<12s} {worker.finished:3d} done  "
+                     f"{worker.busy_s:7.2f}s busy  {doing}")
+    lines.append("")
+
+    # -- finished runs with verdicts --------------------------------------
+    finished = [r for r in snapshot.runs
+                if r.state in ("done", "failed") and (r.verdict or r.error)]
+    if finished:
+        lines.append(_paint("finished (latest verdicts)", _BOLD, color))
+        for run in finished[-max_finished:]:
+            if run.state == "failed":
+                note = _paint(f"FAILED {run.error}", _RED, color)
+            else:
+                note = _paint(run.verdict, _GREEN, color)
+            lines.append(f"  {_run_label(run)} {run.wall_s:7.2f}s  {note}")
+    if snapshot.finished:
+        lines.append("")
+        lines.append(_paint("sweep finished", _BOLD, color))
+    return "\n".join(lines) + "\n"
+
+
+class TopDashboard:
+    """Throttled whole-frame redraw driven by aggregator updates.
+
+    Attach :meth:`on_update` as the aggregator's ``on_update`` hook (or
+    call it yourself); it re-renders at most every ``interval`` seconds
+    plus once on :meth:`finish`.
+    """
+
+    def __init__(self, aggregator: FleetAggregator,
+                 stream: Optional[IO[str]] = None,
+                 interval: float = 0.25, width: int = 80,
+                 color: Optional[bool] = None) -> None:
+        self.aggregator = aggregator
+        self.stream = stream if stream is not None else sys.stdout
+        self.interval = interval
+        self.width = width
+        if color is None:
+            color = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.color = color
+        self._last_draw = -math.inf  # first update always draws
+        self.frames_drawn = 0
+
+    def on_update(self, _aggregator: FleetAggregator) -> None:
+        now = time.monotonic()
+        if now - self._last_draw < self.interval:
+            return
+        self._last_draw = now
+        self.draw()
+
+    def draw(self) -> None:
+        frame = render_top(self.aggregator.snapshot(), width=self.width,
+                           color=self.color)
+        if self.color:
+            self.stream.write(_HOME_CLEAR + frame)
+        else:
+            self.stream.write(frame)
+        flush = getattr(self.stream, "flush", None)
+        if flush is not None:
+            flush()
+        self.frames_drawn += 1
+
+    def finish(self) -> None:
+        """Draw the final frame unconditionally."""
+        self.draw()

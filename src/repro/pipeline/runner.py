@@ -23,6 +23,7 @@ from typing import Any, List, Optional
 import numpy as np
 
 from ..host import MCPC, MCPCConfig, UDPChannel, UDPConfig, VisualizationClient
+from ..obsv.eventlog import EVENT_LOG
 from ..rcce import RCCEComm
 from ..scc import SCCChip, SCCConfig
 from ..sim import Simulator, Store
@@ -143,9 +144,14 @@ class PipelineRunner:
         self.mcpc_config = mcpc_config
         #: True when every result-determining input is declarative, i.e.
         #: the run is expressible as a :class:`repro.exec.RunSpec` and
-        #: therefore shardable/cacheable (no live object overrides)
+        #: therefore shardable/cacheable (no live object overrides).  The
+        #: process-wide memoized workload counts as declarative: it is
+        #: exactly what the runner builds itself, just shared (identity
+        #: check, so a custom workload object still disqualifies).
         self.spec_exact = (chip_config is None and cost is None
-                          and mcpc_config is None and workload is None)
+                          and mcpc_config is None
+                          and (workload is None or workload is
+                               default_workload(self.frames, image_side)))
         self.payload_mode = payload_mode
         self.power_trace_dt = power_trace_dt
         self.seed = seed
@@ -194,6 +200,21 @@ class PipelineRunner:
             placement=self.placement_override,
         )
 
+    def _log_digest(self) -> str:
+        """Cache-identity digest for event-log context.
+
+        Empty when the runner carries live overrides a spec cannot hash
+        — the log record then still carries the ``digest`` key, just
+        blank, which keeps ``run.*`` records schema-valid.
+        """
+        if not self.spec_exact:
+            return ""
+        try:
+            from ..exec import engine_fingerprint
+            return self.spec().digest(engine_fingerprint())
+        except Exception:
+            return ""
+
     # -- build ------------------------------------------------------------
     def _build_placement(self) -> Placement:
         if self.placement_override is not None:
@@ -213,6 +234,13 @@ class PipelineRunner:
     def run(self) -> RunResult:
         """Simulate the walkthrough and return the metrics."""
         sim = Simulator()
+        obs = None
+        if EVENT_LOG.enabled:
+            obs = EVENT_LOG.bind(digest=self._log_digest())
+            obs.info("run.start", config=self.config,
+                     pipelines=self.pipelines, frames=self.frames,
+                     arrangement=self.arrangement)
+            sim.obs_log = obs
         telemetry = self.telemetry or Telemetry(enabled=False)
         suite = self.sanitizers
         if suite is not None:
@@ -287,7 +315,11 @@ class PipelineRunner:
         self.last_viewer = ctx.viewer
         self.last_trace = ctx.trace
         self.last_telemetry = telemetry
-        return self._summarize(ctx, placement, end)
+        result = self._summarize(ctx, placement, end)
+        if obs is not None:
+            obs.info("run.finish", walkthrough_s=result.walkthrough_seconds,
+                     sim_events=sim.event_count)
+        return result
 
     def _build_parallel(self, ctx: StageContext,
                         placement: Placement) -> List[Stage]:

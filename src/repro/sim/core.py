@@ -65,6 +65,10 @@ class Simulator:
         # set, run() switches to a checked loop; the fast loop is
         # untouched, so sanitizer-off runs pay nothing.
         self._sanitizer: Optional[Any] = None
+        # Optional operational event log (duck-typed repro.obsv.EventLog;
+        # set by PipelineRunner so the kernel never imports repro.obsv).
+        # Consulted only at run() entry/exit — never inside the loop.
+        self.obs_log: Optional[Any] = None
 
     # -- introspection -----------------------------------------------------
     @property
@@ -229,6 +233,10 @@ class Simulator:
         getref = getattr(sys, "getrefcount", None)
         pop = heappop
         san = self._sanitizer
+        obs = self.obs_log
+        if obs is not None and obs.enabled:
+            obs.debug("sim.run.enter", sim_now=self._now,
+                      pending=len(queue))
         processed = 0
         try:
             if san is not None:
@@ -280,6 +288,9 @@ class Simulator:
             return stop_exc.args[0] if stop_exc.args else None
         finally:
             self._event_count += processed
+            if obs is not None and obs.enabled:
+                obs.debug("sim.run.exit", sim_now=self._now,
+                          events=processed)
 
         if until_event is not None:
             raise DeadlockError(

@@ -94,7 +94,7 @@ def test_set_iteration_flagged():
     findings = lint("""\
         def f(xs):
             for x in {a for a in xs}:
-                print(x)
+                use(x)
         """)
     assert rules_of(findings) == ["DET004"]
 
@@ -103,7 +103,7 @@ def test_sorted_set_iteration_clean():
     assert lint("""\
         def f(xs):
             for x in sorted({a for a in xs}):
-                print(x)
+                use(x)
         """) == []
 
 
@@ -112,7 +112,7 @@ def test_listdir_iteration_flagged():
         import os
         def f():
             for name in os.listdir('.'):
-                print(name)
+                use(name)
         """)
     assert rules_of(findings) == ["DET004"]
 
@@ -201,6 +201,40 @@ def test_dynamic_metric_tail_with_known_root_clean():
     assert lint("""\
         def f(metrics, kind):
             metrics.add_metric(f"stage.{kind}.busy_s", 1.0)
+        """) == []
+
+
+# -- OBS001: direct print in library code ------------------------------------
+
+def test_print_in_library_code_flagged():
+    findings = lint("""\
+        def f(x):
+            print("progress:", x)
+        """)
+    assert rules_of(findings) == ["OBS001"]
+    assert "event log" in findings[0].message
+
+
+def test_print_allowed_on_cli_and_report_surfaces():
+    source = """\
+        def f(x):
+            print(x)
+        """
+    for module, path in [
+        ("repro.cli", "src/repro/cli.py"),
+        ("repro.report.tables", "src/repro/report/tables.py"),
+        ("repro.obsv.top", "src/repro/obsv/top.py"),
+        ("benchmarks.bench_x", "benchmarks/bench_x.py"),
+    ]:
+        engine = LintEngine(default_rules())
+        assert engine.check_source(textwrap.dedent(source), path=path,
+                                   module=module) == [], module
+
+
+def test_print_method_calls_are_not_flagged():
+    assert lint("""\
+        def f(doc):
+            doc.print("hello")  # a method named print is fine
         """) == []
 
 

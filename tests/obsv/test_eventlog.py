@@ -1,0 +1,141 @@
+"""The structured JSONL operational event log."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obsv import (EVENT_LOG, LEVELS, LOG_SCHEMA, EventLog,
+                        configure_event_log, reset_event_log)
+
+
+def records(buf: io.StringIO) -> list:
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+def test_disabled_logger_writes_nothing_and_costs_one_check():
+    log = EventLog()
+    assert not log.enabled
+    log.info("exec.sweep.start", points=3)  # must be a silent no-op
+    log.error("run.finish", digest="d")
+
+
+def test_records_carry_required_keys_and_schema():
+    buf = io.StringIO()
+    log = EventLog(buf)
+    log.info("exec.sweep.start", points=2)
+    (rec,) = records(buf)
+    assert rec["v"] == LOG_SCHEMA
+    assert rec["level"] == "info"
+    assert rec["event"] == "exec.sweep.start"
+    assert rec["points"] == 2
+    assert isinstance(rec["ts"], float)
+    assert isinstance(rec["pid"], int)
+
+
+def test_timestamps_are_monotonic_within_a_process():
+    buf = io.StringIO()
+    log = EventLog(buf)
+    for i in range(50):
+        log.info("exec.tick", i=i)
+    ts = [r["ts"] for r in records(buf)]
+    assert ts == sorted(ts)
+
+
+def test_level_threshold_filters_below():
+    buf = io.StringIO()
+    log = EventLog(buf, level="warning")
+    log.debug("exec.a")
+    log.info("exec.b")
+    log.warning("exec.c")
+    log.error("exec.d")
+    assert [r["event"] for r in records(buf)] == ["exec.c", "exec.d"]
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError, match="unknown level"):
+        EventLog(io.StringIO(), level="verbose")
+    log = EventLog(io.StringIO())
+    with pytest.raises(ValueError, match="unknown level"):
+        log.log("loud", "exec.x")
+
+
+def test_run_scoped_records_require_digest():
+    log = EventLog(io.StringIO())
+    with pytest.raises(ValueError, match="digest"):
+        log.info("run.start", config="one_renderer")
+    log.info("run.start", digest="abc")  # fine with digest
+    log.info("run.other", digest="")  # an empty digest is still present
+
+
+def test_bind_merges_context_into_every_record():
+    buf = io.StringIO()
+    log = EventLog(buf)
+    child = log.bind(digest="d123", index=4)
+    child.info("run.start")
+    child.info("run.finish", walkthrough_s=1.5)
+    recs = records(buf)
+    assert all(r["digest"] == "d123" and r["index"] == 4 for r in recs)
+    assert recs[1]["walkthrough_s"] == 1.5
+
+
+def test_bind_tracks_parent_reconfiguration():
+    log = EventLog()  # disabled
+    child = log.bind(digest="d")
+    child.info("run.start")  # no-op while parent disabled
+    buf = io.StringIO()
+    log.open(buf)
+    child.info("run.finish")  # child follows the parent's new stream
+    assert [r["event"] for r in records(buf)] == ["run.finish"]
+
+
+def test_records_are_one_compact_json_object_per_line():
+    buf = io.StringIO()
+    log = EventLog(buf)
+    log.info("exec.sweep.start", z=1, a=2)
+    (line,) = buf.getvalue().splitlines()
+    assert line == json.dumps(json.loads(line), sort_keys=True,
+                              separators=(",", ":"))
+
+
+def test_concurrent_writers_never_interleave_lines():
+    buf = io.StringIO()
+    log = EventLog(buf)
+
+    def write_many():
+        for i in range(200):
+            log.info("exec.tick", i=i, payload="x" * 64)
+
+    threads = [threading.Thread(target=write_many) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    recs = records(buf)  # every line parses -> no torn writes
+    assert len(recs) == 800
+
+
+def test_global_logger_configure_and_reset(tmp_path):
+    path = tmp_path / "events.jsonl"
+    configure_event_log(str(path))
+    try:
+        assert EVENT_LOG.enabled
+        EVENT_LOG.info("exec.sweep.start", points=1)
+    finally:
+        reset_event_log()
+    assert not EVENT_LOG.enabled
+    (rec,) = [json.loads(line) for line in
+              path.read_text().splitlines()]
+    assert rec["event"] == "exec.sweep.start"
+    # reconfiguring appends rather than truncating
+    configure_event_log(path)
+    try:
+        EVENT_LOG.info("exec.sweep.finish")
+    finally:
+        reset_event_log()
+    assert len(path.read_text().splitlines()) == 2
+
+
+def test_levels_catalog_is_ordered_least_to_most_severe():
+    assert LEVELS == ("debug", "info", "warning", "error")

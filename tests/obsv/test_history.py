@@ -1,0 +1,119 @@
+"""Benchmark history records and ``repro bench trend`` detection."""
+
+import json
+
+import pytest
+
+from repro.analysis.metrics_snapshot import Tolerances
+from repro.obsv import (HISTORY_SCHEMA, append_history, load_history,
+                        trend_report)
+
+
+def test_append_and_load_round_trip(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    rec = append_history(path, "endtoend", {"median_ms": 117.9},
+                         meta={"runs": 9})
+    assert rec["schema"] == HISTORY_SCHEMA
+    assert rec["recorded"].endswith("Z")
+    append_history(path, "sweep", {"parallel_warm_ms": 40.0})
+    records = load_history(path)
+    assert [r["bench"] for r in records] == ["endtoend", "sweep"]
+    assert load_history(path, bench="sweep") == [records[1]]
+
+
+def test_append_rejects_bad_input(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    with pytest.raises(ValueError, match="non-empty"):
+        append_history(path, "", {"ms": 1.0})
+    with pytest.raises(ValueError, match="not finite"):
+        append_history(path, "b", {"ms": float("inf")})
+    with pytest.raises(ValueError, match="at least one metric"):
+        append_history(path, "b", {})
+    assert not path.exists()  # nothing partial was written
+
+
+def test_load_missing_file_is_empty_history(tmp_path):
+    assert load_history(tmp_path / "absent.jsonl") == []
+
+
+def test_load_rejects_malformed_and_future_schema(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    path.write_text("not json\n")
+    with pytest.raises(ValueError, match="not JSON"):
+        load_history(path)
+    path.write_text(json.dumps({
+        "schema": HISTORY_SCHEMA + 1, "bench": "b",
+        "metrics": {"ms": 1.0}}) + "\n")
+    with pytest.raises(ValueError, match="unsupported schema"):
+        load_history(path)
+    path.write_text(json.dumps({"schema": HISTORY_SCHEMA,
+                                "bench": "b"}) + "\n")
+    with pytest.raises(ValueError, match="missing metrics"):
+        load_history(path)
+
+
+def history(*samples):
+    """Records for one bench, metrics {'ms': value} in order."""
+    return [{"schema": HISTORY_SCHEMA, "bench": "endtoend",
+             "recorded": "2026-08-08T00:00:00Z",
+             "metrics": {"ms": value}, "meta": {}} for value in samples]
+
+
+def test_trend_ok_within_tolerance():
+    report = trend_report(history(100.0, 102.0, 98.0, 101.0))
+    assert report.ok
+    (delta,) = report.deltas
+    assert delta.baseline == 100.0  # median of the preceding three
+    assert delta.current == 101.0
+    assert not delta.regressed
+
+
+def test_trend_flags_regression_and_exit_contract():
+    report = trend_report(history(100.0, 100.0, 125.0))
+    assert not report.ok
+    (delta,) = report.regressions
+    assert delta.current == 125.0 and delta.baseline == 100.0
+    assert "REGRESSED" in delta.format()
+
+
+def test_trend_is_one_sided_improvements_never_fail():
+    assert trend_report(history(100.0, 100.0, 10.0)).ok
+
+
+def test_trend_respects_explicit_tolerance_rules():
+    tol = Tolerances.from_dict(
+        {"rules": [{"pattern": "endtoend.ms", "rel": 0.5}]})
+    assert trend_report(history(100.0, 140.0), tolerances=tol).ok
+    tight = Tolerances.from_dict(
+        {"rules": [{"pattern": "endtoend.*", "abs": 1.0}]})
+    assert not trend_report(history(100.0, 140.0), tolerances=tight).ok
+
+
+def test_trend_skips_single_record_benches():
+    report = trend_report(history(100.0))
+    assert report.deltas == [] and report.skipped == ["endtoend"]
+    assert report.ok
+    assert "<2 records" in report.format_text()
+
+
+def test_trend_window_limits_lookback():
+    # Old fast samples fall out of a window of 3 (current + 2 baseline).
+    samples = history(10.0, 10.0, 100.0, 100.0, 101.0)
+    assert trend_report(samples, window=3).ok
+    assert not trend_report(samples, window=5).ok
+    with pytest.raises(ValueError, match="window"):
+        trend_report(samples, window=1)
+
+
+def test_trend_new_metric_in_latest_record_is_skipped():
+    records = history(100.0, 101.0)
+    records[-1]["metrics"]["fresh_ms"] = 5.0
+    report = trend_report(records)
+    assert [d.metric for d in report.deltas] == ["ms"]
+
+
+def test_report_as_dict_shape():
+    doc = trend_report(history(100.0, 125.0)).as_dict()
+    assert doc["ok"] is False
+    assert doc["deltas"][0]["regressed"] is True
+    assert doc["skipped"] == []

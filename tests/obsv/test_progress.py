@@ -1,0 +1,153 @@
+"""Progress events, the frame sink and the fleet aggregator."""
+
+import pickle
+
+import pytest
+
+from repro.obsv import (RUN_STATES, FleetAggregator, FrameProgressSink,
+                        ProgressEvent, fanout)
+from repro.obsv.progress import state_event, sweep_event
+from repro.telemetry import Telemetry
+
+
+def test_progress_event_is_picklable():
+    ev = state_event("running", 3, "abc", worker="w1", frames_total=40)
+    clone = pickle.loads(pickle.dumps(ev))
+    assert clone == ev
+
+
+def test_state_event_validates_state():
+    with pytest.raises(ValueError, match="unknown run state"):
+        state_event("exploded", 0, "d")
+    for state in RUN_STATES:
+        assert state_event(state, 0, "d").state == state
+
+
+def test_fanout_none_and_single_and_multi():
+    assert fanout() is None
+    assert fanout(None, None) is None
+    seen_a, seen_b = [], []
+    only = seen_a.append
+    assert fanout(only) is only  # no wrapper for one callback
+    multi = fanout(seen_a.append, None, seen_b.append)
+    ev = sweep_event("start", 5)
+    multi(ev)
+    assert seen_a == [ev] and seen_b == [ev]
+
+
+def test_frame_sink_counts_final_stage_busy_spans():
+    emitted = []
+    sink = FrameProgressSink(emitted.append, index=0, digest="d",
+                             frames_total=10, min_interval_s=0.0)
+    hub = Telemetry(enabled=False)  # sinks observe even when disabled
+    hub.add_sink(sink)
+    for frame in range(10):
+        t = float(frame)
+        hub.span("stage", "blur[0]", "busy", t, t + 0.1)  # not final
+        hub.span("stage", "transfer", "busy", t + 0.5, t + 0.6)
+    assert sink.frames_done == 10
+    assert emitted, "heartbeats must flow"
+    last = emitted[-1]
+    assert last.kind == "heartbeat"
+    assert last.frames_done == 10 and last.frames_total == 10
+
+
+def test_frame_sink_counts_single_core_track():
+    sink = FrameProgressSink(lambda e: None, 0, "d", frames_total=4)
+    hub = Telemetry(enabled=False)
+    hub.add_sink(sink)
+    for frame in range(4):
+        hub.span("stage", "single-core", "busy", frame, frame + 0.5)
+    assert sink.frames_done == 4
+
+
+def aggregate(events):
+    agg = FleetAggregator()
+    for ev in events:
+        agg.consume(ev)
+    return agg
+
+
+def test_aggregator_full_lifecycle_snapshot():
+    agg = aggregate([
+        sweep_event("start", 2),
+        state_event("queued", 0, "d0", frames_total=10),
+        state_event("queued", 1, "d1", frames_total=10),
+        state_event("running", 0, "d0", worker="w1", frames_total=10),
+        state_event("cached", 1, "d1", frames_total=10),
+        state_event("done", 0, "d0", worker="w1", wall_s=2.0,
+                    frames_done=10, frames_total=10, verdict="render"),
+        sweep_event("finish", 2),
+    ])
+    snap = agg.snapshot()
+    assert snap.total == 2
+    assert snap.counts["done"] == 1 and snap.counts["cached"] == 1
+    assert snap.completed == 2 and snap.finished
+    assert snap.cache_hits == 1 and snap.cache_misses == 1
+    assert snap.frames_done == 20
+    (worker,) = snap.workers  # queued/cached events grow no worker rows
+    assert worker.name == "w1"
+    assert worker.finished == 1 and worker.busy_s == 2.0
+    run0 = next(r for r in snap.runs if r.index == 0)
+    assert run0.verdict == "render" and run0.wall_s == 2.0
+
+
+def test_aggregator_failed_run_keeps_error_and_counts():
+    agg = aggregate([
+        sweep_event("start", 1),
+        state_event("queued", 0, "d0", frames_total=5),
+        state_event("running", 0, "d0", worker="w1", frames_total=5),
+        state_event("failed", 0, "d0", worker="w1", wall_s=0.3,
+                    error="RuntimeError('boom')"),
+    ])
+    snap = agg.snapshot()
+    assert snap.counts["failed"] == 1
+    assert snap.completed == 1
+    (run,) = snap.runs
+    assert run.error == "RuntimeError('boom')"
+
+
+def test_aggregator_ignores_state_regressions_after_terminal():
+    agg = aggregate([
+        state_event("running", 0, "d0", worker="w1"),
+        state_event("done", 0, "d0", worker="w1", wall_s=1.0),
+        state_event("running", 0, "d0", worker="w2"),  # late duplicate
+    ])
+    snap = agg.snapshot()
+    assert snap.counts["done"] == 1 and snap.counts["running"] == 0
+
+
+def test_aggregator_heartbeat_before_state_event():
+    agg = aggregate([
+        ProgressEvent(kind="heartbeat", ts=0.0, worker="w1", index=0,
+                      digest="d0", frames_done=3, frames_total=10),
+    ])
+    (run,) = agg.snapshot().runs
+    assert run.state == "running" and run.frames_done == 3
+
+
+def test_aggregator_eta_appears_after_first_completion():
+    agg = FleetAggregator()
+    agg.consume(sweep_event("start", 4))
+    for i in range(4):
+        agg.consume(state_event("queued", i, f"d{i}", frames_total=5))
+    assert agg.snapshot().eta_s is None  # nothing finished yet
+    agg.consume(state_event("running", 0, "d0", worker="w1"))
+    agg.consume(state_event("done", 0, "d0", worker="w1", wall_s=2.0))
+    eta = agg.snapshot().eta_s
+    assert eta == pytest.approx(3 * 2.0)  # 3 remaining x 2s / 1 lane
+
+
+def test_aggregator_on_update_hook_fires_per_event():
+    calls = []
+    agg = FleetAggregator(on_update=calls.append)
+    agg.consume(sweep_event("start", 1))
+    agg.consume(state_event("queued", 0, "d"))
+    assert calls == [agg, agg]
+
+
+def test_snapshot_is_a_copy_not_a_view():
+    agg = aggregate([state_event("running", 0, "d0", worker="w1")])
+    snap = agg.snapshot()
+    snap.runs[0].state = "tampered"
+    assert agg.snapshot().runs[0].state == "running"

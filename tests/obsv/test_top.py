@@ -1,0 +1,89 @@
+"""The pure dashboard renderer behind ``repro top``."""
+
+import io
+
+import pytest
+
+from repro.obsv import TopDashboard, progress_bar, render_top
+from repro.obsv.progress import (FleetAggregator, ProgressEvent, state_event,
+                                 sweep_event)
+
+
+def test_progress_bar_fills_proportionally():
+    assert progress_bar(0, 10, width=12) == "[..........]"
+    assert progress_bar(5, 10, width=12) == "[#####.....]"
+    assert progress_bar(10, 10, width=12) == "[##########]"
+
+
+def test_progress_bar_edge_cases():
+    assert progress_bar(0, 0, width=6) == "[....]"  # unknown total
+    assert progress_bar(99, 10, width=6) == "[####]"  # never overfills
+    with pytest.raises(ValueError, match="width"):
+        progress_bar(1, 2, width=1)
+
+
+def mid_sweep_aggregator():
+    agg = FleetAggregator()
+    agg.consume(sweep_event("start", 4))
+    for i in range(4):
+        agg.consume(state_event("queued", i, f"digest{i:02d}" * 4,
+                                frames_total=8))
+    agg.consume(state_event("cached", 3, "digest03" * 4, frames_total=8))
+    agg.consume(state_event("running", 0, "digest00" * 4, worker="w1",
+                            frames_total=8))
+    agg.consume(ProgressEvent(kind="heartbeat", ts=1.0, worker="w1", index=0,
+                              digest="digest00" * 4, frames_done=3,
+                              frames_total=8))
+    agg.consume(state_event("running", 1, "digest01" * 4, worker="w2",
+                            frames_total=8))
+    agg.consume(state_event("done", 1, "digest01" * 4, worker="w2",
+                            wall_s=2.5, frames_done=8, frames_total=8,
+                            verdict="mesh-bound"))
+    agg.consume(state_event("running", 2, "digest02" * 4, worker="w2",
+                            frames_total=8))
+    agg.consume(state_event("failed", 2, "digest02" * 4, worker="w2",
+                            wall_s=0.2, error="RuntimeError('boom')"))
+    return agg
+
+
+def test_render_top_shows_fleet_and_worker_rows():
+    frame = render_top(mid_sweep_aggregator().snapshot(), color=False)
+    assert "3/4 runs" in frame  # cached + done + failed completed
+    assert "queued:0  running:1  cached:1  done:1  failed:1" in frame
+    assert "cache    1 hit / 3 miss" in frame
+    assert "w1" in frame and "3/8 frames" in frame  # live heartbeat row
+    assert "mesh-bound" in frame
+    assert "FAILED RuntimeError('boom')" in frame
+    assert "sweep finished" not in frame
+
+
+def test_render_top_finished_footer_and_color_codes():
+    agg = mid_sweep_aggregator()
+    agg.consume(sweep_event("finish", 4))
+    plain = render_top(agg.snapshot(), color=False)
+    assert "sweep finished" in plain
+    assert "\x1b[" not in plain  # color=False is ANSI-free
+    assert "\x1b[1m" in render_top(agg.snapshot(), color=True)
+
+
+def test_render_top_empty_snapshot():
+    frame = render_top(FleetAggregator().snapshot(), color=False)
+    assert "(no progress events yet)" in frame
+    assert "eta --" in frame
+
+
+def test_dashboard_throttles_redraws_but_finish_always_draws():
+    agg = mid_sweep_aggregator()
+    out = io.StringIO()
+    dash = TopDashboard(agg, stream=out, interval=3600.0, color=False)
+    for _ in range(5):
+        dash.on_update(agg)
+    assert dash.frames_drawn == 1  # first draw, then throttled
+    dash.finish()
+    assert dash.frames_drawn == 2
+    assert "repro top" in out.getvalue()
+
+
+def test_dashboard_detects_non_tty_stream_as_colorless():
+    dash = TopDashboard(FleetAggregator(), stream=io.StringIO())
+    assert dash.color is False

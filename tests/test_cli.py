@@ -294,3 +294,72 @@ def test_diff_command_gate_cycle(tmp_path, capsys):
 
     # unreadable input: exit 2
     assert main(["diff", str(a), str(tmp_path / "nope.json")]) == 2
+
+
+def test_sweep_with_eventlog_and_metrics_endpoint(tmp_path, capsys):
+    import json
+    import urllib.request
+
+    log = tmp_path / "events.jsonl"
+    assert main(["sweep", "--config", "one_renderer", "--pipelines", "1",
+                 "--arrangements", "ordered", "--frames", "8", "--jobs", "1",
+                 "--no-cache", "--log", str(log)]) == 0
+    events = [json.loads(line) for line in log.read_text().splitlines()]
+    names = [e["event"] for e in events]
+    assert names[0] == "exec.sweep.start" and names[-1] == "exec.sweep.finish"
+    assert all("digest" in e for e in events
+               if e["event"].startswith("run."))
+
+    # --serve-metrics publishes the fleet during (and with --serve-hold,
+    # just after) the sweep; port 0 binds an ephemeral port.
+    assert main(["sweep", "--config", "one_renderer", "--pipelines", "1",
+                 "--arrangements", "ordered", "--frames", "8", "--jobs", "1",
+                 "--no-cache", "--serve-metrics", "0",
+                 "--serve-hold", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "/metrics" in out and "/healthz" in out
+
+
+def test_top_command_renders_dashboard(tmp_path, capsys):
+    assert main(["top", "--config", "one_renderer", "--pipelines", "1", "2",
+                 "--arrangements", "ordered", "--frames", "8",
+                 "--jobs", "1", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "repro top" in out
+    assert "sweep finished" in out
+
+
+def test_bench_trend_cycle(tmp_path, capsys):
+    import json
+
+    hist = tmp_path / "hist.jsonl"
+    record = {"schema": 1, "bench": "endtoend",
+              "recorded": "2026-08-08T00:00:00Z",
+              "metrics": {"median_ms": 100.0}, "meta": {}}
+    lines = [dict(record), dict(record)]
+    lines[1]["metrics"] = {"median_ms": 104.0}
+    hist.write_text("".join(json.dumps(r) + "\n" for r in lines))
+
+    # within the default 10% tolerance: exit 0
+    assert main(["bench", "trend", "--history", str(hist),
+                 "--verbose"]) == 0
+    assert "trend OK" in capsys.readouterr().out
+
+    # injected 25% regression: exit 1
+    lines[1]["metrics"] = {"median_ms": 125.0}
+    hist.write_text("".join(json.dumps(r) + "\n" for r in lines))
+    assert main(["bench", "trend", "--history", str(hist)]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+    # --json output carries the verdict
+    assert main(["bench", "trend", "--history", str(hist),
+                 "--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is False
+
+    # missing or malformed history: exit 2
+    assert main(["bench", "trend",
+                 "--history", str(tmp_path / "none.jsonl")]) == 2
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    assert main(["bench", "trend", "--history", str(bad)]) == 2
