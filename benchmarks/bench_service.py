@@ -1,0 +1,316 @@
+#!/usr/bin/env python
+"""Load benchmark of the simulation service front-end.
+
+Starts an in-process :class:`repro.service.ReproService` on loopback
+and drives it with threaded clients through three phases:
+
+* ``cold``      — N distinct tiny RunSpecs submitted concurrently and
+  long-polled to completion (admission + simulation + serialisation);
+* ``duplicate`` — M clients submit one identical spec while it is in
+  flight; the coalescing ratio is read back from ``/metrics`` and the
+  executor must have run the simulation exactly once;
+* ``warm``      — repeated ``GET /runs/<digest>`` of finished runs
+  (pure cache-hit serving; the latency budget that matters for a
+  dashboard polling the service).
+
+Records submit/GET latency percentiles per phase in
+``BENCH_service.json`` at the repository root and appends a
+schema-versioned trend record to ``BENCH_history.jsonl``.
+
+Modes
+-----
+``python benchmarks/bench_service.py``
+    Measure and print a comparison against the committed numbers.
+``--update``
+    Record the ``current`` block.
+``--check``
+    CI gate: exit non-zero when warm-GET p99 exceeds the committed
+    budget by more than ``--tolerance`` (default 3x — loopback
+    latencies on shared CI runners are noisy) or when any request
+    errored / the duplicate phase failed to coalesce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import _common  # noqa: F401  (bootstraps src/ onto sys.path)
+
+from repro.exec import ResultCache  # noqa: E402
+from repro.obsv import append_history  # noqa: E402
+from repro.obsv.promexpo import parse_prometheus_text  # noqa: E402
+from repro.service import ReproService, ServiceConfig  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_service.json"
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
+
+TINY = {"config": "one_renderer", "frames": 4, "image_side": 16}
+COLD_RUNS = 12
+DUPLICATE_CLIENTS = 24
+WARM_GETS = 200
+WARM_THREADS = 4
+
+
+def _request(method: str, url: str, doc=None, timeout: float = 30.0):
+    """Return (status, body_bytes); HTTP errors are statuses, not raises."""
+    data = json.dumps(doc).encode() if doc is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _percentiles(samples_ms):
+    ordered = sorted(samples_ms)
+
+    def pct(p):
+        idx = min(len(ordered) - 1, int(round(p / 100.0 * (len(ordered) - 1))))
+        return round(ordered[idx], 3)
+
+    return {"p50_ms": round(statistics.median(ordered), 3),
+            "p99_ms": pct(99), "max_ms": round(ordered[-1], 3)}
+
+
+def _phase_cold(url: str, errors: list) -> tuple[dict, list]:
+    """Distinct specs, submitted concurrently, polled to completion."""
+    submit_ms, complete_ms, digests = [], [], []
+    lock = threading.Lock()
+
+    def one(seed: int) -> None:
+        spec = dict(TINY, seed=seed)
+        t0 = time.perf_counter()
+        status, body = _request("POST", url + "/runs", spec)
+        t1 = time.perf_counter()
+        if status not in (200, 202):
+            with lock:
+                errors.append(f"cold submit -> {status}")
+            return
+        digest = json.loads(body)["digest"]
+        status, _ = _request("GET", f"{url}/runs/{digest}?wait=30")
+        t2 = time.perf_counter()
+        if status != 200:
+            with lock:
+                errors.append(f"cold result -> {status}")
+            return
+        with lock:
+            submit_ms.append((t1 - t0) * 1000.0)
+            complete_ms.append((t2 - t0) * 1000.0)
+            digests.append(digest)
+
+    threads = [threading.Thread(target=one, args=(seed,))
+               for seed in range(COLD_RUNS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return {"runs": COLD_RUNS,
+            "submit": _percentiles(submit_ms),
+            "complete": _percentiles(complete_ms)}, digests
+
+
+def _phase_duplicate(url: str, errors: list) -> dict:
+    """Identical spec from many clients at once: one run, N subscribers."""
+    spec = dict(TINY, seed=10_000)
+    statuses, submit_ms = [], []
+    lock = threading.Lock()
+    barrier = threading.Barrier(DUPLICATE_CLIENTS)
+
+    def one() -> None:
+        barrier.wait()
+        t0 = time.perf_counter()
+        status, body = _request("POST", url + "/runs", spec)
+        dt = (time.perf_counter() - t0) * 1000.0
+        doc = json.loads(body) if status in (200, 202) else {}
+        with lock:
+            submit_ms.append(dt)
+            statuses.append(doc.get("status", f"http_{status}"))
+
+    threads = [threading.Thread(target=one)
+               for _ in range(DUPLICATE_CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    digest = None
+    status, body = _request("POST", url + "/runs", spec)
+    if status in (200, 202):
+        digest = json.loads(body)["digest"]
+        status, _ = _request("GET", f"{url}/runs/{digest}?wait=30")
+    if status != 200:
+        errors.append(f"duplicate drain -> {status}")
+    accepted = statuses.count("accepted")
+    coalesced = statuses.count("coalesced") + statuses.count("cached")
+    if accepted > 1:
+        errors.append(f"duplicate phase ran {accepted} times")
+    return {"clients": DUPLICATE_CLIENTS, "accepted": accepted,
+            "coalesced_or_cached": coalesced,
+            "submit": _percentiles(submit_ms)}
+
+
+def _phase_warm(url: str, digests: list, errors: list) -> dict:
+    """Hammer finished digests: cache-hit GET latency."""
+    samples_ms = []
+    lock = threading.Lock()
+    per_thread = WARM_GETS // WARM_THREADS
+
+    def one(offset: int) -> None:
+        local = []
+        for i in range(per_thread):
+            digest = digests[(offset + i) % len(digests)]
+            t0 = time.perf_counter()
+            status, _ = _request("GET", f"{url}/runs/{digest}")
+            local.append((time.perf_counter() - t0) * 1000.0)
+            if status != 200:
+                with lock:
+                    errors.append(f"warm get -> {status}")
+                return
+        with lock:
+            samples_ms.extend(local)
+
+    threads = [threading.Thread(target=one, args=(k,))
+               for k in range(WARM_THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return {"gets": len(samples_ms), **_percentiles(samples_ms)}
+
+
+def measure() -> dict:
+    errors: list = []
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        config = ServiceConfig(port=0, workers=2, queue_limit=64)
+        with ReproService(config, cache=ResultCache(tmp)) as service:
+            url = service.url
+            t0 = time.perf_counter()
+            cold, digests = _phase_cold(url, errors)
+            duplicate = _phase_duplicate(url, errors)
+            warm = _phase_warm(url, digests, errors)
+            wall_s = time.perf_counter() - t0
+            status, body = _request("GET", url + "/metrics")
+            families = parse_prometheus_text(body.decode())
+    submitted = coalesced = 0.0
+    for labels, value in families.get("repro_service_coalescer", []):
+        if labels.get("key") == "submitted":
+            submitted = value
+        elif labels.get("key") == "coalesced":
+            coalesced = value
+    return {
+        "cold": cold,
+        "duplicate": duplicate,
+        "warm": warm,
+        "wall_s": round(wall_s, 3),
+        "coalescing_ratio": round(coalesced / submitted, 3) if submitted
+        else 0.0,
+        "errors": errors,
+    }
+
+
+def load() -> dict:
+    if RESULT_PATH.exists():
+        return json.loads(RESULT_PATH.read_text())
+    return {}
+
+
+def save(data: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="record the current block")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when warm-GET p99 exceeds the committed "
+                             "budget by more than --tolerance, or on any "
+                             "request error / missed coalescing")
+    parser.add_argument("--tolerance", type=float, default=3.0,
+                        help="allowed warm-GET p99 ratio vs committed "
+                             "(default 3.0; loopback CI noise is large)")
+    parser.add_argument("--history", type=Path, default=HISTORY_PATH,
+                        help="append a trend record here "
+                             f"(default {HISTORY_PATH.name})")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the trend-record append")
+    args = parser.parse_args(argv)
+
+    fresh = measure()
+    print(f"cold   : {fresh['cold']['runs']} distinct runs, submit p50 "
+          f"{fresh['cold']['submit']['p50_ms']:.1f} ms, complete p99 "
+          f"{fresh['cold']['complete']['p99_ms']:.1f} ms")
+    print(f"dup    : {fresh['duplicate']['clients']} clients -> "
+          f"{fresh['duplicate']['accepted']} accepted, "
+          f"{fresh['duplicate']['coalesced_or_cached']} coalesced/cached")
+    print(f"warm   : {fresh['warm']['gets']} cache-hit GETs, p50 "
+          f"{fresh['warm']['p50_ms']:.2f} ms, p99 "
+          f"{fresh['warm']['p99_ms']:.2f} ms")
+    print(f"overall: coalescing ratio {fresh['coalescing_ratio']:.2f}, "
+          f"{fresh['wall_s']:.1f} s wall, {len(fresh['errors'])} error(s)")
+    for err in fresh["errors"]:
+        print(f"  error: {err}", file=sys.stderr)
+
+    if not args.no_history:
+        metrics = {
+            "warm_get_p50_ms": fresh["warm"]["p50_ms"],
+            "warm_get_p99_ms": fresh["warm"]["p99_ms"],
+            "cold_submit_p50_ms": fresh["cold"]["submit"]["p50_ms"],
+            "cold_complete_p99_ms": fresh["cold"]["complete"]["p99_ms"],
+            "coalescing_ratio": fresh["coalescing_ratio"],
+        }
+        meta = {"cold_runs": fresh["cold"]["runs"],
+                "duplicate_clients": fresh["duplicate"]["clients"],
+                "warm_gets": fresh["warm"]["gets"],
+                "errors": len(fresh["errors"])}
+        append_history(args.history, "service", metrics, meta=meta)
+        print(f"trend record appended to {args.history.name}")
+
+    data = load()
+    if args.update:
+        data["current"] = fresh
+        save(data)
+        print(f"current measurement recorded in {RESULT_PATH.name}")
+        return 0
+
+    if fresh["errors"]:
+        print("FAIL: requests errored during the load run", file=sys.stderr)
+        return 1
+    if fresh["duplicate"]["accepted"] > 1:
+        print("FAIL: duplicate submissions were not coalesced",
+              file=sys.stderr)
+        return 1
+
+    current = data.get("current")
+    if current is None:
+        print("no committed 'current' measurement; run with --update first",
+              file=sys.stderr)
+        return 1
+    ratio = fresh["warm"]["p99_ms"] / current["warm"]["p99_ms"]
+    print(f"committed warm-GET p99: {current['warm']['p99_ms']:.2f} ms -> "
+          f"measured {fresh['warm']['p99_ms']:.2f} ms "
+          f"({ratio:.2f}x of committed)")
+    if args.check and ratio > args.tolerance:
+        print(f"FAIL: warm-GET p99 regressed to {ratio:.1f}x of the "
+              f"committed budget (> {args.tolerance:.1f}x tolerance)",
+              file=sys.stderr)
+        return 1
+    if args.check:
+        print("OK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,11 @@ Subcommands
 ``diff``
     Compare two metrics snapshots under per-metric tolerance rules;
     exits 1 on regression (the CI metrics gate).
+``serve``
+    Simulation-as-a-service: an HTTP + WebSocket front-end that accepts
+    RunSpec submissions, coalesces duplicate in-flight digests onto one
+    simulation, streams live progress and serves byte-identical results
+    (see docs/service.md).
 ``lint``
     Static determinism/telemetry lints over the Python sources, diffed
     against a committed baseline (see docs/static-analysis.md).
@@ -329,6 +334,47 @@ def build_parser() -> argparse.ArgumentParser:
                            "equality)")
     diff.add_argument("--verbose", action="store_true",
                       help="list every changed metric, not just failures")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve simulations over HTTP + WebSocket: submit RunSpecs, "
+             "coalesce duplicate digests, stream progress, serve cached "
+             "results (see docs/service.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="bind port; 0 picks an ephemeral one "
+                            "(default 8642)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="concurrent simulations (default 2)")
+    serve.add_argument("--queue-limit", type=int, default=16, metavar="N",
+                       help="max admitted-but-unfinished runs; beyond "
+                            "this, submissions get 503 queue_full "
+                            "(default 16)")
+    serve.add_argument("--rate", type=float, default=0.0, metavar="R",
+                       help="per-client rate limit in requests/second; "
+                            "0 disables (default 0)")
+    serve.add_argument("--burst", type=int, default=20, metavar="N",
+                       help="per-client burst allowance when --rate is "
+                            "set (default 20)")
+    serve.add_argument("--run-timeout", type=float, default=None,
+                       metavar="SEC",
+                       help="per-run wall-clock budget; a run past it "
+                            "streams a terminal timeout error (the "
+                            "worker still drains and caches)")
+    serve.add_argument("--auth-token-env", default=None, metavar="VAR",
+                       help="require 'Authorization: Bearer <token>' "
+                            "matching the value of environment variable "
+                            "VAR on every route except /healthz")
+    serve.add_argument("--max-runtime", type=float, default=None,
+                       metavar="SEC",
+                       help="exit cleanly after SEC seconds (CI smoke "
+                            "jobs; default: run until SIGINT/SIGTERM)")
+    serve.add_argument("--log", type=pathlib.Path, default=None,
+                       metavar="FILE",
+                       help="append structured JSONL operational events "
+                            "to FILE")
+    _add_exec_args(serve, jobs=False)
 
     lint = sub.add_parser(
         "lint",
@@ -833,6 +879,69 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0 if outcome.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+    import signal
+    import threading
+
+    from .service import ReproService, ServiceConfig
+
+    token = None
+    if args.auth_token_env is not None:
+        token = os.environ.get(args.auth_token_env)
+        if not token:
+            print(f"error: --auth-token-env names {args.auth_token_env!r} "
+                  f"but it is unset or empty", file=sys.stderr)
+            return 2
+
+    if args.log is not None:
+        from .obsv import configure_event_log
+        configure_event_log(str(args.log))
+
+    config = ServiceConfig(host=args.host, port=args.port,
+                           workers=args.workers,
+                           queue_limit=args.queue_limit,
+                           rate=args.rate, burst=args.burst,
+                           run_timeout_s=args.run_timeout,
+                           auth_token=token)
+    service = ReproService(config, cache=_cache_from(args))
+
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGINT, _on_signal)
+    signal.signal(signal.SIGTERM, _on_signal)
+
+    try:
+        service.start()
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        print(f"repro service listening on {service.url}")
+        print(f"  submit : POST {service.url}/runs")
+        print(f"  sweep  : POST {service.url}/sweeps")
+        print(f"  result : GET  {service.url}/runs/<digest>")
+        print(f"  stream : WS   {service.url}/runs/<digest>/stream")
+        print(f"  health : GET  {service.url}/healthz")
+        print(f"  metrics: GET  {service.url}/metrics")
+        sys.stdout.flush()
+        stop.wait(timeout=args.max_runtime)
+    finally:
+        service.stop()
+        if args.log is not None:
+            from .obsv import reset_event_log
+            reset_event_log()
+    _requests, jobs, _ws = service.counters.snapshot()
+    print(f"serve: done; jobs={sum(jobs.values())} "
+          f"({', '.join(f'{k}={v}' for k, v in sorted(jobs.items()))})"
+          if jobs else "serve: done; jobs=0")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis.lints import Baseline, LintEngine, default_rules
 
@@ -890,6 +999,7 @@ _COMMANDS = {
     "chip": _cmd_chip,
     "analyze": _cmd_analyze,
     "diff": _cmd_diff,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 

@@ -13,7 +13,14 @@ Robustness rules:
 * unreadable, corrupt or schema-mismatched entries count as misses and
   are ignored (never raised) — the executor just re-runs the point;
 * the digest embeds the engine fingerprint, so entries written by an
-  older engine are unreachable rather than wrong.
+  older engine are unreachable rather than wrong;
+* concurrent writers are safe: simultaneous ``put`` calls of the same
+  digest (from threads or processes) each stage a private temp file and
+  the last ``os.replace`` wins, so a reader observes either a complete
+  old entry, a complete new entry, or a miss — never a torn one
+  (``tests/exec/test_cache_concurrency.py`` hammers this).  The
+  hit/miss counters are guarded by a lock so the service front-end's
+  worker threads can share one cache instance.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import json
 import os
 import pathlib
 import tempfile
+import threading
 from typing import Any, Dict, Optional, Union
 
 from ..pipeline.metrics import RunResult
@@ -102,6 +110,10 @@ class ResultCache:
         self.hits = 0
         #: lookups that found nothing usable
         self.misses = 0
+        # `hits += 1` is load/add/store, not atomic: concurrent reader
+        # threads (the service executes many GETs at once) would lose
+        # increments without this lock.
+        self._lock = threading.Lock()
 
     def path_for(self, digest: str) -> pathlib.Path:
         """Entry location (two-level fan-out keeps directories small)."""
@@ -118,9 +130,11 @@ class ResultCache:
                 raise ValueError("stale or mismatched cache entry")
             result = result_from_cache_dict(doc["result"])
         except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return result
 
     def __contains__(self, digest: str) -> bool:

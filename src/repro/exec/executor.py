@@ -31,6 +31,7 @@ result's identity: :meth:`RunSpec.digest` gives the content address the
 
 from __future__ import annotations
 
+import concurrent.futures
 import multiprocessing
 import threading
 import time
@@ -331,15 +332,25 @@ class SweepExecutor:
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
                  telemetry: Optional[Telemetry] = None,
-                 progress: Optional[ProgressCallback] = None) -> None:
+                 progress: Optional[ProgressCallback] = None,
+                 async_workers: Optional[int] = None) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.telemetry = telemetry
         self.progress = progress
+        #: thread count for :meth:`submit` (defaults to ``jobs``)
+        self.async_workers = max(1, int(async_workers if async_workers
+                                        is not None else self.jobs))
         #: cumulative over every .run() of this executor
         self.stats = ExecutionStats()
         #: stats of the most recent .run() only
         self.last_stats = ExecutionStats()
+        # run() may be called from several threads at once (the service
+        # front-end does); the stats merge is the only shared mutation.
+        self._stats_lock = threading.Lock()
+        self._pool_lock = threading.Lock()
+        self._submit_pool: Optional[concurrent.futures.ThreadPoolExecutor] \
+            = None
 
     # -- scheduling --------------------------------------------------------
     def digests(self, specs: Sequence[RunSpec]) -> List[str]:
@@ -347,13 +358,21 @@ class SweepExecutor:
         fp = engine_fingerprint()
         return [spec.digest(fp) for spec in specs]
 
-    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
-        """Execute the sweep; results come back in submission order."""
+    def run(self, specs: Sequence[RunSpec],
+            progress: Optional[ProgressCallback] = None) -> List[RunResult]:
+        """Execute the sweep; results come back in submission order.
+
+        ``progress`` overrides the executor-level callback for this call
+        only — the hook that lets one executor serve many concurrent
+        submissions (each with its own subscriber fan-out) from worker
+        threads.  ``None`` falls back to ``self.progress``.
+        """
         specs = list(specs)
         digests = self.digests(specs)
         stats = ExecutionStats()
         results: List[Optional[RunResult]] = [None] * len(specs)
-        progress = self.progress
+        if progress is None:
+            progress = self.progress
         log = EVENT_LOG
         if progress is not None:
             progress(sweep_event("start", len(specs)))
@@ -383,7 +402,8 @@ class SweepExecutor:
                           and self.telemetry.enabled)
         try:
             outputs = self._execute(
-                [(i, specs[i], digests[i]) for i in pending], want_telemetry)
+                [(i, specs[i], digests[i]) for i in pending],
+                want_telemetry, progress)
         except BaseException:
             if progress is not None:
                 progress(sweep_event("finish", len(specs)))
@@ -408,21 +428,58 @@ class SweepExecutor:
         if log.enabled:
             log.info("exec.sweep.finish", points=len(specs),
                      hits=stats.hits, executed=stats.executed)
-        self.last_stats = stats
-        self.stats.merge(stats)
+        with self._stats_lock:
+            self.last_stats = stats
+            self.stats.merge(stats)
         return results  # type: ignore[return-value]
 
-    def run_one(self, spec: RunSpec) -> RunResult:
+    def run_one(self, spec: RunSpec,
+                progress: Optional[ProgressCallback] = None) -> RunResult:
         """Convenience wrapper: a one-point sweep."""
-        return self.run([spec])[0]
+        return self.run([spec], progress=progress)[0]
+
+    # -- async submission --------------------------------------------------
+    def submit(self, spec: RunSpec,
+               progress: Optional[ProgressCallback] = None
+               ) -> "concurrent.futures.Future[RunResult]":
+        """Submit one spec for asynchronous execution.
+
+        Runs :meth:`run_one` on a lazily created thread pool of
+        ``async_workers`` threads and returns the
+        :class:`concurrent.futures.Future`.  The per-call ``progress``
+        callback streams the run's lifecycle to the submitter, so many
+        pending submissions each keep their own event fan-out.  A future
+        whose work has not started yet can still be ``cancel()``-ed —
+        the hook the service front-end's admission control relies on.
+        """
+        with self._pool_lock:
+            if self._submit_pool is None:
+                self._submit_pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.async_workers,
+                    thread_name_prefix="repro-exec")
+            pool = self._submit_pool
+        return pool.submit(self.run_one, spec, progress)
+
+    def close(self, cancel_pending: bool = True) -> None:
+        """Shut down the :meth:`submit` pool (idempotent).
+
+        Running work always drains to completion — a worker is never
+        orphaned mid-simulation — but queued-not-started futures are
+        cancelled when ``cancel_pending`` is true.
+        """
+        with self._pool_lock:
+            pool, self._submit_pool = self._submit_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=cancel_pending)
 
     def _execute(self, work: List[Tuple[int, RunSpec, str]],
-                 want_telemetry: bool
+                 want_telemetry: bool,
+                 progress: Optional[ProgressCallback]
                  ) -> List[Tuple[RunResult, Optional[Dict[str, Any]]]]:
-        stream = self.progress is not None
+        stream = progress is not None
         if self.jobs == 1 or len(work) <= 1:
             return [_run_payload(spec, want_telemetry, i, digest,
-                                 self.progress)
+                                 progress)
                     for i, spec, digest in work]
         payloads = [(spec, want_telemetry, i, digest, stream)
                     for i, spec, digest in work]
@@ -437,7 +494,7 @@ class SweepExecutor:
             # forwards them to the callback while pool.map blocks below.
             queue = ctx.Queue()
             drain = threading.Thread(
-                target=_drain_progress, args=(queue, self.progress),
+                target=_drain_progress, args=(queue, progress),
                 name="repro-progress-drain", daemon=True)
             drain.start()
         try:

@@ -43,8 +43,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .history import (HISTORY_SCHEMA, TrendDelta, TrendReport,  # noqa: F401
                           append_history, default_trend_tolerances,
                           load_history, trend_report)
-    from .promexpo import (CONTENT_TYPE, parse_prometheus_text,  # noqa: F401
-                           render_exposition)
+    from .promexpo import (CONTENT_TYPE, ExpositionPage,  # noqa: F401
+                           parse_prometheus_text, render_exposition)
     from .server import MetricsServer  # noqa: F401
     from .top import TopDashboard, progress_bar, render_top  # noqa: F401
 
@@ -54,6 +54,7 @@ __all__ = [
     "RUN_STATES", "ProgressEvent", "FrameProgressSink", "RunProgress",
     "WorkerProgress", "FleetSnapshot", "FleetAggregator", "fanout",
     "render_exposition", "parse_prometheus_text", "CONTENT_TYPE",
+    "ExpositionPage",
     "MetricsServer",
     "render_top", "progress_bar", "TopDashboard",
     "HISTORY_SCHEMA", "append_history", "load_history",
@@ -65,6 +66,7 @@ _LAZY = {
     "render_exposition": "promexpo",
     "parse_prometheus_text": "promexpo",
     "CONTENT_TYPE": "promexpo",
+    "ExpositionPage": "promexpo",
     "MetricsServer": "server",
     "render_top": "top",
     "progress_bar": "top",

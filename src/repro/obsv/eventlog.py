@@ -145,7 +145,7 @@ class EventLog:
         # workers inherit the configured logger and append to the same
         # file, and per-pid grouping is what keeps the monotonic-ts
         # check meaningful across interleaved writers.
-        record: Dict[str, Any] = {"v": LOG_SCHEMA, "ts": self._clock(),
+        record: Dict[str, Any] = {"v": LOG_SCHEMA,
                                   "pid": os.getpid(),
                                   "level": level, "event": event}
         record.update(self._context)
@@ -154,8 +154,14 @@ class EventLog:
             raise ValueError(
                 f"run-scoped record {event!r} must carry a digest "
                 f"(bind(digest=...) or pass digest=)")
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        # ts is stamped *inside* the lock: stamp-then-queue-for-the-lock
+        # would let two threads of one pid write records out of timestamp
+        # order, breaking the documented monotonic-per-pid contract (the
+        # multi-threaded service front-end hits this; forked sweep
+        # workers never could).
         with self._lock:
+            record["ts"] = self._clock()
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"))
             stream.write(line + "\n")
             flush = getattr(stream, "flush", None)
             if flush is not None:

@@ -29,7 +29,8 @@ from ..telemetry.counters import (CounterRegistry, KNOWN_COUNTER_ROOTS,
                                   KNOWN_METRIC_ROOTS)
 from .progress import RUN_STATES, FleetSnapshot
 
-__all__ = ["render_exposition", "parse_prometheus_text", "CONTENT_TYPE"]
+__all__ = ["render_exposition", "parse_prometheus_text", "CONTENT_TYPE",
+           "ExpositionPage"]
 
 #: the exposition-format content type ``/metrics`` responds with
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -59,8 +60,13 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
-class _Page:
-    """Accumulates families in order, one HELP/TYPE header each."""
+class ExpositionPage:
+    """Accumulates families in order, one HELP/TYPE header each.
+
+    Public so other exposition surfaces (the ``repro serve`` front-end
+    appends its service families after the fleet page) build pages that
+    :func:`parse_prometheus_text` accepts by construction.
+    """
 
     def __init__(self) -> None:
         self.lines: List[str] = []
@@ -88,7 +94,7 @@ def render_exposition(snapshot: FleetSnapshot,
                       counters: Optional[CounterRegistry] = None,
                       extra_info: Optional[Dict[str, str]] = None) -> str:
     """The full ``/metrics`` page for one fleet snapshot."""
-    page = _Page()
+    page = ExpositionPage()
     page.family("repro_sweep_runs", "gauge",
                 "Sweep points by lifecycle state.",
                 [({"state": state}, float(snapshot.counts.get(state, 0)))

@@ -1,0 +1,26 @@
+"""Simulation-as-a-service: async HTTP + WebSocket front-end.
+
+The service layer (``repro serve``) exposes the deterministic
+simulation engine over the network with digest coalescing,
+backpressure and live result streaming — see :mod:`repro.service.app`
+for the API and docs/service.md for the wire contract.
+
+This package lives *outside* the determinism fence
+(``DETERMINISTIC_PACKAGES``): it reads clocks and sockets freely, but
+everything it returns to a client is produced by the fenced engine and
+is byte-identical to an offline run of the same spec.
+"""
+
+from .app import ReproService, ServiceConfig
+from .auth import AuthError
+from .coalescer import DigestCoalescer, Job, QueueFull, Subscription
+from .http import HttpError, Request, Response
+from .limits import CircuitBreaker, TokenBucket
+from .wire import WS_SCHEMA
+from .ws import WSClient, WSClosed, WSProtocolError
+
+__all__ = ["ReproService", "ServiceConfig", "AuthError",
+           "DigestCoalescer", "Job", "QueueFull", "Subscription",
+           "HttpError", "Request", "Response",
+           "CircuitBreaker", "TokenBucket", "WS_SCHEMA",
+           "WSClient", "WSClosed", "WSProtocolError"]

@@ -1,0 +1,760 @@
+"""Simulation-as-a-service: the asyncio front-end over the executor.
+
+:class:`ReproService` exposes the repo's deterministic simulation
+engine over HTTP + WebSocket:
+
+* ``POST /runs`` / ``POST /sweeps`` — submit canonical-JSON
+  :class:`~repro.exec.executor.RunSpec` documents; the response carries
+  the content digest immediately.  Identical in-flight submissions
+  **coalesce** on digest (one simulation, N subscribers).
+* ``GET /runs/<digest>`` — the result.  Cold, warm (cache) and
+  coalesced paths all serve byte-identical bodies; the path taken is
+  reported in the ``X-Repro-Source`` header only.  ``?wait=SECONDS``
+  long-polls an in-flight run.
+* ``WS /runs/<digest>/stream`` — replays the run's frame history, then
+  follows live progress to a terminal ``result``/``error`` frame
+  (schema v1, docs/service.md).
+* ``GET /metrics`` — fleet exposition (PR 6) plus service families;
+  ``GET /healthz`` — unauthenticated liveness probe.
+
+Admission is guarded in order: bearer auth (when configured) →
+per-client token bucket (``429`` + ``Retry-After``) → digest
+coalescing → circuit breaker (``503 circuit_open``) → bounded
+in-flight queue (``503 queue_full``).  A per-run timeout publishes a
+terminal ``timeout`` error to subscribers but **never orphans the
+worker**: the job stays in the in-flight table until the worker
+function truly returns, so a resubmission attaches to the draining job
+instead of double-running the spec, and the drained result still lands
+in the cache.
+
+The server runs its own event loop on a daemon thread
+(`start()`/`stop()`/context manager), so tests and the CLI drive it
+the same way; simulations execute on the executor's thread pool, and
+frame delivery crosses back into the loop via
+``call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..exec.cache import ResultCache
+from ..exec.executor import RunSpec, SweepExecutor
+from ..exec.hashing import engine_fingerprint
+from ..obsv.eventlog import EVENT_LOG
+from ..obsv.progress import FleetAggregator, ProgressEvent
+from ..obsv.promexpo import CONTENT_TYPE, ExpositionPage, render_exposition
+from . import wire, ws
+from .auth import AuthError, authenticate, client_key
+from .coalescer import (OUTCOME_CANCELLED, OUTCOME_SUCCESS, DigestCoalescer,
+                        Job, QueueFull)
+from .http import (HttpError, Request, Response, error_body, json_response,
+                   read_request)
+from .limits import CircuitBreaker, TokenBucket
+
+__all__ = ["ServiceConfig", "ReproService"]
+
+#: sentinel pushed into a stream queue when the subscriber falls behind
+_OVERFLOW = object()
+
+#: long-poll (`?wait=`) cap, seconds
+MAX_WAIT_S = 60.0
+
+#: seconds of stream silence before the server pings the client
+_PING_INTERVAL_S = 15.0
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one :class:`ReproService` instance."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (read it back via ``service.port``)
+    port: int = 0
+    #: executor threads — concurrent simulations
+    workers: int = 2
+    #: max admitted-but-unfinished jobs (beyond → ``503 queue_full``)
+    queue_limit: int = 16
+    #: per-client token-bucket refill rate (tokens/s); 0 disables
+    rate: float = 0.0
+    burst: int = 20
+    #: per-run wall-clock budget; ``None`` disables the watchdog
+    run_timeout_s: Optional[float] = None
+    #: bearer token; ``None`` disables authentication
+    auth_token: Optional[str] = None
+    breaker_threshold: int = 5
+    breaker_reset_s: float = 30.0
+    max_body_bytes: int = 1 << 20
+    #: keep-alive connection idle timeout
+    idle_timeout_s: float = 30.0
+    #: frames a stream subscriber may fall behind before a 1013 close
+    ws_queue_limit: int = 512
+    #: finished jobs kept addressable for GET after release
+    recent_jobs: int = 64
+
+
+class _Counters:
+    """Lock-guarded service counters for ``/metrics``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests: Dict[Tuple[str, str], int] = {}
+        self.jobs: Dict[str, int] = {}
+        self.ws: Dict[str, int] = {}
+
+    def request(self, route: str, status: int) -> None:
+        with self._lock:
+            key = (route, str(status))
+            self.requests[key] = self.requests.get(key, 0) + 1
+
+    def job(self, outcome: str) -> None:
+        with self._lock:
+            self.jobs[outcome] = self.jobs.get(outcome, 0) + 1
+
+    def stream(self, key: str) -> None:
+        with self._lock:
+            self.ws[key] = self.ws.get(key, 0) + 1
+
+    def snapshot(self) -> Tuple[Dict[Tuple[str, str], int],
+                                Dict[str, int], Dict[str, int]]:
+        with self._lock:
+            return dict(self.requests), dict(self.jobs), dict(self.ws)
+
+
+class ReproService:
+    """The simulation service (see module docstring for the API)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 cache: Optional[ResultCache] = None,
+                 executor: Optional[SweepExecutor] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.cache = cache
+        self.executor = executor or SweepExecutor(
+            jobs=1, cache=cache, async_workers=self.config.workers)
+        self.coalescer = DigestCoalescer(self.config.queue_limit,
+                                         recent_cap=self.config.recent_jobs)
+        self.aggregator = FleetAggregator()
+        self.bucket = TokenBucket(self.config.rate, self.config.burst)
+        self.breaker = CircuitBreaker(self.config.breaker_threshold,
+                                      self.config.breaker_reset_s)
+        self.counters = _Counters()
+        self._fingerprint = engine_fingerprint()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stop_event: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+        self._conn_tasks: "set[asyncio.Task[Any]]" = set()
+        self._port = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def port(self) -> int:
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self._port}"
+
+    def start(self) -> "ReproService":
+        """Bind, start serving on a daemon thread, return self."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._thread = threading.Thread(target=self._thread_main,
+                                        name="repro-service", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=15.0):
+            raise RuntimeError("service failed to start within 15s")
+        if self._startup_error is not None:
+            self._thread.join(timeout=5.0)
+            raise RuntimeError(
+                f"service failed to start: {self._startup_error!r}")
+        if EVENT_LOG.enabled:
+            EVENT_LOG.info("service.start", host=self.config.host,
+                           port=self._port, workers=self.config.workers)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, drain running work, join the loop thread."""
+        loop, self._loop = self._loop, None
+        if loop is not None and self._stop_event is not None:
+            try:
+                loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        # Queued-not-started futures cancel (their done callbacks mark
+        # the jobs cancelled); running simulations drain to completion.
+        self.executor.close(cancel_pending=True)
+        if self._thread is not None:
+            self._thread.join(timeout=15.0)
+            self._thread = None
+        if EVENT_LOG.enabled:
+            EVENT_LOG.info("service.stop", port=self._port)
+
+    def __enter__(self) -> "ReproService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        except BaseException as err:  # startup failures land here
+            self._startup_error = err
+            self._ready.set()
+        finally:
+            loop.close()
+
+    async def _serve(self) -> None:
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port)
+        self._port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks,
+                                     return_exceptions=True)
+
+    # -- connection handling -----------------------------------------------
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await self._conn_loop(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _conn_loop(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        peer = writer.get_extra_info("peername")
+        while True:
+            try:
+                request = await asyncio.wait_for(
+                    read_request(reader, self.config.max_body_bytes),
+                    timeout=self.config.idle_timeout_s)
+            except asyncio.TimeoutError:
+                return
+            except HttpError as err:
+                self.counters.request("malformed", err.status)
+                writer.write(Response(
+                    err.status, error_body(err.code, err.detail),
+                    headers=err.headers, close=True).serialise(False))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            request.peer = peer
+            if request.wants_websocket:
+                await self._handle_stream(request, reader, writer)
+                return  # the socket is a WebSocket now; never reused
+            response = await self._dispatch_safe(request)
+            writer.write(response.serialise(request.keep_alive))
+            await writer.drain()
+            if not request.keep_alive or response.close:
+                return
+
+    async def _dispatch_safe(self, request: Request) -> Response:
+        route = self._route_label(request)
+        try:
+            response = await self._dispatch(request)
+        except HttpError as err:
+            response = Response(err.status,
+                                error_body(err.code, err.detail),
+                                headers=err.headers)
+        except Exception as err:  # never let a handler kill the loop
+            if EVENT_LOG.enabled:
+                EVENT_LOG.error("service.handler.error", route=route,
+                                error=repr(err))
+            response = Response(500, error_body("internal",
+                                                "unhandled handler error"))
+        self.counters.request(route, response.status)
+        return response
+
+    @staticmethod
+    def _route_label(request: Request) -> str:
+        path = request.path
+        if path == "/healthz":
+            return "healthz"
+        if path == "/metrics":
+            return "metrics"
+        if path == "/runs":
+            return "runs_post"
+        if path == "/sweeps":
+            return "sweeps_post"
+        if path.startswith("/runs/"):
+            return "stream" if path.endswith("/stream") else "runs_get"
+        return "other"
+
+    # -- routing -----------------------------------------------------------
+    async def _dispatch(self, request: Request) -> Response:
+        path, method = request.path, request.method
+        if path == "/healthz":
+            if method != "GET":
+                raise HttpError(405, "bad_request", "healthz is GET-only")
+            return self._healthz()
+        token = self._authenticate(request)
+        if path == "/metrics":
+            if method != "GET":
+                raise HttpError(405, "bad_request", "metrics is GET-only")
+            return self._metrics()
+        if path == "/runs":
+            if method != "POST":
+                raise HttpError(405, "bad_request", "submit runs via POST")
+            self._rate_limit(token, request)
+            return self._post_run(request)
+        if path == "/sweeps":
+            if method != "POST":
+                raise HttpError(405, "bad_request", "submit sweeps via POST")
+            self._rate_limit(token, request)
+            return self._post_sweep(request)
+        if path.startswith("/runs/"):
+            digest = path[len("/runs/"):]
+            if "/" in digest or not digest:
+                raise HttpError(404, "not_found", f"no route {path!r}")
+            if method != "GET":
+                raise HttpError(405, "bad_request", "results are GET-only")
+            return await self._get_run(digest, request)
+        raise HttpError(404, "not_found", f"no route {path!r}")
+
+    def _authenticate(self, request: Request) -> Optional[str]:
+        try:
+            return authenticate(self.config.auth_token,
+                                request.headers.get("authorization"))
+        except AuthError as err:
+            raise HttpError(401, "unauthorized", str(err)) from None
+
+    def _rate_limit(self, token: Optional[str], request: Request) -> None:
+        granted, retry_after = self.bucket.allow(
+            client_key(token, request.peer))
+        if not granted:
+            raise HttpError(
+                429, "rate_limited",
+                "client token bucket empty",
+                headers={"Retry-After": f"{max(retry_after, 0.001):.3f}"})
+
+    # -- endpoints ---------------------------------------------------------
+    def _healthz(self) -> Response:
+        return json_response(200, {
+            "status": "ok",
+            "active": self.coalescer.active,
+            "breaker": self.breaker.state,
+        })
+
+    def _metrics(self) -> Response:
+        fleet = render_exposition(self.aggregator.snapshot())
+        page = ExpositionPage()
+        requests, jobs, streams = self.counters.snapshot()
+        page.family(
+            "repro_service_requests_total", "counter",
+            "HTTP requests handled, by route and status.",
+            [({"route": route, "status": status}, float(count))
+             for (route, status), count in sorted(requests.items())])
+        page.family(
+            "repro_service_jobs_total", "counter",
+            "Service-admitted runs by outcome.",
+            [({"outcome": outcome}, float(count))
+             for outcome, count in sorted(jobs.items())])
+        coalescer = self.coalescer.snapshot()
+        page.family(
+            "repro_service_coalescer", "gauge",
+            "Digest coalescer state (submitted/coalesced/active/...).",
+            [({"key": key}, value)
+             for key, value in sorted(coalescer.items())])
+        limiter = self.bucket.snapshot()
+        page.family(
+            "repro_service_rate_limiter", "gauge",
+            "Token-bucket rate limiter state.",
+            [({"key": key}, value)
+             for key, value in sorted(limiter.items())])
+        breaker = self.breaker.snapshot()
+        page.family(
+            "repro_service_breaker", "gauge",
+            "Circuit breaker state (state: 0 closed, 1 half-open, 2 open).",
+            [({"key": key}, value)
+             for key, value in sorted(breaker.items())])
+        page.family(
+            "repro_service_streams_total", "counter",
+            "WebSocket stream lifecycle counts.",
+            [({"key": key}, float(count))
+             for key, count in sorted(streams.items())])
+        return Response(200, (fleet + page.text()).encode("utf-8"),
+                        content_type=CONTENT_TYPE)
+
+    def _parse_spec(self, doc: Any) -> RunSpec:
+        if not isinstance(doc, dict):
+            raise HttpError(400, "bad_request",
+                            "run spec must be a JSON object")
+        known = {f.name for f in fields(RunSpec)}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise HttpError(400, "bad_request",
+                            f"unknown spec fields: {', '.join(unknown)}")
+        try:
+            return RunSpec.from_dict(doc)
+        except (ValueError, TypeError) as exc:
+            raise HttpError(400, "bad_request", str(exc)) from None
+
+    def _post_run(self, request: Request) -> Response:
+        spec = self._parse_spec(request.json())
+        digest, status = self._admit(spec)
+        code = 200 if status == "cached" else 202
+        return json_response(code, {"digest": digest, "status": status})
+
+    def _post_sweep(self, request: Request) -> Response:
+        doc = request.json()
+        if not isinstance(doc, dict) or not isinstance(doc.get("specs"),
+                                                       list):
+            raise HttpError(400, "bad_request",
+                            'sweep body must be {"specs": [...]}')
+        if not doc["specs"]:
+            raise HttpError(400, "bad_request", "sweep has no specs")
+        specs = [self._parse_spec(item) for item in doc["specs"]]
+        admitted: List[Dict[str, str]] = []
+        rejected: List[Dict[str, str]] = []
+        for spec in specs:
+            try:
+                digest, status = self._admit(spec)
+                admitted.append({"digest": digest, "status": status})
+            except HttpError as err:
+                rejected.append({
+                    "digest": spec.digest(self._fingerprint),
+                    "status": "rejected", "error": err.code})
+        body = {"runs": admitted + rejected,
+                "accepted": len(admitted), "rejected": len(rejected)}
+        if not admitted:
+            return json_response(503, body)
+        return json_response(202, body)
+
+    def _admit(self, spec: RunSpec) -> Tuple[str, str]:
+        """Admission control for one spec; returns (digest, status).
+
+        Status is ``cached`` (result already on disk, nothing admitted),
+        ``coalesced`` (attached to the in-flight job for this digest) or
+        ``accepted`` (a new job was created and submitted).
+        """
+        digest = spec.digest(self._fingerprint)
+        inflight = self.coalescer.get(digest)
+        if inflight is None or inflight.terminal:
+            if (self.cache is not None
+                    and self.cache.get(digest) is not None):
+                if EVENT_LOG.enabled:
+                    EVENT_LOG.info("service.admit.cached", digest=digest)
+                return digest, "cached"
+            if not self.breaker.allow():
+                raise HttpError(503, "circuit_open",
+                                "executor circuit breaker is open")
+        try:
+            job, created = self.coalescer.submit(digest, spec)
+        except QueueFull as exc:
+            raise HttpError(503, "queue_full", str(exc),
+                            headers={"Retry-After": "1"}) from None
+        if not created:
+            if EVENT_LOG.enabled:
+                EVENT_LOG.info("service.admit.coalesced", digest=digest)
+            return digest, "coalesced"
+        self.aggregator.queued([(job.seq, digest)])
+
+        def on_progress(event: ProgressEvent) -> None:
+            if event.kind != "sweep":
+                self.aggregator.consume(replace(event, index=job.seq))
+            job.on_progress(event)
+
+        job.future = self.executor.submit(spec, progress=on_progress)
+        if self.config.run_timeout_s is not None and self._loop is not None:
+            self._loop.call_later(self.config.run_timeout_s,
+                                  self._expire_job, job)
+        job.future.add_done_callback(
+            lambda future: self._job_done(job, future))
+        if EVENT_LOG.enabled:
+            EVENT_LOG.info("service.admit.accepted", digest=digest,
+                           seq=job.seq)
+        return digest, "accepted"
+
+    def _expire_job(self, job: Job) -> None:
+        """Watchdog: publish a terminal timeout (the worker drains)."""
+        if job.terminal:
+            return
+        future = job.future
+        if future is not None:
+            future.cancel()  # only effective if it never started
+        job.finish_error(
+            "timeout",
+            f"run exceeded the {self.config.run_timeout_s}s budget")
+        if EVENT_LOG.enabled:
+            EVENT_LOG.warning("service.run.timeout", digest=job.digest)
+
+    def _job_done(self, job: Job, future: Any) -> None:
+        """Executor-thread callback once the worker truly returned."""
+        outcome = "success"
+        try:
+            if future.cancelled():
+                job.mark_cancelled()
+                outcome = "cancelled"
+            else:
+                exc = future.exception()
+                if exc is not None:
+                    job.finish_error("run_failed", repr(exc))
+                    outcome = "run_failed"
+                else:
+                    already_timed_out = job.terminal
+                    job.finish_success(future.result())
+                    outcome = ("timeout_drained" if already_timed_out
+                               else ("cached" if job.cached else "executed"))
+        finally:
+            # Release only now: the digest stays coalescable while the
+            # worker drains, so the spec never runs twice concurrently.
+            self.coalescer.release(job)
+        if job.outcome == OUTCOME_SUCCESS:
+            self.breaker.on_success()
+        elif job.outcome != OUTCOME_CANCELLED:
+            self.breaker.on_failure()
+        self.counters.job(outcome)
+        if EVENT_LOG.enabled:
+            EVENT_LOG.info("service.run.finished", digest=job.digest,
+                           outcome=outcome)
+
+    async def _get_run(self, digest: str, request: Request) -> Response:
+        job = self.coalescer.get(digest)
+        if job is not None and not job.terminal and "wait" in request.query:
+            try:
+                wait_s = min(float(request.query["wait"]), MAX_WAIT_S)
+            except ValueError:
+                raise HttpError(400, "bad_request",
+                                "wait must be a number of seconds") from None
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, job.wait, max(wait_s, 0.0))
+        if (job is not None and job.terminal
+                and job.outcome == OUTCOME_SUCCESS):
+            return self._terminal_response(digest, job)
+        # The cache outranks a terminal *failed* job: a run that timed
+        # out service-side but drained to completion still caches its
+        # result, and that result must stay servable.
+        if self.cache is not None:
+            result = self.cache.get(digest)
+            if result is not None:
+                return json_response(
+                    200, wire.result_document(digest, result),
+                    headers={"X-Repro-Source": "cached"}, canonical=True)
+        if job is not None and job.terminal:
+            return self._terminal_response(digest, job)
+        if job is not None:
+            return json_response(202, {
+                "digest": digest, "status": "in_flight",
+                "events": len(job.history)})
+        raise HttpError(404, "not_found",
+                        f"digest {digest!r} is not cached or in flight")
+
+    def _terminal_response(self, digest: str, job: Job) -> Response:
+        if job.outcome == OUTCOME_SUCCESS:
+            assert job.result is not None
+            source = "cached" if job.cached else "done"
+            return json_response(
+                200, wire.result_document(digest, job.result),
+                headers={"X-Repro-Source": source}, canonical=True)
+        if job.outcome == OUTCOME_CANCELLED:
+            raise HttpError(410, "cancelled", job.error_detail)
+        raise HttpError(500, job.error_code or "run_failed",
+                        job.error_detail)
+
+    # -- streaming ---------------------------------------------------------
+    async def _handle_stream(self, request: Request,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        """WS /runs/<digest>/stream: replay history, then follow live."""
+        route = "stream"
+
+        def refuse(err: HttpError) -> bytes:
+            self.counters.request(route, err.status)
+            return Response(err.status, error_body(err.code, err.detail),
+                            headers=err.headers,
+                            close=True).serialise(False)
+
+        path = request.path
+        if not (path.startswith("/runs/") and path.endswith("/stream")):
+            writer.write(refuse(HttpError(404, "not_found",
+                                          f"no stream at {path!r}")))
+            await writer.drain()
+            return
+        digest = path[len("/runs/"):-len("/stream")]
+        try:
+            token = self._authenticate(request)
+            self._rate_limit(token, request)
+        except HttpError as err:
+            writer.write(refuse(err))
+            await writer.drain()
+            return
+        key = request.headers.get("sec-websocket-key")
+        if not key:
+            writer.write(refuse(HttpError(400, "bad_request",
+                                          "missing Sec-WebSocket-Key")))
+            await writer.drain()
+            return
+        job = self.coalescer.get(digest)
+        cached = (self.cache.get(digest)
+                  if job is None and self.cache is not None else None)
+        if job is None and cached is None:
+            writer.write(refuse(HttpError(
+                404, "not_found",
+                f"digest {digest!r} is not cached or in flight")))
+            await writer.drain()
+            return
+
+        writer.write(self._upgrade_bytes(key))
+        await writer.drain()
+        self.counters.request(route, 101)
+        self.counters.stream("opened")
+        if job is None:
+            # cache-only digest: synthesise the replay a live run shows
+            await self._send_frames(writer, [
+                wire.hello_frame(digest, 2),
+                {"v": wire.WS_SCHEMA, "kind": "state", "worker": "service",
+                 "index": -1, "digest": digest, "state": "cached"},
+                wire.result_frame(digest, cached, cached=True),
+            ])
+            await self._close_ws(writer, 1000, "stream complete")
+            self.counters.stream("completed")
+            return
+        await self._stream_job(job, digest, reader, writer)
+
+    @staticmethod
+    def _upgrade_bytes(key: str) -> bytes:
+        return ("HTTP/1.1 101 Switching Protocols\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Accept: {ws.accept_key(key)}\r\n"
+                "\r\n").encode("latin-1")
+
+    async def _send_frames(self, writer: asyncio.StreamWriter,
+                           docs: List[Dict[str, Any]]) -> None:
+        for doc in docs:
+            writer.write(ws.encode_frame(
+                ws.OP_TEXT, json.dumps(doc).encode("utf-8")))
+        await writer.drain()
+
+    async def _close_ws(self, writer: asyncio.StreamWriter, code: int,
+                        reason: str) -> None:
+        try:
+            writer.write(ws.encode_frame(ws.OP_CLOSE,
+                                         ws.close_payload(code, reason)))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _stream_job(self, job: Job, digest: str,
+                          reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        loop = asyncio.get_running_loop()
+        queue: "asyncio.Queue[Any]" = asyncio.Queue()
+        overflowed = False
+
+        def offer(doc: Any) -> None:
+            # called on the loop thread (replay) and from executor
+            # threads (live frames) — route both through the loop
+            nonlocal overflowed
+            if overflowed:
+                return
+            if queue.qsize() >= self.config.ws_queue_limit:
+                overflowed = True
+                queue.put_nowait(_OVERFLOW)
+                return
+            queue.put_nowait(doc)
+
+        def enqueue(doc: Dict[str, Any]) -> None:
+            loop.call_soon_threadsafe(offer, doc)
+
+        # hello must precede the replay; subscribe replays synchronously
+        # through enqueue, so compute the depth first from a terminal
+        # check + live history length race-free via the subscription.
+        subscription, replayed = job.subscribe(enqueue)
+        await self._send_frames(writer, [wire.hello_frame(digest, replayed)])
+
+        client_task = asyncio.ensure_future(
+            self._drain_client(reader, writer))
+        completed = False
+        try:
+            while True:
+                get_task = asyncio.ensure_future(queue.get())
+                done, _ = await asyncio.wait(
+                    {get_task, client_task},
+                    timeout=_PING_INTERVAL_S,
+                    return_when=asyncio.FIRST_COMPLETED)
+                if client_task in done:
+                    get_task.cancel()
+                    self.counters.stream("client_dropped")
+                    return
+                if not done:  # idle: keep intermediaries awake
+                    get_task.cancel()
+                    writer.write(ws.encode_frame(ws.OP_PING, b"hb"))
+                    await writer.drain()
+                    continue
+                doc = get_task.result()
+                if doc is _OVERFLOW:
+                    await self._close_ws(writer, 1013,
+                                         "subscriber queue overflow")
+                    self.counters.stream("overflow")
+                    return
+                await self._send_frames(writer, [doc])
+                if wire.is_stream_end(doc):
+                    completed = True
+                    await self._close_ws(writer, 1000, "stream complete")
+                    self.counters.stream("completed")
+                    return
+        except (ConnectionError, BrokenPipeError, OSError):
+            self.counters.stream("client_dropped")
+        finally:
+            subscription.cancel()
+            if not client_task.done():
+                client_task.cancel()
+            if not completed and EVENT_LOG.enabled:
+                EVENT_LOG.info("service.stream.detached", digest=digest)
+
+    async def _drain_client(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        """Read client frames: answer pings, detect close/drop."""
+        while True:
+            try:
+                opcode, payload = await ws.read_frame(reader)
+            except (ws.WSClosed, ws.WSProtocolError, ConnectionError,
+                    OSError):
+                return
+            if opcode == ws.OP_PING:
+                try:
+                    writer.write(ws.encode_frame(ws.OP_PONG, payload))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    return
+            elif opcode == ws.OP_CLOSE:
+                try:
+                    writer.write(ws.encode_frame(ws.OP_CLOSE, payload))
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    pass
+                return
+            # text/pong frames from the client are ignored

@@ -1,0 +1,66 @@
+"""Optional bearer-token authentication for the service front-end.
+
+One static token (typically injected via an environment variable so it
+never lands in argv or shell history — see ``repro serve
+--auth-token-env``) gates every route except ``/healthz``, which load
+balancers must be able to probe anonymously.  Comparison is
+constant-time (:func:`hmac.compare_digest`), and the client identity
+used for rate limiting is derived here too: the token digest when
+authenticated, the peer address otherwise — so one abusive anonymous
+peer cannot drain another's bucket.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Optional, Tuple
+
+__all__ = ["AuthError", "authenticate", "client_key"]
+
+
+class AuthError(Exception):
+    """Raised when a required bearer token is missing or wrong."""
+
+
+def _bearer_token(authorization: Optional[str]) -> Optional[str]:
+    if authorization is None:
+        return None
+    scheme, _, credentials = authorization.partition(" ")
+    if scheme.lower() != "bearer" or not credentials.strip():
+        return None
+    return credentials.strip()
+
+
+def authenticate(required_token: Optional[str],
+                 authorization: Optional[str]) -> Optional[str]:
+    """Check the ``Authorization`` header against the configured token.
+
+    Returns the presented token (``None`` when auth is disabled) or
+    raises :class:`AuthError`.  With auth disabled, any presented
+    header is ignored rather than rejected.
+    """
+    if required_token is None:
+        return None
+    presented = _bearer_token(authorization)
+    if presented is None:
+        raise AuthError("missing bearer token")
+    if not hmac.compare_digest(presented.encode("utf-8"),
+                               required_token.encode("utf-8")):
+        raise AuthError("invalid bearer token")
+    return presented
+
+
+def client_key(token: Optional[str],
+               peer: Optional[Tuple[str, int]]) -> str:
+    """The rate-limit bucket key for one request.
+
+    Authenticated clients are keyed by a digest of their token (so the
+    key is loggable without leaking the secret); anonymous clients by
+    peer address.
+    """
+    if token:
+        return "tok:" + hashlib.sha256(token.encode("utf-8")).hexdigest()[:16]
+    if peer:
+        return f"ip:{peer[0]}"
+    return "anon"

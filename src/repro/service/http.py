@@ -1,0 +1,243 @@
+"""Minimal asyncio HTTP/1.1 primitives for the service front-end.
+
+The container ships no third-party web framework, so the service
+speaks HTTP directly over :mod:`asyncio` streams.  This module holds
+the protocol plumbing — request parsing with hard limits, response
+serialisation, the error taxonomy — and nothing about routes, so the
+application layer (:mod:`repro.service.app`) stays readable and the
+fault-injection tests can hit the parser in isolation.
+
+Scope (deliberate):
+
+* requests: one start line, headers, an optional ``Content-Length``
+  body.  ``Transfer-Encoding: chunked`` is refused with ``411`` —
+  every client the repo ships sends measured bodies;
+* responses: always carry ``Content-Length``; keep-alive honoured
+  unless the client (or handler) asks to close;
+* limits: start line and header sizes, header count and body size are
+  all capped, and a request that breaches any of them is answered with
+  a structured JSON error, never a hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = ["Request", "Response", "HttpError", "read_request",
+           "json_response", "error_body", "REASONS", "MAX_START_LINE",
+           "MAX_HEADER_COUNT"]
+
+#: start line / single header line byte cap
+MAX_START_LINE = 8192
+#: headers per request cap
+MAX_HEADER_COUNT = 64
+
+REASONS = {
+    200: "OK", 202: "Accepted", 204: "No Content",
+    101: "Switching Protocols",
+    400: "Bad Request", 401: "Unauthorized", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout", 410: "Gone",
+    411: "Length Required", 413: "Payload Too Large",
+    426: "Upgrade Required", 429: "Too Many Requests",
+    500: "Internal Server Error", 501: "Not Implemented",
+    502: "Bad Gateway", 503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol- or policy-level refusal with a machine error code.
+
+    ``code`` is the documented error taxonomy token (``bad_request``,
+    ``unauthorized``, ``not_found``, ``rate_limited``, ``queue_full``,
+    ``circuit_open``, ``run_failed``, ``timeout``, ...) that clients
+    and the load harness key on; ``status`` is the HTTP status it maps
+    to.  Extra response headers (e.g. ``Retry-After``) ride along.
+    """
+
+    def __init__(self, status: int, code: str, detail: str = "",
+                 headers: Optional[Mapping[str, str]] = None) -> None:
+        super().__init__(f"{status} {code}: {detail}")
+        self.status = status
+        self.code = code
+        self.detail = detail
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    #: decoded path, query string stripped (e.g. ``/runs/abc123``)
+    path: str
+    #: parsed query parameters (last value wins)
+    query: Dict[str, str]
+    #: header names lower-cased
+    headers: Dict[str, str]
+    body: bytes = b""
+    version: str = "HTTP/1.1"
+    #: client peer address, filled by the connection handler
+    peer: Optional[Tuple[str, int]] = None
+
+    @property
+    def keep_alive(self) -> bool:
+        token = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return token == "keep-alive"
+        return "close" not in token
+
+    @property
+    def wants_websocket(self) -> bool:
+        return ("websocket" in self.headers.get("upgrade", "").lower()
+                and "upgrade" in self.headers.get("connection", "").lower())
+
+    def json(self) -> Any:
+        """The body parsed as JSON (raises :class:`HttpError` 400)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise HttpError(400, "bad_request",
+                            f"body is not valid JSON: {exc}") from None
+
+
+@dataclass
+class Response:
+    """One response to serialise (body is already encoded)."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+    close: bool = False
+
+    def serialise(self, keep_alive: bool) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        alive = keep_alive and not self.close
+        lines = [f"HTTP/1.1 {self.status} {reason}",
+                 f"Content-Type: {self.content_type}",
+                 f"Content-Length: {len(self.body)}",
+                 f"Connection: {'keep-alive' if alive else 'close'}"]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+def error_body(code: str, detail: str = "") -> bytes:
+    """The canonical JSON error document."""
+    doc: Dict[str, Any] = {"error": code}
+    if detail:
+        doc["detail"] = detail
+    return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+
+def json_response(status: int, doc: Any,
+                  headers: Optional[Mapping[str, str]] = None,
+                  canonical: bool = False) -> Response:
+    """A JSON response.  ``canonical=True`` uses the digest-stable
+    serialisation (sorted keys, compact separators) so identical
+    payloads are byte-identical across code paths."""
+    if canonical:
+        text = json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                          allow_nan=False)
+    else:
+        text = json.dumps(doc, sort_keys=True)
+    return Response(status, (text + "\n").encode("utf-8"),
+                    headers=dict(headers or {}))
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int) -> bytes:
+    """One CRLF- (or LF-) terminated line, hard-capped at ``limit``."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "bad_request",
+                        "header line exceeds limit") from None
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError from None
+        raise HttpError(400, "bad_request",
+                        "truncated request") from None
+    if len(line) > limit:
+        raise HttpError(400, "bad_request", "header line exceeds limit")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body: int) -> Optional[Request]:
+    """Parse one request off the stream.
+
+    Returns ``None`` on a clean EOF before any bytes (the client closed
+    a keep-alive connection), raises :class:`HttpError` on malformed
+    or over-limit input and :class:`EOFError` mid-request truncation.
+    """
+    try:
+        start = await _read_line(reader, MAX_START_LINE)
+    except EOFError:
+        return None
+    if not start:
+        # tolerate one stray blank line between keep-alive requests
+        try:
+            start = await _read_line(reader, MAX_START_LINE)
+        except EOFError:
+            return None
+    parts = start.decode("latin-1").split()
+    if len(parts) != 3:
+        raise HttpError(400, "bad_request", f"malformed start line "
+                        f"{start[:80]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, "bad_request",
+                        f"unsupported version {version!r}")
+
+    headers: Dict[str, str] = {}
+    while True:
+        try:
+            line = await _read_line(reader, MAX_START_LINE)
+        except EOFError:
+            raise HttpError(400, "bad_request",
+                            "truncated headers") from None
+        if not line:
+            break
+        if len(headers) >= MAX_HEADER_COUNT:
+            raise HttpError(400, "bad_request", "too many headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, "bad_request",
+                            f"malformed header {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(411, "bad_request",
+                        "chunked bodies are not supported; send "
+                        "Content-Length")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, "bad_request",
+                            f"bad Content-Length {length_text!r}") from None
+        if length < 0:
+            raise HttpError(400, "bad_request", "negative Content-Length")
+        if length > max_body:
+            raise HttpError(413, "payload_too_large",
+                            f"body of {length} bytes exceeds the "
+                            f"{max_body} byte cap")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "bad_request",
+                                "body shorter than Content-Length") from None
+
+    split = urlsplit(target)
+    query = {key: value for key, value in parse_qsl(split.query)}
+    return Request(method=method.upper(), path=unquote(split.path),
+                   query=query, headers=headers, body=body,
+                   version=version)

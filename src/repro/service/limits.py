@@ -1,0 +1,188 @@
+"""Backpressure primitives: per-client rate limiting and a circuit
+breaker.
+
+The service front-end (:mod:`repro.service.app`) is the only writer of
+simulation work into the executor, so these are the two valves that
+keep a traffic spike from turning into an unbounded queue:
+
+* :class:`TokenBucket` — classic per-client token buckets.  Every
+  authenticated request (or anonymous peer) draws one token; an empty
+  bucket answers ``429`` with a ``Retry-After`` hint.  Buckets refill
+  continuously at ``rate`` tokens/second up to ``burst``.
+* :class:`CircuitBreaker` — guards the executor.  ``threshold``
+  *consecutive* run failures open the circuit; while open, new
+  submissions are refused with ``503`` instead of queueing onto a
+  sick executor.  After ``reset_s`` the breaker goes half-open and
+  admits exactly one probe run: success closes it, failure re-opens.
+
+Both take an injectable monotonic clock so the unit tests drive time
+by hand instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Tuple
+
+__all__ = ["TokenBucket", "CircuitBreaker",
+           "BREAKER_CLOSED", "BREAKER_OPEN", "BREAKER_HALF_OPEN"]
+
+#: cap on distinct client buckets kept in memory (LRU-evicted beyond)
+MAX_TRACKED_CLIENTS = 4096
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class TokenBucket:
+    """Per-key token buckets with continuous refill.
+
+    Parameters
+    ----------
+    rate:
+        Tokens added per second per client.  ``0`` (or negative)
+        disables limiting entirely: :meth:`allow` always grants.
+    burst:
+        Bucket capacity — the largest instantaneous burst one client
+        may spend.
+    clock:
+        Monotonic seconds source (tests inject a fake).
+    """
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (tokens, last refill timestamp); ordered for LRU
+        self._buckets: "OrderedDict[str, Tuple[float, float]]" = OrderedDict()
+        #: requests refused since construction
+        self.rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0.0
+
+    def allow(self, key: str, cost: float = 1.0) -> Tuple[bool, float]:
+        """Try to spend ``cost`` tokens for ``key``.
+
+        Returns ``(granted, retry_after_s)``; ``retry_after_s`` is 0
+        when granted, else the time until the bucket holds ``cost``
+        tokens again.
+        """
+        if not self.enabled:
+            return True, 0.0
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.pop(key, (float(self.burst), now))
+            tokens = min(float(self.burst),
+                         tokens + (now - stamp) * self.rate)
+            granted = tokens >= cost
+            if granted:
+                tokens -= cost
+            else:
+                self.rejected += 1
+            self._buckets[key] = (tokens, now)
+            while len(self._buckets) > MAX_TRACKED_CLIENTS:
+                self._buckets.popitem(last=False)
+        if granted:
+            return True, 0.0
+        return False, (cost - tokens) / self.rate
+
+    def snapshot(self) -> Dict[str, float]:
+        """Operational view for /metrics (clients tracked, rejections)."""
+        with self._lock:
+            return {"clients": float(len(self._buckets)),
+                    "rejected": float(self.rejected)}
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker around the executor.
+
+    State machine::
+
+        closed --threshold failures--> open --reset_s elapses--> half_open
+        half_open --probe success--> closed
+        half_open --probe failure--> open (timer restarts)
+
+    Thread-safe: run outcomes arrive from executor worker threads while
+    admissions check :meth:`allow` from the event loop.
+    """
+
+    def __init__(self, threshold: int = 5, reset_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = int(threshold)
+        self.reset_s = float(reset_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+        #: times the circuit transitioned closed/half-open -> open
+        self.opened_total = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (self._state == BREAKER_OPEN
+                and self._clock() - self._opened_at >= self.reset_s):
+            self._state = BREAKER_HALF_OPEN
+            self._probe_out = False
+
+    def allow(self) -> bool:
+        """May a new run be admitted right now?
+
+        In half-open state exactly one caller gets ``True`` (the probe)
+        until its outcome is reported.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_HALF_OPEN and not self._probe_out:
+                self._probe_out = True
+                return True
+            return False
+
+    def on_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probe_out = False
+            self._state = BREAKER_CLOSED
+
+    def on_failure(self) -> None:
+        with self._lock:
+            self._maybe_half_open()
+            self._failures += 1
+            if self._state == BREAKER_HALF_OPEN:
+                self._trip()
+            elif (self._state == BREAKER_CLOSED
+                    and self._failures >= self.threshold):
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = BREAKER_OPEN
+        self._opened_at = self._clock()
+        self._probe_out = False
+        self.opened_total += 1
+
+    def snapshot(self) -> Dict[str, float]:
+        """Numeric view for /metrics (0 closed, 1 half-open, 2 open)."""
+        code = {BREAKER_CLOSED: 0.0, BREAKER_HALF_OPEN: 1.0,
+                BREAKER_OPEN: 2.0}[self.state]
+        with self._lock:
+            return {"state": code, "opened_total": float(self.opened_total),
+                    "consecutive_failures": float(self._failures)}

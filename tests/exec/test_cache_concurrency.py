@@ -1,0 +1,127 @@
+"""Concurrent-writer safety of the content-addressed result cache.
+
+The cache's contract (see ``repro/exec/cache.py``): simultaneous
+``put`` calls of the same digest — from threads or processes — stage
+private temp files and finish with atomic ``os.replace``, so a reader
+observes a complete old entry, a complete new entry, or a miss; never
+a torn one.  The service front-end leans on this (a timed-out run
+drains and writes concurrently with a fresh resubmission), so this
+suite hammers it directly.
+"""
+
+import json
+import multiprocessing
+import threading
+
+from repro.exec import ResultCache
+from repro.exec.cache import result_from_cache_dict, result_to_cache_dict
+from repro.pipeline.metrics import RunResult
+
+DIGEST = "ab" * 32
+
+
+def make_result(seed: int = 0) -> RunResult:
+    return RunResult(config="one_renderer", arrangement="ordered",
+                     pipelines=1, frames=4,
+                     walkthrough_seconds=1.0 + seed * 0.125,
+                     cores_used=3, scc_energy_j=2.0, scc_avg_power_w=1.5,
+                     mcpc_energy_above_idle_j=0.5,
+                     idle_quartiles={"render": (0.1, 0.2, 0.3)},
+                     busy_means={"render": 0.05},
+                     mc_utilizations=[0.5, 0.25],
+                     power_trace=[(0.0, 1.0), (1.0, 2.0)])
+
+
+def _writer(root: str, writer_id: int, iterations: int) -> None:
+    """One storm participant: hammer the same digest repeatedly."""
+    cache = ResultCache(root)
+    spec = {"config": "one_renderer", "frames": 4}
+    for i in range(iterations):
+        cache.put(DIGEST, spec, make_result(seed=writer_id))
+
+
+def _reader(root: str, iterations: int, errors: "multiprocessing.Queue"
+            ) -> None:
+    """Assert every observation is complete: valid JSON or a miss."""
+    cache = ResultCache(root)
+    path = cache.path_for(DIGEST)
+    for _ in range(iterations):
+        # raw read: any torn write shows up as a JSON parse failure
+        try:
+            text = path.read_text()
+        except OSError:
+            continue  # not yet written: a miss, fine
+        try:
+            doc = json.loads(text)
+            result_from_cache_dict(doc["result"])
+        except (ValueError, KeyError, TypeError) as exc:
+            errors.put(f"torn entry observed: {exc!r}")
+            return
+        # the public API must agree
+        got = cache.get(DIGEST)
+        if got is None:
+            errors.put("get() missed while the entry file parsed")
+            return
+
+
+def test_same_digest_write_storm_never_tears(tmp_path):
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn")
+    errors = ctx.Queue()
+    writers = [ctx.Process(target=_writer, args=(str(tmp_path), i, 40))
+               for i in range(3)]
+    readers = [ctx.Process(target=_reader, args=(str(tmp_path), 120, errors))
+               for _ in range(2)]
+    for proc in writers + readers:
+        proc.start()
+    for proc in writers + readers:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0, "storm participant crashed or hung"
+    assert errors.empty(), errors.get()
+    # the survivor is one complete entry from some writer
+    final = ResultCache(tmp_path).get(DIGEST)
+    assert final is not None
+    assert result_to_cache_dict(final)["walkthrough_seconds"] in (
+        1.0, 1.125, 1.25)
+    # and no staging temp files leaked
+    assert list(tmp_path.glob("**/*.tmp")) == []
+
+
+def test_threaded_same_digest_puts_leave_complete_entry(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = {"config": "one_renderer", "frames": 4}
+    threads = [threading.Thread(
+        target=lambda i=i: [cache.put(DIGEST, spec, make_result(i))
+                            for _ in range(25)])
+        for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    result = cache.get(DIGEST)
+    assert result is not None
+    doc = json.loads(cache.path_for(DIGEST).read_text())
+    assert doc["digest"] == DIGEST
+    assert list(tmp_path.glob("**/*.tmp")) == []
+
+
+def test_hit_miss_counters_survive_concurrent_readers(tmp_path):
+    """The service shares one cache across worker threads; the hit and
+    miss tallies must not lose increments (load/add/store races)."""
+    cache = ResultCache(tmp_path)
+    cache.put(DIGEST, {"config": "one_renderer"}, make_result())
+    per_thread = 50
+
+    def reader():
+        for _ in range(per_thread):
+            assert cache.get(DIGEST) is not None
+            cache.get("cd" * 32)  # a guaranteed miss
+
+    threads = [threading.Thread(target=reader) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert cache.hits == 8 * per_thread
+    assert cache.misses == 8 * per_thread

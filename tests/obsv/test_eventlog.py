@@ -139,3 +139,25 @@ def test_global_logger_configure_and_reset(tmp_path):
 
 def test_levels_catalog_is_ordered_least_to_most_severe():
     assert LEVELS == ("debug", "info", "warning", "error")
+
+
+def test_concurrent_threads_keep_ts_monotonic_in_file_order():
+    """Regression: ts must be stamped under the write lock.  Stamping
+    before queueing for the lock let two threads of one pid land records
+    out of timestamp order, which `validate_trace.py --eventlog` rejects
+    (the multi-threaded service front-end hit this in practice)."""
+    buf = io.StringIO()
+    log = EventLog(stream=buf)
+
+    def writer(worker: int) -> None:
+        for i in range(200):
+            log.info("service.probe", worker=worker, i=i)
+
+    threads = [threading.Thread(target=writer, args=(k,)) for k in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stamps = [rec["ts"] for rec in records(buf)]
+    assert len(stamps) == 1600
+    assert stamps == sorted(stamps), "file order disagrees with ts order"

@@ -1,0 +1,67 @@
+"""Shared fixtures for the service front-end tests.
+
+Every test here talks to a real :class:`~repro.service.ReproService`
+bound to an ephemeral loopback port — the same code path production
+takes — with tiny specs (a handful of frames) so the suite stays fast
+enough to ride in the default pytest run.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.service import ReproService, ServiceConfig
+
+#: the tiny spec every test submits (4 frames, 16px — sub-second)
+TINY = {"config": "one_renderer", "frames": 4, "image_side": 16}
+
+
+def http(method, url, doc=None, token=None, raw=None, timeout=15.0):
+    """One request; returns (status, headers, body_bytes).
+
+    HTTP error statuses are returned, not raised, so tests assert on
+    them directly.
+    """
+    data = raw
+    if doc is not None:
+        data = json.dumps(doc).encode()
+    request = urllib.request.Request(url, data=data, method=method)
+    if token is not None:
+        request.add_header("Authorization", f"Bearer {token}")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+def http_json(method, url, doc=None, token=None):
+    status, headers, body = http(method, url, doc=doc, token=token)
+    return status, headers, json.loads(body)
+
+
+@pytest.fixture
+def make_service(tmp_path):
+    """Factory: a started service over a fresh cache; stopped on exit."""
+    started = []
+
+    def factory(**overrides):
+        cache = ResultCache(tmp_path / "cache")
+        config = ServiceConfig(workers=overrides.pop("workers", 2),
+                               **overrides)
+        service = ReproService(config, cache=cache).start()
+        started.append(service)
+        return service
+
+    yield factory
+    for service in started:
+        service.stop()
+
+
+@pytest.fixture
+def service(make_service):
+    """A started service with default limits."""
+    return make_service()

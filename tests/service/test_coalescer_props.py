@@ -1,0 +1,168 @@
+"""Property tests: coalescer invariants under arbitrary interleavings.
+
+The :class:`~repro.service.coalescer.DigestCoalescer` owns no threads,
+so Hypothesis can drive submit/complete/cancel sequences directly and
+check the two invariants the service depends on:
+
+* a digest never has two concurrently live jobs — any submission while
+  one is in flight attaches to it;
+* every subscriber observes exactly one terminal frame, no matter when
+  it subscribed or how the job ended.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec import RunSpec
+from repro.pipeline.metrics import RunResult
+from repro.service.coalescer import DigestCoalescer, QueueFull
+from repro.service.wire import is_stream_end
+
+pytestmark = pytest.mark.service
+
+SPEC = RunSpec(config="one_renderer", frames=4, image_side=16)
+
+DIGESTS = st.sampled_from(["aa", "bb", "cc"])
+ACTIONS = st.lists(
+    st.tuples(st.sampled_from(["submit", "subscribe", "progress",
+                               "success", "error", "cancel"]),
+              DIGESTS),
+    min_size=1, max_size=60)
+
+
+def FakeResult():
+    """A minimal real RunResult (the terminal frame serialises it)."""
+    return RunResult(config="one_renderer", arrangement="ordered",
+                     pipelines=1, frames=4, walkthrough_seconds=1.0,
+                     cores_used=3, scc_energy_j=1.0, scc_avg_power_w=1.0,
+                     mcpc_energy_above_idle_j=0.5)
+
+
+def terminal_count(frames):
+    return sum(1 for doc in frames if is_stream_end(doc))
+
+
+@settings(max_examples=200, deadline=None)
+@given(actions=ACTIONS)
+def test_interleavings_never_double_run_and_always_terminate(actions):
+    coalescer = DigestCoalescer(max_active=2, recent_cap=4)
+    live = {}          # digest -> live Job
+    created_total = 0
+    subscriber_logs = []  # (job, frames list) for every subscription
+
+    for action, digest in actions:
+        if action == "submit":
+            try:
+                job, created = coalescer.submit(digest, SPEC)
+            except QueueFull:
+                assert digest not in live
+                assert coalescer.active >= 2
+                continue
+            if created:
+                created_total += 1
+                # INVARIANT: a new job only when none was live
+                assert digest not in live or live[digest].terminal
+                live[digest] = job
+            else:
+                # INVARIANT: attaching returns the live job, identically
+                assert live[digest] is job
+        elif digest in live:
+            job = live[digest]
+            if action == "subscribe":
+                frames = []
+                job.subscribe(frames.append)
+                subscriber_logs.append((job, frames))
+            elif action == "progress":
+                job.publish({"v": 1, "kind": "heartbeat",
+                             "digest": digest, "index": job.seq,
+                             "worker": "w", "frames_done": 1})
+            elif action == "success":
+                job.finish_success(FakeResult())
+                coalescer.release(job)
+                del live[digest]
+            elif action == "error":
+                job.finish_error("run_failed", "injected")
+                coalescer.release(job)
+                del live[digest]
+            elif action == "cancel":
+                job.mark_cancelled()
+                coalescer.release(job)
+                del live[digest]
+
+    # drain every still-live job so all subscribers reach a terminal
+    for digest, job in list(live.items()):
+        job.finish_error("cancelled", "test teardown")
+        coalescer.release(job)
+
+    # INVARIANT: every subscriber saw exactly one terminal frame, last
+    for job, frames in subscriber_logs:
+        assert terminal_count(frames) == 1, frames
+        assert is_stream_end(frames[-1])
+        # and its frames are exactly the job's history suffix it joined
+        assert frames == job.history[len(job.history) - len(frames):]
+
+    # the coalescer table is empty; counters reconcile
+    assert coalescer.active == 0
+    assert created_total <= coalescer.submitted
+
+
+@settings(max_examples=100, deadline=None)
+@given(pre_frames=st.integers(min_value=0, max_value=5),
+       outcome=st.sampled_from(["success", "error", "cancel"]))
+def test_every_subscriber_sees_identical_history(pre_frames, outcome):
+    """Early, mid and post-terminal subscribers all converge on the
+    same frame sequence."""
+    coalescer = DigestCoalescer(max_active=1)
+    job, created = coalescer.submit("dd", SPEC)
+    assert created
+
+    early = []
+    job.subscribe(early.append)
+    for i in range(pre_frames):
+        job.publish({"v": 1, "kind": "heartbeat", "digest": "dd",
+                     "index": job.seq, "worker": "w", "frames_done": i})
+    mid = []
+    job.subscribe(mid.append)
+    if outcome == "success":
+        job.finish_success(FakeResult())
+    elif outcome == "error":
+        job.finish_error("run_failed", "boom")
+    else:
+        job.mark_cancelled()
+    late = []
+    sub, replayed = job.subscribe(late.append)
+    assert replayed == len(job.history)
+
+    assert early == mid == late == job.history
+    assert terminal_count(early) == 1
+    # post-terminal publishes are dropped, not delivered
+    job.publish({"v": 1, "kind": "heartbeat", "digest": "dd",
+                 "index": job.seq, "worker": "w", "frames_done": 99})
+    assert len(late) == len(job.history)
+
+
+def test_double_terminal_first_wins():
+    coalescer = DigestCoalescer(max_active=1)
+    job, _ = coalescer.submit("ee", SPEC)
+    frames = []
+    job.subscribe(frames.append)
+    job.finish_error("timeout", "budget exceeded")
+    job.finish_success(FakeResult())  # late drain: must be a no-op
+    assert terminal_count(frames) == 1
+    assert frames[-1]["error"] == "timeout"
+    assert job.outcome == "error"
+
+
+def test_queue_full_counts_and_recovers():
+    coalescer = DigestCoalescer(max_active=1)
+    job, _ = coalescer.submit("aa", SPEC)
+    with pytest.raises(QueueFull):
+        coalescer.submit("bb", SPEC)
+    assert coalescer.rejected_full == 1
+    job.finish_success(FakeResult())
+    coalescer.release(job)
+    job2, created = coalescer.submit("bb", SPEC)
+    assert created
+    # the finished job stays addressable via the recent table
+    assert coalescer.get("aa") is job

@@ -1,0 +1,103 @@
+"""Digest coalescing end-to-end: N identical submissions, 1 simulation."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+import repro.exec.executor as executor_mod
+from repro.exec import execute_spec
+from repro.obsv.promexpo import parse_prometheus_text
+
+from .conftest import TINY, http, http_json
+
+pytestmark = pytest.mark.service
+
+
+class Gate:
+    """Blocks every execute_spec call until released, counting calls."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.entered = threading.Event()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, spec, telemetry=None):
+        with self._lock:
+            self.calls += 1
+        self.entered.set()
+        assert self.release.wait(timeout=30), "gate never released"
+        return execute_spec(spec, telemetry=telemetry)
+
+
+def test_identical_inflight_submissions_coalesce(service, monkeypatch):
+    gate = Gate()
+    monkeypatch.setattr(executor_mod, "execute_spec", gate)
+
+    first_status, _, first = http_json("POST", service.url + "/runs", TINY)
+    assert (first_status, first["status"]) == (202, "accepted")
+    digest = first["digest"]
+    assert gate.entered.wait(timeout=10), "worker never started"
+
+    laters = [http_json("POST", service.url + "/runs", TINY)
+              for _ in range(4)]
+    for status, _, doc in laters:
+        assert (status, doc["status"]) == (202, "coalesced")
+        assert doc["digest"] == digest
+
+    gate.release.set()
+    # every client reads the result; all five bodies are byte-identical
+    with ThreadPoolExecutor(max_workers=5) as pool:
+        bodies = list(pool.map(
+            lambda _: http("GET", service.url + f"/runs/{digest}?wait=30"),
+            range(5)))
+    assert all(status == 200 for status, _, _ in bodies)
+    assert len({body for _, _, body in bodies}) == 1
+
+    # exactly one simulation ran — asserted three independent ways
+    assert gate.calls == 1
+    assert service.executor.stats.executed == 1
+    _, _, metrics = http("GET", service.url + "/metrics")
+    families = parse_prometheus_text(metrics.decode())
+    coalescer = {labels["key"]: value
+                 for labels, value in families["repro_service_coalescer"]}
+    assert coalescer["submitted"] == 5
+    assert coalescer["coalesced"] == 4
+    jobs = {labels["outcome"]: value
+            for labels, value in families["repro_service_jobs_total"]}
+    assert jobs == {"executed": 1}
+
+
+def test_distinct_specs_do_not_coalesce(service, monkeypatch):
+    gate = Gate()
+    gate.release.set()  # no blocking, just counting
+    monkeypatch.setattr(executor_mod, "execute_spec", gate)
+    _, _, one = http_json("POST", service.url + "/runs", TINY)
+    _, _, two = http_json("POST", service.url + "/runs",
+                          {**TINY, "seed": 1})
+    assert one["digest"] != two["digest"]
+    for doc in (one, two):
+        status, _, _ = http("GET",
+                            service.url + f"/runs/{doc['digest']}?wait=30")
+        assert status == 200
+    assert gate.calls == 2
+
+
+def test_concurrent_submissions_race_to_one_job(service, monkeypatch):
+    """Parallel POSTs of one spec: every response is accepted or
+    coalesced, exactly one simulation runs."""
+    gate = Gate()
+    monkeypatch.setattr(executor_mod, "execute_spec", gate)
+    with ThreadPoolExecutor(max_workers=6) as pool:
+        replies = list(pool.map(
+            lambda _: http_json("POST", service.url + "/runs", TINY),
+            range(6)))
+    gate.release.set()
+    statuses = sorted(doc["status"] for _, _, doc in replies)
+    assert statuses.count("accepted") == 1
+    assert statuses.count("coalesced") == 5
+    digest = replies[0][2]["digest"]
+    status, _, _ = http("GET", service.url + f"/runs/{digest}?wait=30")
+    assert status == 200
+    assert gate.calls == 1

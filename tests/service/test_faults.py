@@ -1,0 +1,211 @@
+"""Fault injection: every failure mode surfaces a documented error and
+never hangs the service."""
+
+import json
+import time
+
+import pytest
+
+import repro.exec.executor as executor_mod
+from repro.exec import execute_spec
+from repro.obsv.promexpo import parse_prometheus_text
+from repro.service import WSClient, WSClosed
+
+from .conftest import TINY, http, http_json
+from .test_coalescing import Gate
+
+pytestmark = pytest.mark.service
+
+
+def drain_stream(client, max_frames=200):
+    """Collect frames until a terminal one (result/error) or close."""
+    frames = []
+    try:
+        while len(frames) < max_frames:
+            frames.append(client.recv_json())
+            if frames[-1].get("kind") in ("result", "error"):
+                break
+    except WSClosed:
+        pass
+    return frames
+
+
+def poll(predicate, timeout=15.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class GateThenRaise(Gate):
+    """Blocks like Gate, then dies like a killed worker."""
+
+    def __call__(self, spec, telemetry=None):
+        with self._lock:
+            self.calls += 1
+        self.entered.set()
+        assert self.release.wait(timeout=30), "gate never released"
+        raise RuntimeError("worker killed mid-run")
+
+
+def test_worker_death_surfaces_run_failed(service, monkeypatch):
+    gate = GateThenRaise()
+    monkeypatch.setattr(executor_mod, "execute_spec", gate)
+    _, _, doc = http_json("POST", service.url + "/runs", TINY)
+    digest = doc["digest"]
+    assert gate.entered.wait(timeout=10)
+    client = WSClient(service.config.host, service.port,
+                      f"/runs/{digest}/stream")
+    assert client.handshake_status == 101
+    gate.release.set()
+    frames = drain_stream(client)
+    client.close()
+    assert frames[0]["kind"] == "hello"
+    states = [f["state"] for f in frames if f["kind"] == "state"]
+    assert states[-1] == "failed"
+    terminal = frames[-1]
+    assert terminal["kind"] == "error"
+    assert terminal["error"] == "run_failed"
+    assert "worker killed mid-run" in terminal["detail"]
+    # GET agrees with the stream
+    status, _, body = http("GET", service.url + f"/runs/{digest}")
+    assert status == 500
+    assert json.loads(body)["error"] == "run_failed"
+
+
+def test_corrupt_cache_entry_is_a_miss_and_heals(make_service):
+    first = make_service()
+    _, _, doc = http_json("POST", first.url + "/runs", TINY)
+    digest = doc["digest"]
+    status, _, _ = http("GET", first.url + f"/runs/{digest}?wait=30")
+    assert status == 200
+    assert first.cache is not None
+    entry = first.cache.path_for(digest)
+    entry.write_text("{torn json" * 10)
+
+    # a fresh service (no in-memory job table) sees a miss, not a crash
+    second = make_service()
+    status, _, body = http("GET", second.url + f"/runs/{digest}")
+    assert status == 404
+    assert json.loads(body)["error"] == "not_found"
+    # resubmission re-runs the spec and heals the entry
+    _, _, doc = http_json("POST", second.url + "/runs", TINY)
+    assert doc["status"] == "accepted"
+    status, _, _ = http("GET", second.url + f"/runs/{digest}?wait=30")
+    assert status == 200
+    assert json.loads(entry.read_text())["digest"] == digest
+
+
+def test_client_drop_mid_stream_never_wedges_the_run(service, monkeypatch):
+    gate = Gate()
+    monkeypatch.setattr(executor_mod, "execute_spec", gate)
+    _, _, doc = http_json("POST", service.url + "/runs", TINY)
+    digest = doc["digest"]
+    assert gate.entered.wait(timeout=10)
+    client = WSClient(service.config.host, service.port,
+                      f"/runs/{digest}/stream")
+    assert client.recv_json()["kind"] == "hello"
+    client.abort()  # TCP reset, no close frame
+    gate.release.set()
+    # the run still completes and the result is servable
+    status, _, _ = http("GET", service.url + f"/runs/{digest}?wait=30")
+    assert status == 200
+
+    def saw_drop():
+        _, _, body = http("GET", service.url + "/metrics")
+        families = parse_prometheus_text(body.decode())
+        streams = {labels["key"]: value for labels, value
+                   in families.get("repro_service_streams_total", [])}
+        return streams.get("client_dropped", 0) >= 1
+
+    assert poll(saw_drop), "server never noticed the dropped client"
+
+
+def test_admission_queue_exhaustion_is_503_queue_full(make_service,
+                                                      monkeypatch):
+    service = make_service(queue_limit=1)
+    gate = Gate()
+    monkeypatch.setattr(executor_mod, "execute_spec", gate)
+    _, _, first = http_json("POST", service.url + "/runs", TINY)
+    assert first["status"] == "accepted"
+    # same digest still coalesces even with the queue full...
+    _, _, dup = http_json("POST", service.url + "/runs", TINY)
+    assert dup["status"] == "coalesced"
+    # ...but a new digest is shed with a documented error
+    status, headers, doc = http_json("POST", service.url + "/runs",
+                                     {**TINY, "seed": 7})
+    assert status == 503
+    assert doc["error"] == "queue_full"
+    assert "Retry-After" in headers
+    gate.release.set()
+    status, _, _ = http("GET",
+                        service.url + f"/runs/{first['digest']}?wait=30")
+    assert status == 200
+
+
+def test_run_timeout_streams_terminal_error_and_drains(make_service,
+                                                       monkeypatch):
+    service = make_service(run_timeout_s=0.2)
+    gate = Gate()
+    monkeypatch.setattr(executor_mod, "execute_spec", gate)
+    _, _, doc = http_json("POST", service.url + "/runs", TINY)
+    digest = doc["digest"]
+    assert gate.entered.wait(timeout=10)
+    client = WSClient(service.config.host, service.port,
+                      f"/runs/{digest}/stream")
+    frames = drain_stream(client)  # watchdog fires while gate blocks
+    client.close()
+    terminal = frames[-1]
+    assert terminal["kind"] == "error"
+    assert terminal["error"] == "timeout"
+    status, _, body = http("GET", service.url + f"/runs/{digest}")
+    assert status == 500
+    assert json.loads(body)["error"] == "timeout"
+
+    # the worker was never orphaned: releasing it drains the run, the
+    # result lands in the cache and becomes servable
+    gate.release.set()
+
+    def drained():
+        status, _, _ = http("GET", service.url + f"/runs/{digest}")
+        return status == 200
+
+    assert poll(drained), "timed-out run never drained into the cache"
+    assert gate.calls == 1
+
+
+def test_circuit_breaker_opens_after_failures(make_service, monkeypatch):
+    service = make_service(breaker_threshold=1, breaker_reset_s=60.0)
+    gate = GateThenRaise()
+    gate.release.set()
+    monkeypatch.setattr(executor_mod, "execute_spec", gate)
+    _, _, doc = http_json("POST", service.url + "/runs", TINY)
+    status, _, _ = http("GET", service.url + f"/runs/{doc['digest']}?wait=30")
+    assert status == 500
+    assert poll(lambda: service.breaker.state == "open")
+    status, _, refused = http_json("POST", service.url + "/runs",
+                                   {**TINY, "seed": 3})
+    assert status == 503
+    assert refused["error"] == "circuit_open"
+    _, _, health = http_json("GET", service.url + "/healthz")
+    assert health["breaker"] == "open"
+
+
+def test_rate_limit_answers_429_with_retry_after(make_service):
+    service = make_service(rate=0.001, burst=1)
+    status, _, _ = http_json("POST", service.url + "/runs", TINY)
+    assert status == 202
+    status, headers, doc = http_json("POST", service.url + "/runs",
+                                     {**TINY, "seed": 9})
+    assert status == 429
+    assert doc["error"] == "rate_limited"
+    assert float(headers["Retry-After"]) > 0
+
+
+def test_stream_of_unknown_digest_refused_before_upgrade(service):
+    client = WSClient(service.config.host, service.port,
+                      "/runs/" + "0" * 64 + "/stream")
+    assert client.handshake_status == 404
+    assert json.loads(client.handshake_body)["error"] == "not_found"

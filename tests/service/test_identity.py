@@ -1,0 +1,132 @@
+"""Differential identity: the service is a transport, not a transform.
+
+A result served over HTTP — cold, warm or coalesced — must be
+byte-identical to running the same spec directly, and the streamed
+event sequence must project onto the offline progress stream.
+"""
+
+import json
+
+import pytest
+
+from repro.exec import RunSpec, SweepExecutor
+from repro.exec.cache import result_to_cache_dict
+from repro.service import WSClient
+from repro.service.wire import WS_SCHEMA
+
+from .conftest import TINY, http, http_json
+
+pytestmark = pytest.mark.service
+
+
+def direct_result_dict():
+    """The spec run entirely offline, no service involved."""
+    return result_to_cache_dict(
+        SweepExecutor(jobs=1).run_one(RunSpec(**TINY)))
+
+
+def test_service_result_matches_direct_run(service):
+    _, _, doc = http_json("POST", service.url + "/runs", TINY)
+    status, _, body = http("GET",
+                           service.url + f"/runs/{doc['digest']}?wait=30")
+    assert status == 200
+    served = json.loads(body)["result"]
+    assert served == direct_result_dict()
+
+
+def test_cold_warm_coalesced_bodies_are_byte_identical(make_service):
+    # cold: first service instance executes the run
+    cold_service = make_service()
+    _, _, doc = http_json("POST", cold_service.url + "/runs", TINY)
+    digest = doc["digest"]
+    cold_status, cold_headers, cold = http(
+        "GET", cold_service.url + f"/runs/{digest}?wait=30")
+    assert cold_status == 200
+
+    # warm: a fresh service over the same cache serves from disk
+    warm_service = make_service()
+    warm_status, warm_headers, warm = http(
+        "GET", warm_service.url + f"/runs/{digest}")
+    assert warm_status == 200
+    assert warm_headers["X-Repro-Source"] == "cached"
+
+    # coalesced: resubmit against the warm service; the cached status
+    # path must still serve the same bytes on GET
+    _, _, again = http_json("POST", warm_service.url + "/runs", TINY)
+    assert again["status"] == "cached"
+    _, _, coalesced = http(
+        "GET", warm_service.url + f"/runs/{digest}?wait=30")
+
+    assert cold == warm == coalesced
+    # the path taken is header metadata, never body content
+    assert cold_headers["X-Repro-Source"] != warm_headers["X-Repro-Source"]
+
+
+def test_streamed_states_project_onto_offline_stream(service):
+    _, _, doc = http_json("POST", service.url + "/runs", TINY)
+    digest = doc["digest"]
+    client = WSClient(service.config.host, service.port,
+                      f"/runs/{digest}/stream")
+    frames = []
+    while True:
+        frames.append(client.recv_json())
+        if frames[-1]["kind"] in ("result", "error"):
+            break
+    client.close()
+
+    offline_events = []
+    SweepExecutor(jobs=1).run_one(RunSpec(**TINY),
+                                  progress=offline_events.append)
+
+    # heartbeats are wall-clock throttled (nondeterministic count), so
+    # identity holds on the deterministic state-event projection
+    def project_wire(frame):
+        return (frame["state"], frame.get("frames_total", 0),
+                frame.get("error", ""))
+
+    def project_offline(event):
+        return (event.state, event.frames_total, event.error)
+
+    streamed = [project_wire(f) for f in frames if f["kind"] == "state"]
+    offline = [project_offline(e) for e in offline_events
+               if e.kind == "state"]
+    assert streamed == offline
+    assert streamed[0][0] == "queued"
+    assert streamed[-1][0] == "done"
+
+    # every frame names the digest and the schema version
+    for frame in frames:
+        assert frame["v"] == WS_SCHEMA
+        if frame["kind"] != "hello":
+            assert frame["digest"] == digest
+
+    # and the terminal result frame carries the exact offline result
+    assert frames[-1]["kind"] == "result"
+    assert frames[-1]["result"] == direct_result_dict()
+
+
+def test_late_subscriber_replay_equals_live_sequence(service):
+    """A client that connects after completion sees the same frames."""
+    _, _, doc = http_json("POST", service.url + "/runs", TINY)
+    digest = doc["digest"]
+    live = WSClient(service.config.host, service.port,
+                    f"/runs/{digest}/stream")
+    live_frames = []
+    while True:
+        live_frames.append(live.recv_json())
+        if live_frames[-1]["kind"] in ("result", "error"):
+            break
+    live.close()
+
+    replay = WSClient(service.config.host, service.port,
+                      f"/runs/{digest}/stream")
+    replay_frames = []
+    while True:
+        replay_frames.append(replay.recv_json())
+        if replay_frames[-1]["kind"] in ("result", "error"):
+            break
+    replay.close()
+
+    # hello frames differ in replay depth; everything after must match
+    assert live_frames[0]["kind"] == replay_frames[0]["kind"] == "hello"
+    assert live_frames[1:] == replay_frames[1:]

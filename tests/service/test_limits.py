@@ -1,0 +1,127 @@
+"""Unit tests for the backpressure valves (injected clocks, no sleeps)."""
+
+import pytest
+
+from repro.service.limits import (BREAKER_CLOSED, BREAKER_HALF_OPEN,
+                                  BREAKER_OPEN, CircuitBreaker, TokenBucket)
+
+pytestmark = pytest.mark.service
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# -- token bucket ----------------------------------------------------------
+
+def test_bucket_burst_then_starves():
+    clock = Clock()
+    bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+    assert [bucket.allow("k")[0] for _ in range(3)] == [True] * 3
+    granted, retry = bucket.allow("k")
+    assert not granted
+    assert retry == pytest.approx(1.0)
+    assert bucket.rejected == 1
+
+
+def test_bucket_refills_continuously():
+    clock = Clock()
+    bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+    for _ in range(2):
+        assert bucket.allow("k")[0]
+    assert not bucket.allow("k")[0]
+    clock.advance(0.5)  # 1 token back at 2/s
+    assert bucket.allow("k")[0]
+    assert not bucket.allow("k")[0]
+
+
+def test_bucket_caps_at_burst():
+    clock = Clock()
+    bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+    clock.advance(100.0)  # refill far past capacity
+    assert bucket.allow("k")[0]
+    assert bucket.allow("k")[0]
+    assert not bucket.allow("k")[0]
+
+
+def test_bucket_keys_are_independent():
+    clock = Clock()
+    bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+    assert bucket.allow("a")[0]
+    assert not bucket.allow("a")[0]
+    assert bucket.allow("b")[0]  # a's starvation never touches b
+
+
+def test_bucket_disabled_when_rate_zero():
+    bucket = TokenBucket(rate=0.0, burst=1)
+    assert not bucket.enabled
+    assert all(bucket.allow("k")[0] for _ in range(100))
+    assert bucket.snapshot()["rejected"] == 0
+
+
+# -- circuit breaker -------------------------------------------------------
+
+def test_breaker_trips_on_consecutive_failures():
+    clock = Clock()
+    breaker = CircuitBreaker(threshold=3, reset_s=10.0, clock=clock)
+    assert breaker.state == BREAKER_CLOSED
+    breaker.on_failure()
+    breaker.on_failure()
+    assert breaker.state == BREAKER_CLOSED  # 2 < threshold
+    breaker.on_failure()
+    assert breaker.state == BREAKER_OPEN
+    assert not breaker.allow()
+    assert breaker.opened_total == 1
+
+
+def test_breaker_success_resets_the_streak():
+    breaker = CircuitBreaker(threshold=2, reset_s=10.0, clock=Clock())
+    breaker.on_failure()
+    breaker.on_success()
+    breaker.on_failure()
+    assert breaker.state == BREAKER_CLOSED  # streak broken mid-way
+
+
+def test_breaker_half_open_admits_one_probe():
+    clock = Clock()
+    breaker = CircuitBreaker(threshold=1, reset_s=5.0, clock=clock)
+    breaker.on_failure()
+    assert breaker.state == BREAKER_OPEN
+    clock.advance(5.0)
+    assert breaker.state == BREAKER_HALF_OPEN
+    assert breaker.allow()       # the probe
+    assert not breaker.allow()   # only one probe outstanding
+    breaker.on_success()
+    assert breaker.state == BREAKER_CLOSED
+    assert breaker.allow()
+
+
+def test_breaker_probe_failure_reopens():
+    clock = Clock()
+    breaker = CircuitBreaker(threshold=1, reset_s=5.0, clock=clock)
+    breaker.on_failure()
+    clock.advance(5.0)
+    assert breaker.allow()
+    breaker.on_failure()
+    assert breaker.state == BREAKER_OPEN
+    assert breaker.opened_total == 2
+    assert not breaker.allow()  # timer restarted
+    clock.advance(5.0)
+    assert breaker.allow()
+
+
+def test_breaker_snapshot_codes_states():
+    clock = Clock()
+    breaker = CircuitBreaker(threshold=1, reset_s=5.0, clock=clock)
+    assert breaker.snapshot()["state"] == 0.0
+    breaker.on_failure()
+    assert breaker.snapshot()["state"] == 2.0
+    clock.advance(5.0)
+    assert breaker.snapshot()["state"] == 1.0

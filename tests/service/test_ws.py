@@ -1,0 +1,98 @@
+"""RFC 6455 framing round-trips and protocol enforcement."""
+
+import asyncio
+
+import pytest
+
+from repro.service.ws import (MAX_FRAME_BYTES, OP_CLOSE, OP_PING, OP_TEXT,
+                              WSClosed, WSProtocolError, accept_key,
+                              close_payload, encode_frame, parse_close,
+                              read_frame)
+
+pytestmark = pytest.mark.service
+
+
+def read_one(data, require_mask=True):
+    async def _go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader, require_mask=require_mask)
+
+    return asyncio.run(_go())
+
+
+def test_accept_key_matches_rfc_example():
+    # the worked example from RFC 6455 section 1.3
+    assert (accept_key("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=")
+
+
+@pytest.mark.parametrize("size", [0, 1, 125, 126, 65535, 65536, 100_000])
+def test_frame_roundtrip_across_length_encodings(size):
+    payload = bytes(i % 251 for i in range(size))
+    opcode, out = read_one(encode_frame(OP_TEXT, payload, mask=True))
+    assert (opcode, out) == (OP_TEXT, payload)
+
+
+def test_masked_and_unmasked_payloads_agree():
+    payload = b'{"kind": "hello"}'
+    masked = encode_frame(OP_TEXT, payload, mask=True)
+    plain = encode_frame(OP_TEXT, payload, mask=False)
+    assert masked != plain  # mask key is random
+    assert read_one(masked)[1] == payload
+    assert read_one(plain, require_mask=False)[1] == payload
+
+
+def test_unmasked_client_frame_rejected():
+    with pytest.raises(WSProtocolError, match="masked"):
+        read_one(encode_frame(OP_TEXT, b"x", mask=False))
+
+
+def test_fragmented_frame_rejected():
+    frame = bytearray(encode_frame(OP_TEXT, b"x", mask=True))
+    frame[0] &= 0x7F  # clear FIN
+    with pytest.raises(WSProtocolError, match="fragmented"):
+        read_one(bytes(frame))
+
+
+def test_oversized_frame_rejected_without_reading_payload():
+    head = bytes([0x81, 0x80 | 127]) + (MAX_FRAME_BYTES + 1).to_bytes(8, "big")
+    with pytest.raises(WSProtocolError, match="exceeds cap"):
+        read_one(head)
+
+
+def test_oversized_control_frame_rejected():
+    frame = bytearray([0x80 | OP_PING, 0x80 | 126]) + (200).to_bytes(2, "big")
+    with pytest.raises(WSProtocolError, match="control frame"):
+        read_one(bytes(frame))
+
+
+def test_eof_mid_frame_raises_closed():
+    frame = encode_frame(OP_TEXT, b"hello world", mask=True)
+    with pytest.raises(WSClosed) as info:
+        read_one(frame[:5])
+    assert info.value.code == 1006
+
+
+def test_eof_before_frame_raises_closed():
+    with pytest.raises(WSClosed):
+        read_one(b"")
+
+
+def test_close_payload_roundtrip():
+    code, reason = parse_close(close_payload(1013, "overflow"))
+    assert (code, reason) == (1013, "overflow")
+    assert parse_close(b"") == (1005, "")
+
+
+def test_ping_roundtrip():
+    opcode, payload = read_one(encode_frame(OP_PING, b"hb", mask=True))
+    assert (opcode, payload) == (OP_PING, b"hb")
+
+
+def test_close_frame_roundtrip():
+    frame = encode_frame(OP_CLOSE, close_payload(1000, "bye"), mask=True)
+    opcode, payload = read_one(frame)
+    assert opcode == OP_CLOSE
+    assert parse_close(payload) == (1000, "bye")
