@@ -20,10 +20,13 @@ def add_exec_arguments(parser: argparse.ArgumentParser,
                        jobs_default: int = 1) -> argparse.ArgumentParser:
     """Attach the uniform ``--jobs`` / ``--cache-dir`` / ``--no-cache``
     flags (mirrors the ``repro sweep`` CLI)."""
-    parser.add_argument("--jobs", type=int, default=jobs_default,
+    from repro.cli import resolve_jobs
+
+    parser.add_argument("--jobs", type=resolve_jobs, default=jobs_default,
                         metavar="N",
-                        help="worker processes (results are identical for "
-                             f"any value; default {jobs_default})")
+                        help="worker processes, or 'auto' for the "
+                             "schedulable-CPU count (results are identical "
+                             f"for any value; default {jobs_default})")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="result cache directory (default "
                              "$REPRO_CACHE_DIR or ~/.cache/repro-scc)")

@@ -1,0 +1,253 @@
+#!/usr/bin/env python
+"""Batched steady-state engine vs the event engine, wall-clock.
+
+Measures both engines on the standard 50-frame ``mcpc_renderer``
+profile (the same workload as ``bench_endtoend.py``, telemetry
+disabled, timing mode so the batched engine is eligible) and records
+the comparison in ``BENCH_engine_batched.json`` at the repository root:
+
+* ``event``   — the discrete-event kernel's measurement;
+* ``batched`` — the coarse-op scheduler + frame-wave engine;
+* ``speedup`` — event/batched median wall time.
+
+Modes
+-----
+``python benchmarks/bench_engine_batched.py``
+    Measure and print a comparison against the committed numbers.
+``--update``
+    (Re)record both blocks and the speedup.
+``--check``
+    CI gate: exit non-zero when the measured speedup drops below
+    ``--min-speedup`` (default 3.0 — the acceptance floor; the
+    committed number has ample headroom above it).
+``--crossover``
+    Scan frame counts and report, per count, the batched/event speedup
+    and whether the frame-wave jump engaged — locates both the
+    wall-clock crossover (where batched first wins) and the jump
+    threshold (where steady state is first detected).
+
+Every measurement appends a schema-versioned trend record to
+``BENCH_history.jsonl`` so ``repro bench trend`` can catch slow drift
+in either engine, exactly like the end-to-end bench.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import _common  # noqa: F401  (bootstraps src/ onto sys.path)
+
+from repro.engine import BatchedEngine, batched_decline_reason  # noqa: E402
+from repro.obsv import append_history  # noqa: E402
+from repro.pipeline import PipelineRunner  # noqa: E402
+from repro.pipeline.workload import WalkthroughWorkload  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULT_PATH = REPO_ROOT / "BENCH_engine_batched.json"
+HISTORY_PATH = REPO_ROOT / "BENCH_history.jsonl"
+
+CONFIG = "mcpc_renderer"
+PIPELINES = 5
+FRAMES = 50
+RUNS = 9
+
+#: frame counts scanned by ``--crossover`` (the last is the paper's
+#: full 400-frame walkthrough)
+CROSSOVER_FRAMES = (5, 10, 15, 20, 30, 50, 100, 200, 400)
+
+
+def _runner(engine: str, frames: int = FRAMES,
+            workload: WalkthroughWorkload | None = None) -> PipelineRunner:
+    return PipelineRunner(config=CONFIG, pipelines=PIPELINES, frames=frames,
+                          workload=workload or WalkthroughWorkload(frames),
+                          engine=engine)
+
+
+def measure(runs: int = RUNS) -> dict:
+    """Median wall time of both engines on the standard profile.
+
+    The workload is built and warmed once outside the timed region and
+    the two engines alternate run-for-run, so slow OS-level drift hits
+    both medians equally instead of biasing the ratio.
+    """
+    workload = WalkthroughWorkload(frames=FRAMES)
+    reference = _runner("event", workload=workload).run()  # warm + oracle
+    assert batched_decline_reason(_runner("batched", workload=workload)) \
+        is None, "bench profile must be batched-eligible"
+
+    samples = {"event": [], "batched": []}
+    jumps: list = []
+    frames_simulated = FRAMES
+    for _ in range(runs):
+        for name in ("event", "batched"):
+            if name == "event":
+                runner = _runner("event", workload=workload)
+                t0 = time.perf_counter()
+                run_result = runner.run()
+                samples[name].append((time.perf_counter() - t0) * 1000.0)
+            else:
+                engine = BatchedEngine(_runner("batched", workload=workload))
+                t0 = time.perf_counter()
+                run_result = engine.run()
+                samples[name].append((time.perf_counter() - t0) * 1000.0)
+                jumps = list(engine.jumps)
+                frames_simulated = engine.frames_simulated
+            drift = abs(run_result.walkthrough_seconds
+                        - reference.walkthrough_seconds)
+            assert drift <= 1e-9 * reference.walkthrough_seconds, \
+                f"{name} engine drifted from the reference walkthrough"
+
+    event_ms = statistics.median(samples["event"])
+    batched_ms = statistics.median(samples["batched"])
+    return {
+        "config": CONFIG,
+        "pipelines": PIPELINES,
+        "frames": FRAMES,
+        "runs": runs,
+        "event_median_ms": round(event_ms, 3),
+        "batched_median_ms": round(batched_ms, 3),
+        "speedup": round(event_ms / batched_ms, 2),
+        "sim_seconds": reference.walkthrough_seconds,
+        "frames_simulated": frames_simulated,
+        "frames_skipped": FRAMES - frames_simulated,
+        "jumps": len(jumps),
+    }
+
+
+def crossover(runs: int = 5) -> list[dict]:
+    """Per-frame-count speedup scan: where does batched start winning,
+    and where does the frame-wave jump first engage?"""
+    rows = []
+    for frames in CROSSOVER_FRAMES:
+        workload = WalkthroughWorkload(frames=frames)
+        _runner("event", frames, workload).run()  # warm
+        event_s, batched_s, jumped = [], [], False
+        skipped = 0
+        for _ in range(runs):
+            runner = _runner("event", frames, workload)
+            t0 = time.perf_counter()
+            runner.run()
+            event_s.append(time.perf_counter() - t0)
+            engine = BatchedEngine(_runner("batched", frames, workload))
+            t0 = time.perf_counter()
+            engine.run()
+            batched_s.append(time.perf_counter() - t0)
+            jumped = bool(engine.jumps)
+            skipped = frames - engine.frames_simulated
+        rows.append({
+            "frames": frames,
+            "event_ms": round(statistics.median(event_s) * 1000.0, 3),
+            "batched_ms": round(statistics.median(batched_s) * 1000.0, 3),
+            "speedup": round(statistics.median(event_s)
+                             / statistics.median(batched_s), 2),
+            "jump": jumped,
+            "frames_skipped": skipped,
+        })
+    return rows
+
+
+def load() -> dict:
+    if RESULT_PATH.exists():
+        return json.loads(RESULT_PATH.read_text())
+    return {}
+
+
+def save(data: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="record the measurement blocks and speedup")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when the batched/event speedup drops "
+                             "below --min-speedup")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="floor for --check (default 3.0)")
+    parser.add_argument("--crossover", action="store_true",
+                        help="scan frame counts for the wall-clock "
+                             "crossover and the jump threshold")
+    parser.add_argument("--runs", type=int, default=RUNS)
+    parser.add_argument("--history", type=Path, default=HISTORY_PATH,
+                        help="append a trend record here "
+                             f"(default {HISTORY_PATH.name})")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the trend-record append")
+    args = parser.parse_args(argv)
+
+    if args.crossover:
+        rows = crossover()
+        print(f"{CONFIG} x{PIPELINES} pipelines, batched vs event by "
+              f"frame count:")
+        print(f"{'frames':>7} {'event ms':>9} {'batched ms':>11} "
+              f"{'speedup':>8}  jump")
+        first_win = None
+        first_jump = None
+        for row in rows:
+            mark = f"yes (-{row['frames_skipped']} frames)" \
+                if row["jump"] else "no"
+            print(f"{row['frames']:>7} {row['event_ms']:>9.1f} "
+                  f"{row['batched_ms']:>11.2f} {row['speedup']:>7.2f}x  "
+                  f"{mark}")
+            if first_win is None and row["speedup"] >= 1.0:
+                first_win = row["frames"]
+            if first_jump is None and row["jump"]:
+                first_jump = row["frames"]
+        print(f"crossover: batched wins from {first_win} frame(s); "
+              f"frame-wave jump engages by {first_jump} frames")
+        data = load()
+        data["crossover"] = rows
+        save(data)
+        print(f"crossover table recorded in {RESULT_PATH.name}")
+        return 0
+
+    fresh = measure(args.runs)
+    print(f"{CONFIG} x{PIPELINES} pipelines, {FRAMES} frames: "
+          f"event {fresh['event_median_ms']:.1f} ms -> batched "
+          f"{fresh['batched_median_ms']:.1f} ms = {fresh['speedup']:.1f}x "
+          f"({fresh['jumps']} jump(s), {fresh['frames_skipped']} frames "
+          f"skipped)")
+
+    if not args.no_history:
+        # history metrics must be lower-is-better (one-sided trend gate):
+        # the medians qualify, the speedup ratio is context and goes to meta
+        metrics = {k: fresh[k] for k in ("event_median_ms",
+                                         "batched_median_ms")}
+        meta = {k: v for k, v in fresh.items() if k not in metrics}
+        append_history(args.history, "engine_batched", metrics, meta=meta)
+        print(f"trend record appended to {args.history.name}")
+
+    if args.update:
+        data = load()
+        data["current"] = fresh
+        save(data)
+        print(f"measurement recorded in {RESULT_PATH.name}")
+        return 0
+
+    data = load()
+    current = data.get("current")
+    if current is not None:
+        print(f"committed speedup: {current['speedup']:.1f}x "
+              f"(event {current['event_median_ms']:.1f} ms, batched "
+              f"{current['batched_median_ms']:.1f} ms)")
+    elif args.check:
+        print("no committed measurement; run with --update first",
+              file=sys.stderr)
+
+    if args.check and fresh["speedup"] < args.min_speedup:
+        print(f"FAIL: batched-engine speedup {fresh['speedup']:.2f}x fell "
+              f"below the {args.min_speedup:.1f}x floor", file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"OK: speedup >= {args.min_speedup:.1f}x floor")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

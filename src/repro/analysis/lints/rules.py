@@ -35,14 +35,16 @@ from .engine import LintContext, Rule
 __all__ = ["ALL_RULES", "DETERMINISTIC_PACKAGES", "default_rules",
            "WallClockRule", "UnseededRandomRule", "EnvDependenceRule",
            "UnorderedIterationRule", "MutableDefaultRule",
-           "UnfrozenSpecDataclassRule", "UnknownCounterRootRule",
-           "UnknownMetricRootRule", "DirectPrintRule"]
+           "UnfrozenSpecDataclassRule", "FloatAccumulationRule",
+           "UnknownCounterRootRule", "UnknownMetricRootRule",
+           "DirectPrintRule"]
 
 #: packages on the RunSpec -> RunResult path: nothing here may read the
 #: wall clock, the environment, or unseeded randomness
 DETERMINISTIC_PACKAGES = (
     "repro.sim", "repro.scc", "repro.rcce", "repro.pipeline",
     "repro.render", "repro.filters", "repro.host", "repro.cluster",
+    "repro.engine",
 )
 
 #: wall-clock entry points, by dotted name
@@ -339,6 +341,61 @@ class UnfrozenSpecDataclassRule(Rule):
         return False
 
 
+class FloatAccumulationRule(Rule):
+    rule_id = "DET007"
+    summary = "naive float accumulation inside a loop"
+    rationale = (
+        "A `total += term` loop accumulates rounding error that depends "
+        "on the number and order of iterations; the batched engine's "
+        "frame-wave jumps replace thousands of such adds with one "
+        "vectorised step, so any drift between the two paths must be "
+        "deliberate and bounded.  Collect the terms and `math.fsum` "
+        "them (or use Kahan summation) — or, where the naive add "
+        "deliberately mirrors the event kernel bit-for-bit, suppress "
+        "with `# lint: disable=DET007 -- why` on the statement line.")
+
+    #: terminal-name fragments that mark a float accumulator (counters
+    #: like `grants`/`messages`/`_seq` are integers and exact by nature)
+    _HINTS = ("total", "sum", "busy", "energy", "seconds", "covered",
+              "idle", "power")
+    #: enclosing functions that *are* the compensated implementation
+    _EXEMPT_FN_HINTS = ("kahan", "fsum", "compensated")
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        if not ctx.in_package(*DETERMINISTIC_PACKAGES):
+            return
+        exempt: set = set()
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and any(h in node.name.lower()
+                            for h in self._EXEMPT_FN_HINTS)):
+                exempt.update(id(sub) for sub in ast.walk(node))
+        seen: set = set()
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if (id(node) in seen or id(node) in exempt
+                        or not isinstance(node, ast.AugAssign)
+                        or not isinstance(node.op, ast.Add)):
+                    continue
+                name = self._terminal_name(node.target)
+                if name and any(h in name.lower() for h in self._HINTS):
+                    seen.add(id(node))
+                    yield node, (
+                        f"`{name} +=` in a loop accumulates rounding "
+                        f"error per iteration; collect terms and "
+                        f"math.fsum them (or use Kahan summation)")
+
+    @staticmethod
+    def _terminal_name(node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+
 class UnknownCounterRootRule(Rule):
     rule_id = "TEL001"
     summary = "telemetry counter outside the registered namespace"
@@ -484,8 +541,9 @@ def default_rules() -> Sequence[Rule]:
     """The project rule set, in catalog order."""
     return (WallClockRule(), UnseededRandomRule(), EnvDependenceRule(),
             UnorderedIterationRule(), MutableDefaultRule(),
-            UnfrozenSpecDataclassRule(), UnknownCounterRootRule(),
-            UnknownMetricRootRule(), DirectPrintRule())
+            UnfrozenSpecDataclassRule(), FloatAccumulationRule(),
+            UnknownCounterRootRule(), UnknownMetricRootRule(),
+            DirectPrintRule())
 
 
 ALL_RULES = tuple(type(r) for r in default_rules())

@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -66,7 +67,7 @@ from typing import List, Optional, Sequence
 
 from .analysis import PeriodPredictor
 from .exec import ResultCache, RunSpec, SweepExecutor, default_cache_dir
-from .pipeline import ARRANGEMENTS, CONFIGURATIONS, PipelineRunner
+from .pipeline import ARRANGEMENTS, CONFIGURATIONS, ENGINES, PipelineRunner
 from .pipeline.arrangements import dvfs_study_placement
 from .pipeline.workload import WalkthroughWorkload
 from .report import format_table, paper, results_to_json
@@ -81,13 +82,31 @@ from .telemetry import (
 __all__ = ["main", "build_parser"]
 
 
+def resolve_jobs(value: str) -> int:
+    """``--jobs N`` or ``--jobs auto``.
+
+    ``auto`` resolves to the CPUs this process may actually be
+    *scheduled* on (``os.sched_getaffinity``), not ``os.cpu_count()``:
+    in a cgroup-pinned container the two differ, and sizing the pool by
+    cpu_count oversubscribes the one allowed CPU (BENCH_sweep.json).
+    """
+    if str(value).strip().lower() == "auto":
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux fallback
+            return max(1, os.cpu_count() or 1)
+    return int(value)
+
+
 def _add_exec_args(parser: argparse.ArgumentParser,
                    jobs: bool = True) -> None:
     """The uniform executor/cache flags (`sweep`, `run`, `table1`...)."""
     if jobs:
-        parser.add_argument("--jobs", type=int, default=1, metavar="N",
-                            help="worker processes (results are identical "
-                                 "for any value; default 1)")
+        parser.add_argument("--jobs", type=resolve_jobs, default=1,
+                            metavar="N",
+                            help="worker processes, or 'auto' for the "
+                                 "schedulable-CPU count (results are "
+                                 "identical for any value; default 1)")
     parser.add_argument("--cache-dir", type=pathlib.Path, default=None,
                         metavar="DIR",
                         help="result cache directory (default "
@@ -146,6 +165,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable the runtime sanitizers (MPB races, "
                           "event lifecycle, clock monotonicity); exits 3 "
                           "when any diagnostic fires")
+    run.add_argument("--engine", choices=ENGINES, default="event",
+                     help="execution engine: 'event' replays every "
+                          "simulation event; 'batched' advances whole "
+                          "frame-waves through the steady-state phase "
+                          "(same results within committed tolerances)")
+    run.add_argument("--strict-differential", action="store_true",
+                     help="run BOTH engines and diff their metric "
+                          "snapshots (committed tolerances; exact where "
+                          "the batched engine falls back); exits 1 on "
+                          "any deviation")
     _add_exec_args(run, jobs=False)
 
     sweep = sub.add_parser(
@@ -169,6 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--expect-all-cached", action="store_true",
                        help="exit non-zero if any point had to be "
                             "simulated (CI cache-effectiveness gate)")
+    sweep.add_argument("--engine", choices=ENGINES, default="event",
+                       help="execution engine for every point (digest-"
+                            "distinguished: batched and event results "
+                            "cache separately)")
     _add_exec_args(sweep)
     _add_obsv_args(sweep)
 
@@ -235,8 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--top", type=int, default=5, metavar="N",
                          help="rows per section of the top report "
                               "(default 5)")
-    profile.add_argument("--jobs", type=int, default=1, metavar="N",
-                         help="run in N worker processes and merge the "
+    profile.add_argument("--jobs", type=resolve_jobs, default=1,
+                         metavar="N",
+                         help="run in N worker processes ('auto' = the "
+                              "schedulable-CPU count) and merge the "
                               "telemetry back (totals match serial)")
 
     table1 = sub.add_parser("table1", help="regenerate Table I")
@@ -394,6 +429,28 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
 
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain the content-addressed result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    gc = cache_sub.add_parser(
+        "gc",
+        help="prune cache entries by age and/or total size "
+             "(corrupt entries always go; then oldest-first until the "
+             "size budget fits)")
+    gc.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                    metavar="DIR",
+                    help="cache directory (default $REPRO_CACHE_DIR or "
+                         "~/.cache/repro-scc)")
+    gc.add_argument("--max-age-days", type=float, default=None,
+                    metavar="DAYS",
+                    help="remove entries not written in DAYS days")
+    gc.add_argument("--max-size-mb", type=float, default=None,
+                    metavar="MB",
+                    help="evict oldest entries until the cache fits MB")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be removed; delete nothing")
+
     return parser
 
 
@@ -417,10 +474,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from .analysis.sanitizers import SanitizerSuite
 
         suite = SanitizerSuite()
+    if args.strict_differential:
+        return _cmd_strict_differential(args)
     runner = PipelineRunner(config=args.config, pipelines=args.pipelines,
                             arrangement=args.arrangement, frames=args.frames,
                             trace=args.gantt, telemetry=telemetry,
-                            sanitizers=suite)
+                            sanitizers=suite, engine=args.engine)
     # A Gantt chart, Chrome trace or sanitized run needs the live
     # simulation; otherwise the content-addressed cache can answer
     # (and record) the result.
@@ -469,9 +528,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_strict_differential(args: argparse.Namespace) -> int:
+    """Run both engines and diff their metric snapshots.
+
+    Uses the committed ``metrics-tolerances.json`` when present in the
+    working directory; otherwise the diff is exact.  Where the batched
+    engine declines the scenario it falls back to the event kernel, so
+    the comparison is bit-identical by construction — the diff then
+    passes even under exact tolerances.
+    """
+    from .analysis import Tolerances, diff_snapshots, snapshot_from_result
+    from .engine import batched_decline_reason
+
+    kwargs = dict(config=args.config, pipelines=args.pipelines,
+                  arrangement=args.arrangement, frames=args.frames)
+    event_result = PipelineRunner(engine="event", **kwargs).run()
+    batched_runner = PipelineRunner(engine="batched", **kwargs)
+    reason = batched_decline_reason(batched_runner)
+    batched_result = batched_runner.run()
+
+    tol_path = pathlib.Path("metrics-tolerances.json")
+    if tol_path.is_file():
+        tolerances = Tolerances.load(tol_path)
+        tol_note = str(tol_path)
+    else:
+        tolerances = Tolerances.exact()
+        tol_note = "exact (no metrics-tolerances.json here)"
+    diff = diff_snapshots(snapshot_from_result(event_result),
+                          snapshot_from_result(batched_result),
+                          tolerances)
+    mode = (f"fallback to event engine ({reason})" if reason
+            else "batched steady-state engine")
+    print(f"strict differential: {args.config} x{args.pipelines} "
+          f"{args.frames} frames")
+    print(f"batched path  : {mode}")
+    print(f"tolerances    : {tol_note}")
+    print(diff.format_text())
+    return 0 if diff.ok else 1
+
+
 def _sweep_specs(args: argparse.Namespace) -> List[RunSpec]:
     return [RunSpec(config=args.config, pipelines=n, arrangement=arr,
-                    frames=args.frames, image_side=args.image_side)
+                    frames=args.frames, image_side=args.image_side,
+                    engine=getattr(args, "engine", "event"))
             for arr in args.arrangements for n in args.pipelines]
 
 
@@ -984,8 +1083,29 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    max_age_s = (args.max_age_days * 86400.0
+                 if args.max_age_days is not None else None)
+    max_bytes = (int(args.max_size_mb * 1e6)
+                 if args.max_size_mb is not None else None)
+    report = cache.gc(max_age_s=max_age_s, max_bytes=max_bytes,
+                      dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    by = report["removed_by"]
+    detail = ", ".join(f"{by[k]} {k}" for k in ("corrupt", "age", "size")
+                       if by[k])
+    print(f"{cache.root}: scanned {report['scanned']} entries, "
+          f"{verb} {report['removed']} "
+          f"({report['removed_bytes'] / 1e6:.2f} MB"
+          f"{'; ' + detail if detail else ''}), "
+          f"kept {report['kept']} ({report['kept_bytes'] / 1e6:.2f} MB)")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
+    "cache": _cmd_cache,
     "sweep": _cmd_sweep,
     "top": _cmd_top,
     "bench": _cmd_bench,

@@ -182,6 +182,94 @@ class ResultCache:
                 pass
         return removed
 
+    def gc(self, max_age_s: Optional[float] = None,
+           max_bytes: Optional[int] = None,
+           dry_run: bool = False,
+           now: Optional[float] = None) -> Dict[str, Any]:
+        """Prune the cache by age and/or total size (``repro cache gc``).
+
+        Three passes, in order:
+
+        1. **corrupt entries** — unparseable or schema-mismatched files
+           are always removal candidates (they can only ever miss);
+        2. **age** — entries whose mtime is older than ``max_age_s``;
+        3. **size** — if the surviving entries still exceed
+           ``max_bytes``, evict oldest-mtime-first until they fit.
+
+        With ``dry_run`` nothing is deleted; the report describes what
+        *would* go.  Returns a dict with ``scanned``, ``kept``,
+        ``removed``, ``removed_bytes``, ``kept_bytes`` and the per-reason
+        breakdown ``removed_by`` (``corrupt`` / ``age`` / ``size``).
+        Concurrent writers are safe: eviction races degrade to a cache
+        miss on the next lookup, never to an error.
+        """
+        import time as _time
+
+        now = _time.time() if now is None else now
+        entries = []  # (mtime, size, path)
+        corrupt = []
+        scanned = 0
+        for path in sorted(self.root.glob("??/*.json")):
+            scanned += 1
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            ok = True
+            try:
+                doc = json.loads(path.read_text())
+                if (doc.get("schema") != CACHE_SCHEMA
+                        or not isinstance(doc.get("result"), dict)):
+                    ok = False
+            except (OSError, ValueError):
+                ok = False
+            if ok:
+                entries.append((st.st_mtime, st.st_size, path))
+            else:
+                corrupt.append((st.st_size, path))
+
+        doomed: list = []  # (path, nbytes, reason)
+        for size, path in corrupt:
+            doomed.append((path, size, "corrupt"))
+        if max_age_s is not None:
+            cutoff = now - max_age_s
+            expired = [e for e in entries if e[0] < cutoff]
+            entries = [e for e in entries if e[0] >= cutoff]
+            for mtime, size, path in expired:
+                doomed.append((path, size, "age"))
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in entries)
+            entries.sort()  # oldest mtime first
+            i = 0
+            while total > max_bytes and i < len(entries):
+                mtime, size, path = entries[i]
+                doomed.append((path, size, "size"))
+                total -= size
+                i += 1
+            entries = entries[i:]
+
+        removed = 0
+        removed_bytes = 0
+        removed_by = {"corrupt": 0, "age": 0, "size": 0}
+        for path, size, reason in doomed:
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+            removed += 1
+            removed_bytes += size
+            removed_by[reason] += 1
+        return {
+            "scanned": scanned,
+            "kept": scanned - removed,
+            "removed": removed,
+            "removed_bytes": removed_bytes,
+            "kept_bytes": sum(size for _, size, _ in entries),
+            "removed_by": removed_by,
+            "dry_run": dry_run,
+        }
+
     def __repr__(self) -> str:
         return (f"<ResultCache {self.root} hits={self.hits} "
                 f"misses={self.misses}>")

@@ -44,7 +44,7 @@ from ..obsv.progress import (FrameProgressSink, ProgressCallback,
                              ProgressEvent, state_event, sweep_event)
 from ..pipeline.arrangements import ARRANGEMENTS, Placement
 from ..pipeline.metrics import RunResult
-from ..pipeline.runner import CONFIGURATIONS, PipelineRunner
+from ..pipeline.runner import CONFIGURATIONS, ENGINES, PipelineRunner
 from ..pipeline.workload import default_workload
 from ..telemetry import Telemetry
 from .cache import ResultCache
@@ -97,6 +97,10 @@ class RunSpec:
     frequency_plan: Optional[Tuple[Tuple[str, float], ...]] = None
     #: explicit core placement, normalised to nested tuples
     placement: Optional[PlacementSpec] = None
+    #: execution engine: ``"event"`` (discrete-event kernel) or
+    #: ``"batched"`` (steady-state frame-wave engine, repro.engine).
+    #: Part of the digest, so the cache never conflates engines.
+    engine: str = "event"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "pipelines", int(self.pipelines))
@@ -108,6 +112,9 @@ class RunSpec:
                            _freeze_plan(self.frequency_plan))
         object.__setattr__(self, "placement",
                            _freeze_placement(self.placement))
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; "
+                             f"choose from {ENGINES}")
         if self.platform == "scc":
             if self.config not in CONFIGURATIONS:
                 raise ValueError(f"unknown SCC config {self.config!r}")
@@ -124,6 +131,9 @@ class RunSpec:
                     or self.power_trace_dt is not None):
                 raise ValueError("payload/DVFS/placement/power options do "
                                  "not apply to the hpc platform")
+            if self.engine != "event":
+                raise ValueError("the hpc platform has no alternative "
+                                 "engines; use engine='event'")
         else:
             raise ValueError(f"unknown platform {self.platform!r}")
 
@@ -146,6 +156,7 @@ class RunSpec:
                            [list(c) for c in self.placement[2]],
                            self.placement[3]]
                           if self.placement is not None else None),
+            "engine": self.engine,
         }
 
     @classmethod
@@ -193,6 +204,7 @@ def build_runner(spec: RunSpec, telemetry: Optional[Telemetry] = None
         frequency_plan=(dict(spec.frequency_plan)
                         if spec.frequency_plan is not None else None),
         telemetry=telemetry,
+        engine=spec.engine,
     )
 
 

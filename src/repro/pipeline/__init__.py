@@ -17,7 +17,7 @@ from .arrangements import (
 from .costmodel import FILTER_SECONDS_FULL_FRAME, FULL_FRAME_PIXELS, CostModel
 from .macro import MacroPipeline, MacroRunResult, MacroStageSpec, WorkItem
 from .metrics import RunMetrics, RunResult
-from .runner import CONFIGURATIONS, FILTER_KEYS, PipelineRunner
+from .runner import CONFIGURATIONS, ENGINES, FILTER_KEYS, PipelineRunner
 from .sweep import series, sweep_arrangements, sweep_image_sizes, sweep_pipelines
 from .stage import (
     ConnectStage,
@@ -45,6 +45,7 @@ __all__ = [
     "series",
     "PipelineRunner",
     "CONFIGURATIONS",
+    "ENGINES",
     "FILTER_KEYS",
     "CostModel",
     "FULL_FRAME_PIXELS",

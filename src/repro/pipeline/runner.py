@@ -45,11 +45,14 @@ from .stage import (
 )
 from .workload import WalkthroughWorkload, default_workload
 
-__all__ = ["CONFIGURATIONS", "PipelineRunner", "FILTER_KEYS",
+__all__ = ["CONFIGURATIONS", "ENGINES", "PipelineRunner", "FILTER_KEYS",
            "DOWNLINK_CONFIG"]
 
 CONFIGURATIONS = ("single_core", "one_renderer", "n_renderers",
                   "mcpc_renderer")
+
+#: available execution engines (see ``repro.engine`` for "batched")
+ENGINES = ("event", "batched")
 
 #: pipeline stage order within a pipeline
 FILTER_KEYS = ("sepia", "blur", "scratch", "flicker", "swap")
@@ -119,10 +122,14 @@ class PipelineRunner:
         trace: bool = False,
         telemetry: Optional[Telemetry] = None,
         sanitizers: Optional[Any] = None,
+        engine: str = "event",
     ) -> None:
         if config not in CONFIGURATIONS:
             raise ValueError(
                 f"unknown config {config!r}; choose from {CONFIGURATIONS}")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}")
         self.config = config
         self.pipelines = int(pipelines)
         self.arrangement = arrangement
@@ -169,6 +176,10 @@ class PipelineRunner:
         #: optional runtime-sanitizer suite (duck-typed: the runner never
         #: imports repro.analysis, which would create an import cycle)
         self.sanitizers = sanitizers
+        #: ``"event"`` (the discrete-event kernel) or ``"batched"`` (the
+        #: steady-state frame-wave engine in :mod:`repro.engine`, which
+        #: falls back to the event kernel whenever it declines the run)
+        self.engine = engine
         #: filled during the build: stage key -> [core ids]
         self._stage_cores: dict = {}
 
@@ -198,6 +209,7 @@ class PipelineRunner:
             power_trace_dt=self.power_trace_dt,
             frequency_plan=self.frequency_plan,
             placement=self.placement_override,
+            engine=self.engine,
         )
 
     def _log_digest(self) -> str:
@@ -233,6 +245,23 @@ class PipelineRunner:
 
     def run(self) -> RunResult:
         """Simulate the walkthrough and return the metrics."""
+        if self.engine == "batched":
+            # Imported lazily: repro.engine depends on this module.
+            from ..engine import try_batched_run
+
+            result = try_batched_run(self)
+            if result is not None:
+                if EVENT_LOG.enabled:
+                    obs = EVENT_LOG.bind(digest=self._log_digest())
+                    obs.info("run.start", config=self.config,
+                             pipelines=self.pipelines, frames=self.frames,
+                             arrangement=self.arrangement)
+                    obs.info("run.finish",
+                             walkthrough_s=result.walkthrough_seconds,
+                             sim_events=0)
+                return result
+            # declined (payload mode, tracing, sanitizers, telemetry,
+            # sampled power) — the event engine is the one true result
         sim = Simulator()
         obs = None
         if EVENT_LOG.enabled:

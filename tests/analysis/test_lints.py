@@ -152,6 +152,88 @@ def test_frozen_digest_dataclass_clean():
         """, module="repro.exec.fake") == []
 
 
+# -- DET007: naive float accumulation ---------------------------------------
+
+def test_float_accumulation_in_loop_flagged():
+    findings = lint("""\
+        def f(values):
+            total = 0.0
+            for v in values:
+                total += v
+            return total
+        """)
+    assert rules_of(findings) == ["DET007"]
+    assert "fsum" in findings[0].message
+
+
+def test_float_accumulation_attribute_and_while_flagged():
+    findings = lint("""\
+        def f(self, holds):
+            while holds:
+                self.busy_time += holds.pop()
+        """)
+    assert rules_of(findings) == ["DET007"]
+
+
+def test_accumulation_outside_loop_clean():
+    assert lint("""\
+        def f(self, a, b):
+            self.busy_time += b - a
+        """) == []
+
+
+def test_counter_and_clock_names_clean():
+    assert lint("""\
+        def f(xs):
+            count = 0
+            t = 0.0
+            for x in xs:
+                count += 1
+                t += x.dt
+        """) == []
+
+
+def test_kahan_implementation_exempt():
+    assert lint("""\
+        def kahan_sum(values):
+            total = 0.0
+            comp = 0.0
+            for v in values:
+                y = v - comp
+                t = total + y
+                comp = (t - total) - y
+                total = t
+                total += 0.0
+            return total
+        """) == []
+
+
+def test_float_accumulation_suppressed_inline():
+    assert lint("""\
+        def f(values):
+            total = 0.0
+            for v in values:
+                total += v  # lint: disable=DET007 -- mirrors kernel
+            return total
+        """) == []
+
+
+def test_float_accumulation_scoped_to_deterministic_packages():
+    engine = LintEngine(default_rules())
+    findings = engine.check_source(
+        "def f(xs):\n    total = 0.0\n    for x in xs:\n        total += x\n",
+        path="src/repro/report/fake.py", module="repro.report.fake")
+    assert findings == []
+
+
+def test_float_accumulation_flagged_in_engine_package():
+    engine = LintEngine(default_rules())
+    findings = engine.check_source(
+        "def f(xs):\n    total = 0.0\n    for x in xs:\n        total += x\n",
+        path="src/repro/engine/fake.py", module="repro.engine.fake")
+    assert rules_of(findings) == ["DET007"]
+
+
 # -- TEL001: unknown counter roots ------------------------------------------
 
 def test_unknown_counter_root_flagged():

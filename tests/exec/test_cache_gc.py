@@ -1,0 +1,100 @@
+"""``ResultCache.gc``: pruning order, corrupt entries, dry runs."""
+
+import json
+import os
+
+from repro.exec import ResultCache, RunSpec, SweepExecutor
+from repro.exec.cache import result_to_cache_dict
+from repro.exec.hashing import CACHE_SCHEMA
+
+
+def _seed_cache(tmp_path, n=4):
+    """Populate a cache with n real entries at staggered mtimes."""
+    cache = ResultCache(tmp_path / "cache")
+    executor = SweepExecutor(cache=cache)
+    specs = [RunSpec(config="one_renderer", pipelines=1, frames=2 + i,
+                     image_side=16) for i in range(n)]
+    executor.run(specs)
+    digests = executor.digests(specs)
+    paths = [cache.path_for(d) for d in digests]
+    # deterministic, well-separated mtimes: entry i is i hours old
+    base = 1_700_000_000.0
+    for i, path in enumerate(paths):
+        age = (n - 1 - i) * 3600.0
+        os.utime(path, (base - age, base - age))
+    return cache, digests, paths, base
+
+
+def test_gc_noop_without_limits(tmp_path):
+    cache, _, paths, base = _seed_cache(tmp_path)
+    report = cache.gc(now=base)
+    assert report["removed"] == 0
+    assert report["kept"] == len(paths)
+    assert all(p.exists() for p in paths)
+
+
+def test_gc_by_age(tmp_path):
+    cache, _, paths, base = _seed_cache(tmp_path)
+    # entries are 3h, 2h, 1h, 0h old; a 90-minute horizon keeps two
+    report = cache.gc(max_age_s=5400.0, now=base)
+    assert report["removed"] == 2
+    assert report["removed_by"]["age"] == 2
+    assert not paths[0].exists() and not paths[1].exists()
+    assert paths[2].exists() and paths[3].exists()
+
+
+def test_gc_by_size_evicts_oldest_first(tmp_path):
+    cache, _, paths, base = _seed_cache(tmp_path)
+    sizes = [p.stat().st_size for p in paths]
+    # budget for exactly the two newest entries
+    report = cache.gc(max_bytes=sizes[2] + sizes[3], now=base)
+    assert report["removed"] == 2
+    assert report["removed_by"]["size"] == 2
+    assert [p.exists() for p in paths] == [False, False, True, True]
+    assert report["kept_bytes"] == sizes[2] + sizes[3]
+
+
+def test_gc_removes_corrupt_entries_first(tmp_path):
+    cache, digests, paths, base = _seed_cache(tmp_path)
+    # truncated JSON and a schema mismatch are both "corrupt"
+    paths[3].write_text('{"schema":')
+    doc = json.loads(paths[2].read_text())
+    doc["schema"] = CACHE_SCHEMA + 999
+    paths[2].write_text(json.dumps(doc))
+    report = cache.gc(max_bytes=10**9, now=base)
+    assert report["removed_by"]["corrupt"] == 2
+    assert not paths[2].exists() and not paths[3].exists()
+    # the good entries were far inside the size budget: untouched
+    assert paths[0].exists() and paths[1].exists()
+    assert cache.get(digests[0]) is not None
+
+
+def test_gc_dry_run_deletes_nothing(tmp_path):
+    cache, _, paths, base = _seed_cache(tmp_path)
+    paths[0].write_text("not json at all")
+    report = cache.gc(max_age_s=0.0, max_bytes=0, dry_run=True, now=base)
+    assert report["dry_run"] is True
+    assert report["removed"] == len(paths)
+    assert all(p.exists() for p in paths)
+    # and the same call for real empties the cache
+    report = cache.gc(max_age_s=0.0, max_bytes=0, now=base)
+    assert report["removed"] == len(paths)
+    assert len(cache) == 0
+
+
+def test_gc_empty_and_missing_root(tmp_path):
+    cache = ResultCache(tmp_path / "never-created")
+    report = cache.gc(max_age_s=1.0, max_bytes=1)
+    assert report == {"scanned": 0, "kept": 0, "removed": 0,
+                      "removed_bytes": 0, "kept_bytes": 0,
+                      "removed_by": {"corrupt": 0, "age": 0, "size": 0},
+                      "dry_run": False}
+
+
+def test_gc_result_roundtrip_preserved(tmp_path):
+    """Surviving entries still round-trip bit-identically after a gc."""
+    cache, digests, paths, base = _seed_cache(tmp_path)
+    before = cache.get(digests[3])
+    cache.gc(max_age_s=1800.0, now=base)
+    after = cache.get(digests[3])
+    assert result_to_cache_dict(before) == result_to_cache_dict(after)

@@ -17,14 +17,18 @@ from repro.exec.hashing import CACHE_SCHEMA, engine_fingerprint
 FIXED_FP = "0" * 64
 
 PINNED = {
-    RunSpec(): "d27272f53f8ba57d2c7d512a2cd6b8be1e4064600cf72ebe85"
-               "4aa48814688e85",
+    RunSpec(): "fc3abc257926a288632f65638278395e8dc3ee724f6375162"
+               "0129f4eb6aa879a",
     RunSpec(platform="hpc", config="single_renderer", pipelines=3):
-        "dbf1cc5cfba910d2a08f28f57db05784b3078dadb8e7b9a83b297b89d9e2f166",
+        "5c0f47be02b3c08c3c2624d6fa9b907e3262dc19bc4361073f585dd053e43c06",
     RunSpec(config="mcpc_renderer", pipelines=5, arrangement="flipped",
             frames=100, seed=7,
             frequency_plan={"blur": 400.0, "render": 800.0}):
-        "e074684518b17ececa9da19e0ad747ae4ae3fcaa728f534b7259ab3e80be781d",
+        "af37c5986f46608cd0c4e6b1817c8874aa7ac97987c2cbf1fb1df1a70caf68e1",
+    # the engine is part of the identity: batched results never alias
+    # event results in the cache
+    RunSpec(engine="batched"):
+        "588f51afe4ceba9ec0f6da44dbe86f7f36fa89c4cde0dbf9e6a3d2b9128954c2",
 }
 
 
