@@ -1,0 +1,481 @@
+"""Lock-discipline analysis driven by ``# guarded-by:`` contracts.
+
+The host threading layer (the service front-end, the sweep executor,
+the operational observability plane) shares mutable state across
+threads, and PR history shows the failure mode: the eventlog
+ts-stamping race and the unguarded cache hit/miss counters were both
+found by hand.  This module makes the discipline *declarable* so the
+lint gate finds the next one mechanically.
+
+Annotation grammar
+------------------
+On the line that first assigns a shared attribute (normally in
+``__init__``)::
+
+    self.hits = 0  # guarded-by: self._lock
+
+declares that every later read or write of ``self.hits`` inside the
+class must happen lexically inside ``with self._lock:``.  On a ``def``
+line::
+
+    def _apply(self, event) -> None:  # guarded-by: self._lock
+
+declares a *caller-holds* contract: the method body is analysed as if
+the lock were held, and every call site of ``self._apply(...)`` outside
+the lock is itself a CON001 violation.
+
+The checkers (pure functions yielding ``(node, message)`` pairs; the
+:class:`~repro.analysis.lints.engine.Rule` wrappers live in
+:mod:`repro.analysis.lints.rules`):
+
+:func:`check_guarded_state` (CON001)
+    read/write of guarded state (or call of a caller-holds method)
+    outside a ``with <lock>:`` scope.  ``__init__``/``__new__`` are
+    exempt (construction is single-threaded by Python semantics), and
+    nested ``def``/``lambda`` bodies are analysed with *no* lock held —
+    a closure outlives the ``with`` block it was created in.
+:func:`check_lock_order` (CON002)
+    a cycle in the per-module lock-acquisition-order graph (lexically
+    nested ``with`` statements, plus caller-holds calls made under a
+    different lock): the classic ABBA deadlock shape.
+:func:`check_unlocked_rmw` (CON003)
+    read-modify-write (``+=``, ``x = x + ...``, check-then-set) on
+    *unannotated* counter-style attributes of a lock-owning class.
+    Guarded attributes are CON001's job; this rule is the
+    annotation-gap filler that would have caught the cache
+    ``hits += 1`` race before anyone wrote a contract for it.
+
+Scope: modules under :data:`CONCURRENT_PACKAGES`, plus any module that
+carries a ``guarded-by`` annotation (so fixtures and future packages
+opt in by annotating).
+
+Known limitation, by design: contracts are checked *within the owning
+class* (``self.attr`` accesses).  Cross-object accesses
+(``job.history`` from the app layer) are the owning class's API to
+keep safe — encapsulate, or document the field as read-only-after-
+terminal like :class:`repro.service.coalescer.Job` does.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Set,
+                    Tuple, Union)
+
+from ...telemetry.counters import KNOWN_COUNTER_ROOTS
+
+if TYPE_CHECKING:  # import only for typing: lints imports us at runtime
+    from ..lints.engine import LintContext
+
+__all__ = ["CONCURRENT_PACKAGES", "GUARD_RE", "ClassContracts",
+           "collect_contracts", "lock_order_edges", "check_guarded_state",
+           "check_lock_order", "check_unlocked_rmw"]
+
+#: the genuinely multi-threaded host packages the CON rules police
+CONCURRENT_PACKAGES = ("repro.service", "repro.exec", "repro.obsv")
+
+#: ``# guarded-by: self._lock`` contract comment
+GUARD_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_.]*)")
+
+#: terminal-name fragments that mark a ``with`` item as a lock
+_LOCK_NAME_HINTS = ("lock", "mutex")
+
+#: constructor names that mark ``self.x = threading.X()`` as a lock
+_LOCK_CTORS = {"Lock", "RLock", "Condition", "Semaphore",
+               "BoundedSemaphore"}
+
+#: attribute-name fragments that mark counter-style shared state for
+#: CON003 (derived from the repo's counter naming conventions plus the
+#: published telemetry roots in KNOWN_COUNTER_ROOTS)
+_COUNTER_HINTS = tuple(sorted(
+    {"hit", "miss", "count", "total", "reject", "submit", "coalesc",
+     "seq", "opened", "finished", "busy", "grant", "drop", "sent",
+     "recv"} | set(KNOWN_COUNTER_ROOTS)))
+
+#: methods whose body runs before the object is shared across threads
+_CONSTRUCTION_METHODS = {"__init__", "__new__", "__init_subclass__"}
+
+_MethodDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class ClassContracts:
+    """The guarded-by contracts declared by one class."""
+
+    name: str
+    #: attribute name -> lock expression text (``self._lock``)
+    attrs: Dict[str, str] = field(default_factory=dict)
+    #: method name -> lock its callers must hold
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: lock-like attributes the class owns (``_lock``, ``_pool_lock``)
+    locks: Set[str] = field(default_factory=set)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.attrs or self.methods)
+
+
+def _self_attr(node: ast.AST) -> str:
+    """``X`` for an ``self.X`` attribute node, else ``""``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return ""
+
+
+def _looks_like_lock_expr(expr: ast.expr) -> bool:
+    """Heuristic: is this ``with`` item a lock acquisition?"""
+    terminal = ""
+    if isinstance(expr, ast.Attribute):
+        terminal = expr.attr
+    elif isinstance(expr, ast.Name):
+        terminal = expr.id
+    elif isinstance(expr, ast.Call):
+        return False  # ``with open(...)`` / ``with cond.wait_for(...)``
+    low = terminal.lower()
+    return any(h in low for h in _LOCK_NAME_HINTS)
+
+
+def _lock_ctor_name(value: ast.expr) -> str:
+    """``Lock`` for ``threading.Lock()`` / ``Lock()`` calls, else ``""``."""
+    if not isinstance(value, ast.Call):
+        return ""
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else "")
+    return name if name in _LOCK_CTORS else ""
+
+
+def _guard_on(node: ast.AST, ctx: "LintContext") -> str:
+    """The guarded-by lock named on any line a statement spans.
+
+    A wrapped assignment may carry the annotation on its continuation
+    line; for a ``def``, only the signature lines (up to the last
+    argument) are scanned so a comment in the body does not bind.
+    """
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        stop = (max(node.lineno, node.body[0].lineno - 1)
+                if node.body else node.lineno)
+    else:
+        stop = getattr(node, "end_lineno", node.lineno) or node.lineno
+    for lineno in range(node.lineno, stop + 1):
+        match = GUARD_RE.search(ctx.line_text(lineno))
+        if match:
+            return match.group(1)
+    return ""
+
+
+def collect_contracts(classdef: ast.ClassDef,
+                      ctx: "LintContext") -> ClassContracts:
+    """Parse the guarded-by annotations declared inside one class."""
+    contracts = ClassContracts(name=classdef.name)
+    for node in ast.walk(classdef):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            lock = _guard_on(node, ctx)
+            if lock:
+                contracts.methods[node.name] = lock
+            continue
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            value = node.value
+            for target in targets:
+                attr = _self_attr(target)
+                if not attr:
+                    continue
+                if value is not None and (_lock_ctor_name(value)
+                                          or any(h in attr.lower()
+                                                 for h in _LOCK_NAME_HINTS)):
+                    contracts.locks.add(attr)
+                lock = _guard_on(node, ctx)
+                if lock:
+                    contracts.attrs[attr] = lock
+    return contracts
+
+
+def _assign_held(node: ast.AST, held: FrozenSet[str],
+                 out: Dict[int, FrozenSet[str]]) -> None:
+    """Record the set of lock expressions held at every descendant."""
+    out[id(node)] = held
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.Lambda)):
+        # A nested callable may run after the enclosing ``with`` block
+        # released the lock — analyse its body with nothing held.
+        for child in ast.iter_child_nodes(node):
+            _assign_held(child, frozenset(), out)
+        return
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        acquired = {ast.unparse(item.context_expr)
+                    for item in node.items
+                    if _looks_like_lock_expr(item.context_expr)}
+        for item in node.items:  # item exprs evaluate pre-acquisition
+            _assign_held(item, held, out)
+        inner = held | frozenset(acquired)
+        for stmt in node.body:
+            _assign_held(stmt, inner, out)
+        return
+    for child in ast.iter_child_nodes(node):
+        _assign_held(child, held, out)
+
+
+def _held_map(method: _MethodDef, base: FrozenSet[str]
+              ) -> Dict[int, FrozenSet[str]]:
+    out: Dict[int, FrozenSet[str]] = {}
+    for stmt in method.body:
+        _assign_held(stmt, base, out)
+    return out
+
+
+def _base_held(contracts: ClassContracts,
+               method: _MethodDef) -> FrozenSet[str]:
+    if method.name in contracts.methods:
+        return frozenset({contracts.methods[method.name]})
+    return frozenset()
+
+
+def _iter_methods(classdef: ast.ClassDef) -> Iterator[_MethodDef]:
+    for item in classdef.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield item
+
+
+def _module_applies(ctx: "LintContext") -> bool:
+    """CON rules run on the concurrent packages and annotated modules."""
+    if ctx.in_package(*CONCURRENT_PACKAGES):
+        return True
+    return any(GUARD_RE.search(line) for line in ctx.source_lines)
+
+
+# -- CON001: guarded state outside its lock -------------------------------
+def check_guarded_state(ctx: "LintContext"
+                        ) -> Iterator[Tuple[ast.AST, str]]:
+    if not _module_applies(ctx):
+        return
+    for classdef in ast.walk(ctx.tree):
+        if not isinstance(classdef, ast.ClassDef):
+            continue
+        contracts = collect_contracts(classdef, ctx)
+        if contracts.empty:
+            continue
+        yield from _check_guarded_class(classdef, contracts)
+
+
+def _check_guarded_class(classdef: ast.ClassDef,
+                         contracts: ClassContracts
+                         ) -> Iterator[Tuple[ast.AST, str]]:
+    for method in _iter_methods(classdef):
+        if method.name in _CONSTRUCTION_METHODS:
+            continue
+        held = _held_map(method, _base_held(contracts, method))
+        seen: Set[Tuple[str, int]] = set()
+        for node in ast.walk(method):
+            # caller-holds method invoked without the lock
+            if isinstance(node, ast.Call):
+                callee = _self_attr(node.func)
+                lock = contracts.methods.get(callee)
+                if (lock and callee != method.name
+                        and lock not in held.get(id(node), frozenset())):
+                    key = ("()" + callee, node.lineno)
+                    if key not in seen:
+                        seen.add(key)
+                        yield node, (
+                            f"`self.{callee}()` requires holding "
+                            f"`{lock}` (declared guarded-by on its "
+                            f"def), but no `with {lock}:` encloses "
+                            f"this call in "
+                            f"`{contracts.name}.{method.name}`")
+            attr = _self_attr(node)
+            lock = contracts.attrs.get(attr)
+            if not lock:
+                continue
+            if lock in held.get(id(node), frozenset()):
+                continue
+            key = (attr, getattr(node, "lineno", 0))
+            if key in seen:
+                continue
+            seen.add(key)
+            verb = ("write to" if isinstance(
+                getattr(node, "ctx", None), (ast.Store, ast.Del))
+                else "read of")
+            yield node, (
+                f"{verb} `self.{attr}` outside `with {lock}:` in "
+                f"`{contracts.name}.{method.name}` (attribute is "
+                f"declared guarded-by {lock})")
+
+
+# -- CON002: lock-acquisition-order cycles --------------------------------
+def check_lock_order(ctx: "LintContext"
+                     ) -> Iterator[Tuple[ast.AST, str]]:
+    if not _module_applies(ctx):
+        return
+    edges = lock_order_edges(ctx)
+    graph: Dict[str, Set[str]] = {}
+    for outer, inner, _node in edges:
+        graph.setdefault(outer, set()).add(inner)
+        graph.setdefault(inner, set())
+    for cycle in _cycles(graph):
+        cyc = set(cycle)
+        sites = [node for outer, inner, node in edges
+                 if outer in cyc and inner in cyc]
+        site = min(sites, key=lambda n: getattr(n, "lineno", 0))
+        order = " -> ".join(cycle + [cycle[0]])
+        yield site, (f"lock acquisition order cycle: {order}; two "
+                     f"threads interleaving these paths deadlock")
+
+
+def lock_order_edges(ctx: "LintContext"
+                     ) -> List[Tuple[str, str, ast.AST]]:
+    """``(outer_lock, inner_lock, site)`` acquisition edges of a module.
+
+    Lock identities are qualified by the owning class
+    (``EventLog.self._lock``) so two classes' private ``self._lock``
+    attributes do not alias into one graph node.
+    """
+    edges: List[Tuple[str, str, ast.AST]] = []
+    for classdef in ast.walk(ctx.tree):
+        if not isinstance(classdef, ast.ClassDef):
+            continue
+        contracts = collect_contracts(classdef, ctx)
+        prefix = classdef.name + "."
+        for method in _iter_methods(classdef):
+            held = _held_map(method, _base_held(contracts, method))
+            for node in ast.walk(method):
+                inner: List[str] = []
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    inner = [ast.unparse(item.context_expr)
+                             for item in node.items
+                             if _looks_like_lock_expr(item.context_expr)]
+                elif isinstance(node, ast.Call):
+                    lock = contracts.methods.get(_self_attr(node.func))
+                    if lock:
+                        inner = [lock]
+                if not inner:
+                    continue
+                for outer in held.get(id(node), frozenset()):
+                    for acquired in inner:
+                        if acquired != outer:
+                            edges.append((prefix + outer,
+                                          prefix + acquired, node))
+    return edges
+
+
+def _cycles(graph: Dict[str, Set[str]]) -> List[List[str]]:
+    """One representative cycle per strongly-connected component
+    (sorted for deterministic reporting)."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    stack: List[str] = []
+    on_stack: Set[str] = set()
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(graph.get(v, ())):
+            if w not in index:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            comp: List[str] = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                comp.append(w)
+                if w == v:
+                    break
+            if len(comp) > 1 or v in graph.get(v, ()):
+                sccs.append(sorted(comp))
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+    return sorted(sccs)
+
+
+# -- CON003: unlocked read-modify-write -----------------------------------
+def check_unlocked_rmw(ctx: "LintContext"
+                       ) -> Iterator[Tuple[ast.AST, str]]:
+    if not _module_applies(ctx):
+        return
+    for classdef in ast.walk(ctx.tree):
+        if not isinstance(classdef, ast.ClassDef):
+            continue
+        contracts = collect_contracts(classdef, ctx)
+        if not contracts.locks:
+            continue  # single-threaded value classes RMW freely
+        yield from _check_rmw_class(classdef, contracts)
+
+
+def _counterish(attr: str) -> bool:
+    low = attr.lower()
+    return any(h in low for h in _COUNTER_HINTS)
+
+
+def _check_rmw_class(classdef: ast.ClassDef,
+                     contracts: ClassContracts
+                     ) -> Iterator[Tuple[ast.AST, str]]:
+    for method in _iter_methods(classdef):
+        if method.name in _CONSTRUCTION_METHODS:
+            continue
+        held = _held_map(method, _base_held(contracts, method))
+        for node in ast.walk(method):
+            if held.get(id(node), frozenset()):
+                continue  # some lock held: precision is CON001's job
+            yield from _check_rmw_site(node, contracts, method.name)
+
+
+def _check_rmw_site(node: ast.AST, contracts: ClassContracts,
+                    method: str) -> Iterator[Tuple[ast.AST, str]]:
+    cls = contracts.name
+    if isinstance(node, ast.AugAssign):
+        attr = _self_attr(node.target)
+        if (attr and attr not in contracts.attrs
+                and _counterish(attr)):
+            yield node, (
+                f"`self.{attr} {type(node.op).__name__}= ...` in "
+                f"`{cls}.{method}` is read-modify-write without a "
+                f"held lock; concurrent callers lose updates (guard "
+                f"it, or annotate `self.{attr}` guarded-by its lock)")
+    elif isinstance(node, ast.Assign):
+        for target in node.targets:
+            attr = _self_attr(target)
+            if (not attr or attr in contracts.attrs
+                    or not _counterish(attr)):
+                continue
+            reads = any(_self_attr(sub) == attr
+                        for sub in ast.walk(node.value))
+            if reads:
+                yield node, (
+                    f"`self.{attr} = ... self.{attr} ...` in "
+                    f"`{cls}.{method}` is read-modify-write without "
+                    f"a held lock")
+    elif isinstance(node, ast.If):
+        yield from _check_then_set(node, contracts, method)
+
+
+def _check_then_set(node: ast.If, contracts: ClassContracts,
+                    method: str) -> Iterator[Tuple[ast.AST, str]]:
+    test = node.test
+    if not isinstance(test, ast.Compare):
+        return
+    attr = _self_attr(test.left)
+    if (not attr or attr in contracts.attrs
+            or not all(isinstance(c, ast.Constant) and c.value is None
+                       for c in test.comparators)):
+        return
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign) and any(
+                _self_attr(t) == attr for t in stmt.targets):
+            yield node, (
+                f"check-then-set on `self.{attr}` in "
+                f"`{contracts.name}.{method}` without a held lock: "
+                f"two threads can both see None and both initialise")
+            return

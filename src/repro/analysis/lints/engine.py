@@ -36,9 +36,11 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import io
 import json
 import pathlib
 import re
+import tokenize
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -188,6 +190,10 @@ class LintReport:
     baselined: List[Finding]
     stale_baseline: Dict[str, Dict[str, Any]]
     files_checked: int
+    #: ``# lint: disable=`` comments that suppressed nothing — each is
+    #: ``{"path", "line", "rule", "text"}``; a fixed violation should
+    #: take its suppression comment with it
+    unused_suppressions: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -201,6 +207,7 @@ class LintReport:
             "new": [f.as_dict() for f in self.new],
             "baselined": [f.as_dict() for f in self.baselined],
             "stale_baseline": self.stale_baseline,
+            "unused_suppressions": self.unused_suppressions,
         }
 
 
@@ -231,11 +238,26 @@ def _module_name(path: pathlib.Path) -> str:
     return ".".join(parts)
 
 
-def _suppressed_rules(line: str) -> List[str]:
-    match = _SUPPRESS_RE.search(line)
-    if not match:
-        return []
-    return [r.strip() for r in match.group(1).split(",")]
+def _suppression_map(source: str) -> Dict[int, List[str]]:
+    """``lineno -> suppressed rule ids`` for genuine suppression comments.
+
+    Tokenized, not regexed over raw lines: a docstring or comment that
+    merely *documents* the ``# lint: disable=`` syntax must neither
+    suppress findings nor show up as an unused suppression.  Only a
+    COMMENT token whose text *starts* with the marker counts.
+    """
+    out: Dict[int, List[str]] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.match(tok.string)
+            if match:
+                out.setdefault(tok.start[0], []).extend(
+                    r.strip() for r in match.group(1).split(","))
+    except (tokenize.TokenError, IndentationError):
+        pass  # unparseable tail: fall back to "no suppressions there"
+    return out
 
 
 class LintEngine:
@@ -256,6 +278,13 @@ class LintEngine:
     def check_source(self, source: str, path: str = "<memory>",
                      module: str = "") -> List[Finding]:
         """Lint one module given as text (the unit-test entry point)."""
+        return self.check_source_detailed(source, path=path,
+                                          module=module)[0]
+
+    def check_source_detailed(
+            self, source: str, path: str = "<memory>", module: str = ""
+            ) -> Tuple[List[Finding], List[Dict[str, Any]]]:
+        """Findings plus the suppressions that suppressed nothing."""
         tree = ast.parse(source, filename=path)
         ctx = LintContext(path=path, module=module or _module_name(
             pathlib.Path(path)), tree=tree,
@@ -264,17 +293,27 @@ class LintEngine:
         for rule in self.rules:
             for node, message in rule.check(ctx):
                 raw.append(rule.finding(ctx, node, message))
-        return self._finalize(ctx, raw)
+        suppressions = _suppression_map(source)
+        findings, used = self._finalize(raw, suppressions)
+        return findings, self._unused_suppressions(ctx, suppressions,
+                                                   used)
 
-    def _finalize(self, ctx: LintContext,
-                  raw: List[Finding]) -> List[Finding]:
-        """Order findings, drop suppressed ones, number duplicates."""
+    @staticmethod
+    def _finalize(raw: List[Finding],
+                  suppressions: Dict[int, List[str]]
+                  ) -> Tuple[List[Finding], Dict[int, set]]:
+        """Order findings, drop suppressed ones, number duplicates.
+
+        Also returns which ``(line -> rules)`` suppressions actually
+        fired, so unused suppression comments can be reported.
+        """
         raw.sort(key=lambda f: (f.line, f.col, f.rule))
         out: List[Finding] = []
+        used: Dict[int, set] = {}
         seen: Dict[Tuple[str, str], int] = {}
         for finding in raw:
-            if finding.rule in _suppressed_rules(
-                    ctx.line_text(finding.line)):
+            if finding.rule in suppressions.get(finding.line, []):
+                used.setdefault(finding.line, set()).add(finding.rule)
                 continue
             key = (finding.rule, finding.source_line.strip())
             occurrence = seen.get(key, 0)
@@ -283,12 +322,28 @@ class LintEngine:
                 finding = Finding(**{**finding.__dict__,
                                      "occurrence": occurrence})
             out.append(finding)
-        return out
+        return out, used
+
+    @staticmethod
+    def _unused_suppressions(ctx: LintContext,
+                             suppressions: Dict[int, List[str]],
+                             used: Dict[int, set]
+                             ) -> List[Dict[str, Any]]:
+        """Suppression comments whose rule produced no finding there."""
+        unused: List[Dict[str, Any]] = []
+        for lineno in sorted(suppressions):
+            for rule in suppressions[lineno]:
+                if rule not in used.get(lineno, set()):
+                    unused.append({"path": ctx.path, "line": lineno,
+                                   "rule": rule,
+                                   "text": ctx.line_text(lineno).strip()})
+        return unused
 
     # -- whole-tree entry point -------------------------------------------
     def run(self, paths: Sequence[pathlib.Path],
             baseline: Optional[Baseline] = None) -> LintReport:
         findings: List[Finding] = []
+        unused: List[Dict[str, Any]] = []
         files = 0
         for file_path in iter_python_files([pathlib.Path(p) for p in paths]):
             files += 1
@@ -298,11 +353,15 @@ class LintEngine:
             except ValueError:
                 rel_str = rel.as_posix()
             source = file_path.read_text(encoding="utf-8")
-            findings.extend(self.check_source(source, path=rel_str))
+            file_findings, file_unused = self.check_source_detailed(
+                source, path=rel_str)
+            findings.extend(file_findings)
+            unused.extend(file_unused)
 
         baseline = baseline or Baseline()
         new = [f for f in findings if f not in baseline]
         old = [f for f in findings if f in baseline]
         return LintReport(findings=findings, new=new, baselined=old,
                           stale_baseline=baseline.stale_entries(findings),
-                          files_checked=files)
+                          files_checked=files,
+                          unused_suppressions=unused)

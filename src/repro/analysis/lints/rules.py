@@ -37,7 +37,9 @@ __all__ = ["ALL_RULES", "DETERMINISTIC_PACKAGES", "default_rules",
            "UnorderedIterationRule", "MutableDefaultRule",
            "UnfrozenSpecDataclassRule", "FloatAccumulationRule",
            "UnknownCounterRootRule", "UnknownMetricRootRule",
-           "DirectPrintRule"]
+           "DirectPrintRule", "GuardedStateRule", "LockOrderRule",
+           "UnlockedRmwRule", "PipelineDeadlockRule",
+           "MpbHandshakeRule"]
 
 #: packages on the RunSpec -> RunResult path: nothing here may read the
 #: wall clock, the environment, or unseeded randomness
@@ -537,13 +539,102 @@ class DirectPrintRule(Rule):
                              "return the text to a CLI/report surface")
 
 
+class GuardedStateRule(Rule):
+    """CON001 — the implementation lives in
+    :mod:`repro.analysis.concurrency.guards` (imported lazily inside
+    ``check`` so the concurrency package can itself import the lint
+    engine without a cycle)."""
+
+    rule_id = "CON001"
+    summary = "guarded state accessed outside its declared lock"
+    rationale = (
+        "A `# guarded-by: self._lock` annotation on an attribute (or a "
+        "caller-holds annotation on a def) is a contract: every access "
+        "must sit lexically inside `with <lock>:`.  Both threading "
+        "races fixed by hand in the observability plane — the eventlog "
+        "ts stamped outside the clock lock, the cache hit/miss "
+        "counters bumped unlocked — are exactly this shape; the "
+        "annotation makes the next one a lint failure instead of a "
+        "flaky telemetry bug.")
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        from ..concurrency.guards import check_guarded_state
+        yield from check_guarded_state(ctx)
+
+
+class LockOrderRule(Rule):
+    rule_id = "CON002"
+    summary = "cycle in the lock-acquisition-order graph"
+    rationale = (
+        "Two threads acquiring the same pair of locks in opposite "
+        "orders deadlock under the right interleaving — and only "
+        "then, which is why testing rarely catches it.  This rule "
+        "builds the acquisition-order graph per module (nested `with` "
+        "blocks, plus caller-holds calls made under a different lock) "
+        "and reports every cycle.")
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        from ..concurrency.guards import check_lock_order
+        yield from check_lock_order(ctx)
+
+
+class UnlockedRmwRule(Rule):
+    rule_id = "CON003"
+    summary = "unlocked read-modify-write on counter-style shared state"
+    rationale = (
+        "`self.hits += 1` compiles to read/add/store; two threads "
+        "interleaving lose an update.  In a class that owns a lock, "
+        "counter-style attributes mutated outside any `with` block are "
+        "either missing the lock or missing the guarded-by annotation "
+        "that would put them under CON001's precise contract check.")
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        from ..concurrency.guards import check_unlocked_rmw
+        yield from check_unlocked_rmw(ctx)
+
+
+class PipelineDeadlockRule(Rule):
+    rule_id = "CON004"
+    summary = "pipeline arrangement with a guaranteed rendezvous deadlock"
+    rationale = (
+        "RCCE channels are rendezvous: a send blocks until its recv is "
+        "posted.  A cycle in the channel wait-for graph (or an "
+        "unmatched send/recv count) therefore deadlocks every run, "
+        "deterministically.  Abstract execution of the extracted "
+        "protocol (repro.pipeline.protocol) decides this exactly "
+        "before any simulator is built; the runtime DeadlockError is "
+        "the last line of defence, this rule is the first.")
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        from ..concurrency.pipelines import protocol_findings
+        yield from protocol_findings(ctx, self.rule_id)
+
+
+class MpbHandshakeRule(Rule):
+    rule_id = "CON005"
+    summary = "MPB transfer that skips the RCCE flag handshake"
+    rationale = (
+        "The SCC has no cache coherence: an MPB window write is only "
+        "ordered with respect to its reader through the RCCE flag "
+        "rendezvous.  A protocol op that writes a window without the "
+        "handshake races the reader on every schedule — the runtime "
+        "mpb_race sanitizer catches the schedules that execute; this "
+        "static check covers the ones that do not.")
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        from ..concurrency.pipelines import protocol_findings
+        yield from protocol_findings(ctx, self.rule_id)
+
+
 def default_rules() -> Sequence[Rule]:
     """The project rule set, in catalog order."""
     return (WallClockRule(), UnseededRandomRule(), EnvDependenceRule(),
             UnorderedIterationRule(), MutableDefaultRule(),
             UnfrozenSpecDataclassRule(), FloatAccumulationRule(),
             UnknownCounterRootRule(), UnknownMetricRootRule(),
-            DirectPrintRule())
+            DirectPrintRule(), GuardedStateRule(), LockOrderRule(),
+            UnlockedRmwRule(), PipelineDeadlockRule(),
+            MpbHandshakeRule())
 
 
 ALL_RULES = tuple(type(r) for r in default_rules())

@@ -346,6 +346,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "run; exits 3 when any diagnostic fires")
     analyze.add_argument("--json", action="store_true",
                          help="machine-readable insight summary on stdout")
+    analyze.add_argument("--concurrency", action="store_true",
+                         help="include the static concurrency analysis: "
+                              "lock-discipline contracts per module and "
+                              "the pipeline channel protocol with its "
+                              "deadlock verdict")
     analyze.add_argument("--html", type=pathlib.Path, default=None,
                          metavar="FILE",
                          help="write a self-contained HTML report "
@@ -428,6 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="machine-readable report on stdout")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalog and exit")
+    lint.add_argument("--report-unused-suppressions", action="store_true",
+                      help="also fail when a '# lint: disable=' comment "
+                           "suppresses nothing (stale suppression)")
 
     cache = sub.add_parser(
         "cache",
@@ -878,6 +886,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(problem, file=sys.stderr)
         return 2
 
+    if args.concurrency and args.shallow:
+        print("error: --concurrency needs the deep-analysis path "
+              "(it is independent of the run; drop --shallow)",
+              file=sys.stderr)
+        return 2
+
     if args.trace is not None:
         # A trace file carries events but no RunResult: deep analysis
         # only, nothing to snapshot.
@@ -938,10 +952,21 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             print(f"bottleneck : {verdict.describe()}")
             print(f"walkthrough: {result.walkthrough_seconds:.3f} s")
     else:
+        con_summary = None
+        if args.concurrency:
+            from .analysis.concurrency import concurrency_summary
+
+            con_summary = concurrency_summary(
+                args.config, args.pipelines, args.arrangement)
         if args.json:
-            print(json.dumps(insight.to_dict(), indent=2, sort_keys=True))
+            doc = insight.to_dict()
+            if con_summary is not None:
+                doc["concurrency"] = con_summary
+            print(json.dumps(doc, indent=2, sort_keys=True))
         else:
             print(insight.format_text())
+            if con_summary is not None:
+                print(_format_concurrency(con_summary))
         if args.snapshot_out is not None:
             assert result is not None
             snapshot = snapshot_from_result(
@@ -952,14 +977,43 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             what = (str(args.trace) if args.trace is not None else
                     f"{args.config} x{args.pipelines}, "
                     f"{args.frames} frames")
-            args.html.write_text(insight_to_html(insight, title=what),
-                                 encoding="utf-8")
+            args.html.write_text(
+                insight_to_html(insight, title=what,
+                                concurrency=con_summary),
+                encoding="utf-8")
             print(f"html report : {args.html}")
     if args.snapshot_out is not None:
         write_snapshot(args.snapshot_out, snapshot)
         print(f"snapshot    : {args.snapshot_out} "
               f"({len(snapshot['metrics'])} metrics)")
     return 0
+
+
+def _format_concurrency(summary: dict) -> str:
+    """Terminal rendering of the static concurrency analysis."""
+    locks = summary.get("locks", {})
+    protocol = summary.get("protocol", {})
+    lines = ["", "concurrency (static)",
+             "--------------------",
+             f"lock discipline: {locks.get('contracts', 0)} guarded-by "
+             f"contract(s), {locks.get('findings', 0)} finding(s) across "
+             f"{', '.join(locks.get('packages', []))}"]
+    for mod in locks.get("modules", []):
+        attrs = len(mod.get("guarded_attrs", []))
+        holds = len(mod.get("caller_holds", []))
+        lines.append(f"  {mod['module']}: {attrs} guarded attr(s), "
+                     f"{holds} caller-holds")
+        for finding in mod.get("findings", []):
+            lines.append(f"    ! {finding}")
+    verdict = ("deadlock-free" if protocol.get("deadlock_free")
+               else "DEADLOCK")
+    lines.append(f"protocol: {protocol.get('name', '?')} -> {verdict} "
+                 f"({protocol.get('steps', 0)} abstract steps, "
+                 f"{len(protocol.get('processes', []))} processes, "
+                 f"{len(protocol.get('channels', []))} channels)")
+    for issue in protocol.get("issues", []):
+        lines.append(f"  ! {issue}")
+    return "\n".join(lines)
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
@@ -1068,6 +1122,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
               f"{args.baseline}")
         return 0
 
+    stale_suppressions = (report.unused_suppressions
+                          if args.report_unused_suppressions else [])
     if args.json:
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     else:
@@ -1077,9 +1133,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"stale baseline entry {fp}: {meta.get('rule')} in "
                   f"{meta.get('path')} no longer occurs "
                   f"(run --update-baseline to prune)")
+        for sup in stale_suppressions:
+            print(f"{sup['path']}:{sup['line']}: unused suppression of "
+                  f"{sup['rule']} (no finding to suppress; remove the "
+                  f"comment)")
         print(f"{report.files_checked} file(s): {len(report.new)} new, "
               f"{len(report.baselined)} baselined, "
               f"{len(report.stale_baseline)} stale")
+    if report.clean and stale_suppressions:
+        return 1
     return 0 if report.clean else 1
 
 

@@ -107,9 +107,9 @@ class ResultCache:
     def __init__(self, root: PathLike) -> None:
         self.root = pathlib.Path(root)
         #: lookups answered from disk since construction
-        self.hits = 0
+        self.hits = 0  # guarded-by: self._lock
         #: lookups that found nothing usable
-        self.misses = 0
+        self.misses = 0  # guarded-by: self._lock
         # `hits += 1` is load/add/store, not atomic: concurrent reader
         # threads (the service executes many GETs at once) would lose
         # increments without this lock.
@@ -271,5 +271,6 @@ class ResultCache:
         }
 
     def __repr__(self) -> str:
-        return (f"<ResultCache {self.root} hits={self.hits} "
-                f"misses={self.misses}>")
+        with self._lock:
+            return (f"<ResultCache {self.root} hits={self.hits} "
+                    f"misses={self.misses}>")

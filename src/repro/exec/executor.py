@@ -354,15 +354,15 @@ class SweepExecutor:
         self.async_workers = max(1, int(async_workers if async_workers
                                         is not None else self.jobs))
         #: cumulative over every .run() of this executor
-        self.stats = ExecutionStats()
+        self.stats = ExecutionStats()  # guarded-by: self._stats_lock
         #: stats of the most recent .run() only
-        self.last_stats = ExecutionStats()
+        self.last_stats = ExecutionStats()  # guarded-by: self._stats_lock
         # run() may be called from several threads at once (the service
         # front-end does); the stats merge is the only shared mutation.
         self._stats_lock = threading.Lock()
         self._pool_lock = threading.Lock()
         self._submit_pool: Optional[concurrent.futures.ThreadPoolExecutor] \
-            = None
+            = None  # guarded-by: self._pool_lock
 
     # -- scheduling --------------------------------------------------------
     def digests(self, specs: Sequence[RunSpec]) -> List[str]:
@@ -464,13 +464,18 @@ class SweepExecutor:
         whose work has not started yet can still be ``cancel()``-ed —
         the hook the service front-end's admission control relies on.
         """
+        # pool.submit must happen under the lock: capturing the pool and
+        # submitting outside it races close() — shutdown() between the
+        # two raises "cannot schedule new futures after shutdown".
+        # Holding the lock makes the interleavings well-defined: either
+        # the submit lands first (close drains it) or close wins and
+        # this call lazily reopens a fresh pool.
         with self._pool_lock:
             if self._submit_pool is None:
                 self._submit_pool = concurrent.futures.ThreadPoolExecutor(
                     max_workers=self.async_workers,
                     thread_name_prefix="repro-exec")
-            pool = self._submit_pool
-        return pool.submit(self.run_one, spec, progress)
+            return self._submit_pool.submit(self.run_one, spec, progress)
 
     def close(self, cancel_pending: bool = True) -> None:
         """Shut down the :meth:`submit` pool (idempotent).
@@ -524,6 +529,7 @@ class SweepExecutor:
                 drain.join(timeout=10)
 
     def __repr__(self) -> str:
-        return (f"<SweepExecutor jobs={self.jobs} "
-                f"cache={'on' if self.cache is not None else 'off'} "
-                f"hits={self.stats.hits} executed={self.stats.executed}>")
+        with self._stats_lock:
+            return (f"<SweepExecutor jobs={self.jobs} "
+                    f"cache={'on' if self.cache is not None else 'off'} "
+                    f"hits={self.stats.hits} executed={self.stats.executed}>")

@@ -79,18 +79,20 @@ class EventLog:
                  context: Optional[Dict[str, Any]] = None) -> None:
         if level not in _LEVEL_RANK:
             raise ValueError(f"unknown level {level!r}; choose from {LEVELS}")
-        self._stream = stream
-        self._min_rank = _LEVEL_RANK[level]
+        self._stream = stream  # guarded-by: self._lock
+        self._min_rank = _LEVEL_RANK[level]  # guarded-by: self._lock
         self._context: Dict[str, Any] = dict(context or {})
         self._lock = threading.Lock()
         #: monotonic stamp source (overridable in tests)
-        self._clock = time.monotonic
+        self._clock = time.monotonic  # guarded-by: self._lock
 
     # -- state -------------------------------------------------------------
     @property
     def enabled(self) -> bool:
         """True when records have somewhere to go."""
-        return self._stream is not None
+        # Unlocked fast path: a stale read only costs one early-return
+        # or one harmless record; log() re-reads under the lock path.
+        return self._stream is not None  # lint: disable=CON001 -- racy fast-path read is benign
 
     def open(self, stream: IO[str], level: str = "info") -> None:
         """(Re)target the logger at ``stream``."""
@@ -117,11 +119,12 @@ class EventLog:
         binding is cheap and records interleave safely.
         """
         child = EventLog.__new__(EventLog)
-        child._stream = self._stream
-        child._min_rank = self._min_rank
-        child._context = {**self._context, **context}
-        child._lock = self._lock
-        child._clock = self._clock
+        with self._lock:
+            child._stream = self._stream
+            child._min_rank = self._min_rank
+            child._context = {**self._context, **context}
+            child._lock = self._lock
+            child._clock = self._clock
         # A bound child is a snapshot of the parent's target; it tracks
         # the parent so configure-after-bind still works.
         child._parent = self  # type: ignore[attr-defined]
@@ -131,14 +134,17 @@ class EventLog:
     def log(self, level: str, event: str, **fields: Any) -> None:
         """Emit one record (no-op when disabled or below the level)."""
         parent = getattr(self, "_parent", None)
-        stream = (parent._stream if parent is not None else self._stream)
+        # Unlocked fast-path reads: a record racing open()/close() is
+        # either dropped or written whole (the write itself is locked);
+        # neither outcome breaks the monotonic-ts contract.
+        stream = (parent._stream if parent is not None else self._stream)  # lint: disable=CON001 -- racy fast-path read is benign
         if stream is None:
             return
         rank = _LEVEL_RANK.get(level)
         if rank is None:
             raise ValueError(f"unknown level {level!r}; choose from {LEVELS}")
         min_rank = (parent._min_rank if parent is not None
-                    else self._min_rank)
+                    else self._min_rank)  # lint: disable=CON001 -- racy fast-path read is benign
         if rank < min_rank:
             return
         # pid is stamped per record (not per logger): forked sweep

@@ -234,14 +234,14 @@ class FleetAggregator:
     def __init__(self, on_update: Optional[Callable[["FleetAggregator"],
                                                     None]] = None) -> None:
         self._lock = threading.Lock()
-        self._runs: Dict[int, RunProgress] = {}
-        self._workers: Dict[str, WorkerProgress] = {}
-        self._total = 0
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._wall_times: List[float] = []
-        self._started_at: Optional[float] = None
-        self._finished = False
+        self._runs: Dict[int, RunProgress] = {}  # guarded-by: self._lock
+        self._workers: Dict[str, WorkerProgress] = {}  # guarded-by: self._lock
+        self._total = 0  # guarded-by: self._lock
+        self._cache_hits = 0  # guarded-by: self._lock
+        self._cache_misses = 0  # guarded-by: self._lock
+        self._wall_times: List[float] = []  # guarded-by: self._lock
+        self._started_at: Optional[float] = None  # guarded-by: self._lock
+        self._finished = False  # guarded-by: self._lock
         self._on_update = on_update
         self._clock = time.monotonic
 
@@ -252,7 +252,7 @@ class FleetAggregator:
         if self._on_update is not None:
             self._on_update(self)
 
-    def _apply(self, event: ProgressEvent) -> None:
+    def _apply(self, event: ProgressEvent) -> None:  # guarded-by: self._lock
         now = self._clock()
         if self._started_at is None:
             self._started_at = now
@@ -363,7 +363,7 @@ class FleetAggregator:
                 elapsed_s=elapsed, throughput_runs_per_s=throughput,
                 eta_s=eta, utilization=util, finished=self._finished)
 
-    def _eta(self, total: int, counts: Dict[str, int],
+    def _eta(self, total: int, counts: Dict[str, int],  # guarded-by: self._lock
              workers: List[WorkerProgress]) -> Optional[float]:
         """Remaining wall seconds from completed-run wall times."""
         if not self._wall_times:

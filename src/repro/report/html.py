@@ -212,15 +212,67 @@ def _mesh_heatmap(insight: RunInsight, cols: int = 6,
     return "".join(parts) + note
 
 
+def _concurrency_section(summary: Dict) -> str:
+    """Render the static concurrency analysis (lock + protocol prongs)."""
+    locks = summary.get("locks", {})
+    protocol = summary.get("protocol", {})
+    rows: List[str] = []
+    for mod in locks.get("modules", []):
+        attrs = ", ".join(mod.get("guarded_attrs", [])) or "&mdash;"
+        holds = ", ".join(mod.get("caller_holds", [])) or "&mdash;"
+        edges = ("; ".join(f"{o} &rarr; {i}"
+                           for o, i in mod.get("lock_order_edges", []))
+                 or "&mdash;")
+        findings = len(mod.get("findings", []))
+        rows.append(
+            f"<tr><td class=\"track\">{_esc(mod['module'])}</td>"
+            f"<td>{_esc(attrs)}</td><td>{_esc(holds)}</td>"
+            f"<td>{edges}</td><td>{findings}</td></tr>")
+    lock_table = (
+        '<table class="att"><tr><th>module</th><th>guarded attrs</th>'
+        '<th>caller-holds</th><th>lock order</th><th>findings</th></tr>'
+        + "".join(rows) + "</table>") if rows else "<p>no contracts</p>"
+    chan_rows = "".join(
+        f"<tr><td class=\"track\">{_esc(src)}</td>"
+        f"<td class=\"track\">{_esc(dst)}</td><td>{_esc(label)}</td></tr>"
+        for src, dst, label in protocol.get("channels", []))
+    verdict = ("deadlock-free" if protocol.get("deadlock_free")
+               else "DEADLOCK")
+    issues = protocol.get("issues", [])
+    issue_html = "".join(f"<li>{_esc(i)}</li>" for i in issues)
+    return f"""
+<h2>Concurrency: lock discipline</h2>
+<p class="small">{locks.get('contracts', 0)} guarded-by contract(s)
+across {_esc(', '.join(locks.get('packages', [])))};
+{locks.get('findings', 0)} finding(s)</p>
+{lock_table}
+<h2>Concurrency: pipeline protocol</h2>
+<p class="small">{_esc(protocol.get('name', ''))}:
+<b>{verdict}</b> after {protocol.get('steps', 0)} abstract steps,
+{len(protocol.get('processes', []))} processes</p>
+{'<ul>' + issue_html + '</ul>' if issues else ''}
+<table class="att"><tr><th>sender</th><th>receiver</th>
+<th>channel</th></tr>{chan_rows}</table>
+"""
+
+
 def insight_to_html(insight: RunInsight,
-                    title: Optional[str] = None) -> str:
-    """Render the full self-contained report document."""
+                    title: Optional[str] = None,
+                    concurrency: Optional[Dict] = None) -> str:
+    """Render the full self-contained report document.
+
+    ``concurrency`` (the dict from
+    :func:`repro.analysis.concurrency.concurrency_summary`) appends the
+    lock-discipline and pipeline-protocol sections when provided.
+    """
     verdict = insight.verdict
     fv = insight.filter_verdict()
     head = title or "repro analyze report"
     fv_line = ("" if fv is None else
                f"<br>per-pipeline filter bottleneck: "
                f"<b>{_esc(fv.describe())}</b>")
+    con_html = ("" if concurrency is None
+                else _concurrency_section(concurrency))
     doc = f"""<!DOCTYPE html>
 <html lang="en"><head><meta charset="utf-8">
 <title>{_esc(head)}</title><style>{_CSS}</style></head><body>
@@ -239,6 +291,6 @@ def insight_to_html(insight: RunInsight,
 {_gantt(insight)}
 <h2>Mesh / memory-controller contention</h2>
 {_mesh_heatmap(insight)}
-</body></html>
+{con_html}</body></html>
 """
     return doc

@@ -102,9 +102,9 @@ class _Counters:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.requests: Dict[Tuple[str, str], int] = {}
-        self.jobs: Dict[str, int] = {}
-        self.ws: Dict[str, int] = {}
+        self.requests: Dict[Tuple[str, str], int] = {}  # guarded-by: self._lock
+        self.jobs: Dict[str, int] = {}  # guarded-by: self._lock
+        self.ws: Dict[str, int] = {}  # guarded-by: self._lock
 
     def request(self, route: str, status: int) -> None:
         with self._lock:

@@ -76,20 +76,20 @@ class Job:
         #: service-wide submission sequence number (FleetAggregator row)
         self.seq = seq
         self._lock = threading.RLock()
-        self._subscribers: List[FrameCallback] = []
+        self._subscribers: List[FrameCallback] = []  # guarded-by: self._lock
         #: every frame published so far, for replay-then-follow
-        self.history: List[Dict[str, Any]] = []
-        self.outcome = OUTCOME_PENDING
-        self.result: Optional[RunResult] = None
+        self.history: List[Dict[str, Any]] = []  # guarded-by: self._lock
+        self.outcome = OUTCOME_PENDING  # guarded-by: self._lock
+        self.result: Optional[RunResult] = None  # guarded-by: self._lock
         #: True when the result came from the cache (warm path)
-        self.cached = False
-        self.error_code = ""
-        self.error_detail = ""
+        self.cached = False  # guarded-by: self._lock
+        self.error_code = ""  # guarded-by: self._lock
+        self.error_detail = ""  # guarded-by: self._lock
         #: set once the job reaches a terminal frame
         self.done_event = threading.Event()
         #: the executor future, attached by the app after submit
         self.future: Optional[Any] = None
-        self._saw_failed_state = False
+        self._saw_failed_state = False  # guarded-by: self._lock
 
     # -- subscription ------------------------------------------------------
     def subscribe(self, callback: FrameCallback) -> Tuple[Subscription, int]:
@@ -149,11 +149,15 @@ class Job:
         """
         if event.kind == "sweep":
             return
-        if event.state == "cached":
-            self.cached = True
-        if event.state == "failed":
-            self._saw_failed_state = True
-        self.publish(wire.event_to_wire(replace(event, index=self.seq)))
+        # The flag writes share the (re-entrant) publish lock: an
+        # unlocked write here could land after finish_success read
+        # `cached`, mislabelling a warm result as executed.
+        with self._lock:
+            if event.state == "cached":
+                self.cached = True
+            if event.state == "failed":
+                self._saw_failed_state = True
+            self.publish(wire.event_to_wire(replace(event, index=self.seq)))
 
     def finish_success(self, result: RunResult) -> None:
         """Publish the terminal result frame (no-op if already terminal)."""
@@ -216,13 +220,13 @@ class DigestCoalescer:
         self.max_active = int(max_active)
         self.recent_cap = int(recent_cap)
         self._lock = threading.Lock()
-        self._inflight: Dict[str, Job] = {}
-        self._recent: "OrderedDict[str, Job]" = OrderedDict()
-        self._seq = 0
+        self._inflight: Dict[str, Job] = {}  # guarded-by: self._lock
+        self._recent: "OrderedDict[str, Job]" = OrderedDict()  # guarded-by: self._lock
+        self._seq = 0  # guarded-by: self._lock
         #: counters for /metrics
-        self.submitted = 0
-        self.coalesced = 0
-        self.rejected_full = 0
+        self.submitted = 0  # guarded-by: self._lock
+        self.coalesced = 0  # guarded-by: self._lock
+        self.rejected_full = 0  # guarded-by: self._lock
 
     def submit(self, digest: str, spec: RunSpec) -> Tuple[Job, bool]:
         """Admit one request.

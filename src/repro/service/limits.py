@@ -61,9 +61,9 @@ class TokenBucket:
         self._clock = clock
         self._lock = threading.Lock()
         #: key -> (tokens, last refill timestamp); ordered for LRU
-        self._buckets: "OrderedDict[str, Tuple[float, float]]" = OrderedDict()
+        self._buckets: "OrderedDict[str, Tuple[float, float]]" = OrderedDict()  # guarded-by: self._lock
         #: requests refused since construction
-        self.rejected = 0
+        self.rejected = 0  # guarded-by: self._lock
 
     @property
     def enabled(self) -> bool:
@@ -123,12 +123,12 @@ class CircuitBreaker:
         self.reset_s = float(reset_s)
         self._clock = clock
         self._lock = threading.Lock()
-        self._state = BREAKER_CLOSED
-        self._failures = 0
-        self._opened_at = 0.0
-        self._probe_out = False
+        self._state = BREAKER_CLOSED  # guarded-by: self._lock
+        self._failures = 0  # guarded-by: self._lock
+        self._opened_at = 0.0  # guarded-by: self._lock
+        self._probe_out = False  # guarded-by: self._lock
         #: times the circuit transitioned closed/half-open -> open
-        self.opened_total = 0
+        self.opened_total = 0  # guarded-by: self._lock
 
     @property
     def state(self) -> str:
@@ -136,7 +136,7 @@ class CircuitBreaker:
             self._maybe_half_open()
             return self._state
 
-    def _maybe_half_open(self) -> None:
+    def _maybe_half_open(self) -> None:  # guarded-by: self._lock
         if (self._state == BREAKER_OPEN
                 and self._clock() - self._opened_at >= self.reset_s):
             self._state = BREAKER_HALF_OPEN
@@ -173,7 +173,7 @@ class CircuitBreaker:
                     and self._failures >= self.threshold):
                 self._trip()
 
-    def _trip(self) -> None:
+    def _trip(self) -> None:  # guarded-by: self._lock
         self._state = BREAKER_OPEN
         self._opened_at = self._clock()
         self._probe_out = False

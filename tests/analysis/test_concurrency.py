@@ -1,0 +1,434 @@
+"""The static concurrency analyzer: lock-discipline rules CON001-003.
+
+The two threading races fixed by hand in the service PR — the event
+log stamping its logical clock outside the clock lock, and the result
+cache bumping hit/miss counters unlocked — are pinned here as pre-fix
+fixtures: each must yield exactly one diagnostic, forever.
+"""
+
+import pathlib
+import textwrap
+
+from repro.analysis.concurrency import (
+    CONCURRENT_PACKAGES,
+    collect_contracts,
+    lock_order_edges,
+)
+from repro.analysis.lints import LintEngine, default_rules
+from repro.analysis.lints.engine import LintContext
+
+import ast
+
+
+def lint(source: str, module: str = "repro.service.fake") -> list:
+    """Run the full rule set on one in-memory concurrent module."""
+    engine = LintEngine(default_rules())
+    return engine.check_source(textwrap.dedent(source),
+                               path="src/repro/service/fake.py",
+                               module=module)
+
+
+def rules_of(findings) -> list:
+    return [f.rule for f in findings]
+
+
+# -- CON001: guarded state outside its lock ---------------------------------
+
+def test_guarded_write_outside_lock_flagged():
+    findings = lint("""\
+        import threading
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.value = 0  # guarded-by: self._lock
+            def poke(self):
+                self.value = 1
+        """)
+    assert rules_of(findings) == ["CON001"]
+    assert "self.value" in findings[0].message
+    assert "with self._lock" in findings[0].message
+
+
+def test_guarded_access_inside_lock_clean():
+    assert lint("""\
+        import threading
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.value = 0  # guarded-by: self._lock
+            def poke(self):
+                with self._lock:
+                    self.value += 1
+                    return self.value
+        """) == []
+
+
+def test_eventlog_ts_race_regression():
+    """The PR-7 event log race, pre-fix: exactly one diagnostic.
+
+    ``log()`` read-and-advanced the monotonic clock outside the lock
+    that guards it, so two threads could emit the same timestamp.
+    """
+    findings = lint("""\
+        import threading
+        class EventLog:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._clock = 0  # guarded-by: self._lock
+            def log(self, kind):
+                ts = self._clock
+                with self._lock:
+                    self._clock = ts + 1
+                return ts
+        """)
+    assert rules_of(findings) == ["CON001"]
+    assert "_clock" in findings[0].message
+
+
+def test_cache_counter_race_regression():
+    """The PR-7 cache counter race, pre-fix: exactly one diagnostic.
+
+    Annotated counters are CON001's job even when the access is a
+    read-modify-write — CON003 must not double-report it.
+    """
+    findings = lint("""\
+        import threading
+        class ResultCache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.hits = 0  # guarded-by: self._lock
+            def get(self, digest):
+                self.hits += 1
+                return None
+        """)
+    assert rules_of(findings) == ["CON001"]
+    assert "hits" in findings[0].message
+
+
+def test_init_is_exempt():
+    """Construction is single-threaded; __init__ assigns freely."""
+    assert lint("""\
+        import threading
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.value = 0  # guarded-by: self._lock
+                self.value = self.value + 1
+        """) == []
+
+
+def test_caller_holds_contract():
+    """A guarded-by def is analyzed lock-held; bare calls are flagged."""
+    findings = lint("""\
+        import threading
+        class Breaker:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._state = "closed"  # guarded-by: self._lock
+            def _trip(self):  # guarded-by: self._lock
+                self._state = "open"
+            def ok(self):
+                with self._lock:
+                    self._trip()
+            def bad(self):
+                self._trip()
+        """)
+    assert rules_of(findings) == ["CON001"]
+    assert "_trip" in findings[0].message
+    assert "Breaker.bad" in findings[0].message
+
+
+def test_nested_callable_does_not_inherit_the_lock():
+    """A closure built under the lock can run after it is released."""
+    findings = lint("""\
+        import threading
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.value = 0  # guarded-by: self._lock
+            def deferred(self):
+                with self._lock:
+                    def later():
+                        return self.value
+                    return later
+        """)
+    assert rules_of(findings) == ["CON001"]
+
+
+def test_annotation_on_continuation_line():
+    """guarded-by on a wrapped assignment's second line still binds."""
+    source = textwrap.dedent("""\
+        import threading
+        class Pool:
+            def __init__(self):
+                self._pool_lock = threading.Lock()
+                self._pool = (
+                    None)  # guarded-by: self._pool_lock
+            def poke(self):
+                self._pool = object()
+        """)
+    tree = ast.parse(source)
+    ctx = LintContext(path="src/repro/exec/fake.py",
+                      module="repro.exec.fake", tree=tree,
+                      source_lines=source.splitlines())
+    classdef = tree.body[1]
+    contracts = collect_contracts(classdef, ctx)
+    assert contracts.attrs == {"_pool": "self._pool_lock"}
+    findings = lint(source, module="repro.exec.fake")
+    assert rules_of(findings) == ["CON001"]
+
+
+def test_annotated_module_opts_in_outside_concurrent_packages():
+    engine = LintEngine(default_rules())
+    source = textwrap.dedent("""\
+        import threading
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.value = 0  # guarded-by: self._lock
+            def poke(self):
+                self.value = 1
+        """)
+    findings = engine.check_source(source, path="src/repro/sim/box.py",
+                                   module="repro.sim.box")
+    assert rules_of(findings) == ["CON001"]
+
+
+def test_unannotated_module_outside_concurrent_packages_skipped():
+    engine = LintEngine(default_rules())
+    source = textwrap.dedent("""\
+        import threading
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.total = 0
+            def poke(self):
+                self.total += 1
+        """)
+    assert engine.check_source(source, path="src/repro/sim/box.py",
+                               module="repro.sim.box") == []
+
+
+def test_con001_suppressible_inline():
+    assert lint("""\
+        import threading
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.value = 0  # guarded-by: self._lock
+            def peek(self):
+                return self.value  # lint: disable=CON001 -- racy read ok
+        """) == []
+
+
+# -- CON002: lock-acquisition-order cycles ----------------------------------
+
+def test_abba_lock_order_cycle_flagged():
+    findings = lint("""\
+        import threading
+        class Pair:
+            def __init__(self):
+                self._a_lock = threading.Lock()
+                self._b_lock = threading.Lock()
+            def one(self):
+                with self._a_lock:
+                    with self._b_lock:
+                        pass
+            def two(self):
+                with self._b_lock:
+                    with self._a_lock:
+                        pass
+        """)
+    assert rules_of(findings) == ["CON002"]
+    assert "cycle" in findings[0].message
+
+
+def test_consistent_lock_order_clean():
+    assert lint("""\
+        import threading
+        class Pair:
+            def __init__(self):
+                self._a_lock = threading.Lock()
+                self._b_lock = threading.Lock()
+            def one(self):
+                with self._a_lock:
+                    with self._b_lock:
+                        pass
+            def two(self):
+                with self._a_lock:
+                    with self._b_lock:
+                        pass
+        """) == []
+
+
+def test_same_lock_name_in_two_classes_does_not_alias():
+    """Each class's self._lock is its own graph node — no false ABBA."""
+    assert lint("""\
+        import threading
+        class A:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._other = threading.Lock()
+            def go(self):
+                with self._lock:
+                    with self._other:
+                        pass
+        class B:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._other = threading.Lock()
+            def go(self):
+                with self._other:
+                    with self._lock:
+                        pass
+        """) == []
+
+
+def test_caller_holds_call_under_other_lock_forms_an_edge():
+    findings = lint("""\
+        import threading
+        class Pair:
+            def __init__(self):
+                self._a_lock = threading.Lock()
+                self._b_lock = threading.Lock()
+            def locked_b(self):  # guarded-by: self._b_lock
+                pass
+            def one(self):
+                with self._a_lock:
+                    self.locked_b()
+            def two(self):
+                with self._b_lock:
+                    with self._a_lock:
+                        pass
+        """)
+    assert "CON002" in rules_of(findings)
+
+
+def test_lock_order_edges_qualified_by_class():
+    source = textwrap.dedent("""\
+        import threading
+        class Pair:
+            def one(self):
+                with self._a_lock:
+                    with self._b_lock:
+                        pass
+        """)
+    ctx = LintContext(path="src/repro/service/fake.py",
+                      module="repro.service.fake",
+                      tree=ast.parse(source),
+                      source_lines=source.splitlines())
+    edges = lock_order_edges(ctx)
+    assert [(o, i) for o, i, _ in edges] == [
+        ("Pair.self._a_lock", "Pair.self._b_lock")]
+
+
+# -- CON003: unlocked RMW on unannotated counters ---------------------------
+
+def test_unlocked_counter_increment_flagged():
+    findings = lint("""\
+        import threading
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.total = 0
+            def bump(self):
+                self.total += 1
+        """)
+    assert rules_of(findings) == ["CON003"]
+    assert "read-modify-write" in findings[0].message
+
+
+def test_counter_increment_under_lock_clean():
+    assert lint("""\
+        import threading
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.total = 0
+            def bump(self):
+                with self._lock:
+                    self.total += 1
+        """) == []
+
+
+def test_lockless_value_class_rmw_clean():
+    """No lock in the class means single-threaded by design: no CON003."""
+    assert lint("""\
+        class Stats:
+            def __init__(self):
+                self.total = 0
+            def bump(self):
+                self.total += 1
+        """) == []
+
+
+def test_non_counter_attribute_not_flagged():
+    assert lint("""\
+        import threading
+        class Stats:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.payload = ""
+            def extend(self):
+                self.payload += "x"
+        """) == []
+
+
+def test_check_then_set_flagged():
+    findings = lint("""\
+        import threading
+        class Lazy:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.opened_at = None
+            def ensure(self):
+                if self.opened_at is None:
+                    self.opened_at = 1
+        """)
+    assert rules_of(findings) == ["CON003"]
+    assert "check-then-set" in findings[0].message
+
+
+# -- the real tree stays annotated ------------------------------------------
+
+def test_concurrent_packages_exist():
+    repo = pathlib.Path(__file__).resolve().parents[2]
+    for pkg in CONCURRENT_PACKAGES:
+        rel = pathlib.Path(*pkg.split("."))
+        assert (repo / "src" / rel).is_dir(), pkg
+
+
+def test_threading_layer_contracts_are_annotated():
+    """Deleting the annotations would silently disarm CON001: trip it.
+
+    The race-prone state this PR family exists for must stay declared
+    guarded-by its lock in the real sources.
+    """
+    repo = pathlib.Path(__file__).resolve().parents[2]
+    expected = {
+        "src/repro/obsv/eventlog.py": ["_clock", "_stream"],
+        "src/repro/exec/cache.py": ["hits", "misses"],
+        "src/repro/exec/executor.py": ["stats", "_submit_pool"],
+        "src/repro/service/coalescer.py": ["_inflight", "submitted"],
+    }
+    for rel, attrs in expected.items():
+        source = (repo / rel).read_text(encoding="utf-8")
+        tree = ast.parse(source)
+        module = rel[len("src/"):-len(".py")].replace("/", ".")
+        ctx = LintContext(path=rel, module=module, tree=tree,
+                          source_lines=source.splitlines())
+        annotated = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                annotated |= set(collect_contracts(node, ctx).attrs)
+        for attr in attrs:
+            assert attr in annotated, f"{rel}: `{attr}` lost its " \
+                                      f"guarded-by annotation"
+
+
+def test_real_sources_produce_no_new_con_findings():
+    repo = pathlib.Path(__file__).resolve().parents[2]
+    engine = LintEngine(default_rules(), root=repo)
+    report = engine.run([repo / "src"])
+    con = [f for f in report.findings if f.rule.startswith("CON")]
+    assert con == [], "\n".join(f.format() for f in con)

@@ -473,3 +473,123 @@ def test_cli_lint_list_rules(capsys):
     out = capsys.readouterr().out
     for rule in ALL_RULES:
         assert rule.rule_id in out
+
+
+# -- unused suppressions (stale '# lint: disable=' comments) -----------------
+
+def test_unused_suppression_detected():
+    engine = LintEngine(default_rules())
+    findings, unused = engine.check_source_detailed(
+        "x = 1  # lint: disable=DET001 -- nothing to suppress here\n",
+        path="src/repro/sim/fake.py", module="repro.sim.fake")
+    assert findings == []
+    assert len(unused) == 1
+    assert unused[0]["rule"] == "DET001"
+    assert unused[0]["line"] == 1
+
+
+def test_used_suppression_not_reported():
+    engine = LintEngine(default_rules())
+    findings, unused = engine.check_source_detailed(
+        "import time\nx = time.time()  # lint: disable=DET001 -- bench\n",
+        path="src/repro/sim/fake.py", module="repro.sim.fake")
+    assert findings == []
+    assert unused == []
+
+
+def test_doc_text_mention_is_not_a_suppression():
+    """Docstrings and doc comments describing the marker never count."""
+    engine = LintEngine(default_rules())
+    source = textwrap.dedent('''\
+        """Write `# lint: disable=DET001 -- reason` to suppress."""
+        #: marker syntax is `# lint: disable=RULE`
+        x = 1
+        ''')
+    findings, unused = engine.check_source_detailed(
+        source, path="src/repro/sim/fake.py", module="repro.sim.fake")
+    assert findings == []
+    assert unused == []
+
+
+def test_suppression_without_reason_still_suppresses():
+    findings = lint("""\
+        import time
+        def f():
+            return time.time()  # lint: disable=DET001
+        """)
+    assert findings == []
+
+
+def test_cli_reports_unused_suppressions(tmp_path, capsys):
+    target = tmp_path / "src" / "repro" / "sim" / "stale.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("x = 1  # lint: disable=DET001 -- long gone\n")
+    # without the flag a stale suppression is tolerated...
+    assert main(["lint", str(target)]) == 0
+    capsys.readouterr()
+    # ...with it, the clean report still fails
+    assert main(["lint", str(target),
+                 "--report-unused-suppressions"]) == 1
+    out = capsys.readouterr().out
+    assert "unused suppression" in out and "DET001" in out
+
+
+def test_cli_unused_suppressions_in_json(tmp_path, capsys):
+    target = tmp_path / "src" / "repro" / "sim" / "stale.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("x = 1  # lint: disable=DET002 -- long gone\n")
+    assert main(["lint", "--json", str(target),
+                 "--report-unused-suppressions"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["unused_suppressions"][0]["rule"] == "DET002"
+
+
+def test_committed_tree_has_no_unused_suppressions():
+    repo = pathlib.Path(__file__).resolve().parents[2]
+    engine = LintEngine(default_rules(), root=repo)
+    report = engine.run([repo / "src"])
+    assert report.unused_suppressions == [], report.unused_suppressions
+
+
+# -- baseline edge cases -----------------------------------------------------
+
+def test_duplicate_fingerprints_round_trip_through_baseline(tmp_path):
+    """Two identical lines in one file: occurrence disambiguation must
+    survive a save/load cycle so neither report as new or stale."""
+    findings = lint("""\
+        import time
+        def f():
+            return time.time()
+        def g():
+            return time.time()
+        """)
+    assert len(findings) == 2
+    baseline = Baseline.from_findings(findings)
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    assert all(f in loaded for f in findings)
+    assert loaded.stale_entries(findings) == {}
+
+
+def test_baseline_entry_for_deleted_file_goes_stale_and_prunes(tmp_path,
+                                                               capsys):
+    target = tmp_path / "src" / "repro" / "sim" / "doomed.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import time\nx = time.time()\n")
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(target.parent), "--baseline", str(baseline),
+                 "--update-baseline"]) == 0
+    capsys.readouterr()
+
+    target.unlink()
+    (target.parent / "ok.py").write_text("x = 1\n")
+    assert main(["lint", str(target.parent),
+                 "--baseline", str(baseline)]) == 0
+    assert "1 stale" in capsys.readouterr().out
+
+    # --update-baseline prunes the dead entry
+    assert main(["lint", str(target.parent), "--baseline", str(baseline),
+                 "--update-baseline"]) == 0
+    doc = json.loads(baseline.read_text())
+    assert doc["findings"] == {}

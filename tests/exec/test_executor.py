@@ -107,3 +107,58 @@ def test_executor_repr(tmp_path):
     executor = SweepExecutor(jobs=2, cache=ResultCache(tmp_path))
     assert "jobs=2" in repr(executor)
     assert "cache=on" in repr(executor)
+
+
+def test_submit_after_close_reopens_the_pool(tmp_path):
+    """close() vs submit() must never leak a shutdown pool to a caller."""
+    executor = SweepExecutor(cache=ResultCache(tmp_path))
+    spec = RunSpec(config="one_renderer", frames=FRAMES, image_side=16)
+    first = executor.submit(spec)
+    assert first.result(timeout=60).config == "one_renderer"
+    executor.close(cancel_pending=True)
+    # a fresh submit lazily reopens; no "schedule after shutdown" error
+    second = executor.submit(spec)
+    assert second.result(timeout=60).config == "one_renderer"
+    executor.close()
+
+
+def test_concurrent_submit_and_close_never_raises(tmp_path):
+    """Hammer the close/submit interleaving that used to race.
+
+    submit() used to capture the pool outside the lock and call
+    pool.submit on a pool close() had already shut down, raising
+    RuntimeError('cannot schedule new futures after shutdown').
+    Every interleaving must now either land the work or reopen.
+    """
+    import threading
+
+    executor = SweepExecutor(cache=ResultCache(tmp_path))
+    spec = RunSpec(config="one_renderer", frames=2, image_side=16)
+    errors = []
+    futures = []
+    stop = threading.Event()
+
+    def submitter():
+        while not stop.is_set():
+            try:
+                futures.append(executor.submit(spec, progress=None))
+            except RuntimeError as exc:  # the pre-fix failure mode
+                errors.append(exc)
+                return
+
+    def closer():
+        while not stop.is_set():
+            executor.close(cancel_pending=True)
+
+    threads = [threading.Thread(target=submitter),
+               threading.Thread(target=closer)]
+    for t in threads:
+        t.start()
+    import time
+    time.sleep(0.5)
+    stop.set()
+    for t in threads:
+        t.join(timeout=30)
+    executor.close()
+    assert errors == [], errors
+    assert futures  # the submitter made progress
