@@ -14,6 +14,12 @@ Modes
 -----
 ``python benchmarks/bench_engine_batched.py``
     Measure and print a comparison against the committed numbers.
+``--telemetry``
+    Measure with a full telemetry hub attached to both engines: the
+    event engine pays per-event instrumentation, the batched engine
+    pays the synthesized stream (docs/observability.md).  Records the
+    ``telemetry`` block and an ``engine_batched_telemetry`` trend
+    record; the CI floor for this phase is 5x (``--min-speedup 5``).
 ``--update``
     (Re)record both blocks and the speedup.
 ``--check``
@@ -46,6 +52,7 @@ from repro.engine import BatchedEngine, batched_decline_reason  # noqa: E402
 from repro.obsv import append_history  # noqa: E402
 from repro.pipeline import PipelineRunner  # noqa: E402
 from repro.pipeline.workload import WalkthroughWorkload  # noqa: E402
+from repro.telemetry import Telemetry  # noqa: E402
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 RESULT_PATH = REPO_ROOT / "BENCH_engine_batched.json"
@@ -62,10 +69,11 @@ CROSSOVER_FRAMES = (5, 10, 15, 20, 30, 50, 100, 200, 400)
 
 
 def _runner(engine: str, frames: int = FRAMES,
-            workload: WalkthroughWorkload | None = None) -> PipelineRunner:
+            workload: WalkthroughWorkload | None = None,
+            telemetry: Telemetry | None = None) -> PipelineRunner:
     return PipelineRunner(config=CONFIG, pipelines=PIPELINES, frames=frames,
                           workload=workload or WalkthroughWorkload(frames),
-                          engine=engine)
+                          telemetry=telemetry, engine=engine)
 
 
 def measure(runs: int = RUNS) -> dict:
@@ -116,6 +124,64 @@ def measure(runs: int = RUNS) -> dict:
         "frames_simulated": frames_simulated,
         "frames_skipped": FRAMES - frames_simulated,
         "jumps": len(jumps),
+    }
+
+
+def measure_telemetry(runs: int = RUNS) -> dict:
+    """Median wall time of both engines with full telemetry attached.
+
+    Each timed run includes hub construction and the complete emission
+    stream (the event engine instruments every model action; the
+    batched engine synthesizes the same stream from its coarse-op
+    grants and one O(1) periodic block per jump).
+    """
+    workload = WalkthroughWorkload(frames=FRAMES)
+    reference = _runner("event", workload=workload).run()  # warm + oracle
+    assert batched_decline_reason(
+        _runner("batched", workload=workload,
+                telemetry=Telemetry(enabled=True))) is None, \
+        "telemetry-on profile must be batched-eligible"
+
+    samples = {"event": [], "batched": []}
+    events = {"event": 0, "batched": 0}
+    jumps: list = []
+    frames_simulated = FRAMES
+    for _ in range(runs):
+        for name in ("event", "batched"):
+            t0 = time.perf_counter()
+            hub = Telemetry(enabled=True)
+            if name == "event":
+                run_result = _runner("event", workload=workload,
+                                     telemetry=hub).run()
+            else:
+                engine = BatchedEngine(_runner("batched", workload=workload,
+                                               telemetry=hub))
+                run_result = engine.run()
+                jumps = list(engine.jumps)
+                frames_simulated = engine.frames_simulated
+            samples[name].append((time.perf_counter() - t0) * 1000.0)
+            events[name] = hub.event_count
+            drift = abs(run_result.walkthrough_seconds
+                        - reference.walkthrough_seconds)
+            assert drift <= 1e-9 * reference.walkthrough_seconds, \
+                f"{name} engine drifted from the reference walkthrough"
+
+    event_ms = statistics.median(samples["event"])
+    batched_ms = statistics.median(samples["batched"])
+    return {
+        "config": CONFIG,
+        "pipelines": PIPELINES,
+        "frames": FRAMES,
+        "runs": runs,
+        "event_median_ms": round(event_ms, 3),
+        "batched_median_ms": round(batched_ms, 3),
+        "speedup": round(event_ms / batched_ms, 2),
+        "sim_seconds": reference.walkthrough_seconds,
+        "frames_simulated": frames_simulated,
+        "frames_skipped": FRAMES - frames_simulated,
+        "jumps": len(jumps),
+        "event_stream_events": events["event"],
+        "batched_stream_events": events["batched"],
     }
 
 
@@ -173,6 +239,10 @@ def main(argv=None) -> int:
     parser.add_argument("--crossover", action="store_true",
                         help="scan frame counts for the wall-clock "
                              "crossover and the jump threshold")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="measure with a full telemetry hub on both "
+                             "engines (records the 'telemetry' block; "
+                             "CI gates this phase at --min-speedup 5)")
     parser.add_argument("--runs", type=int, default=RUNS)
     parser.add_argument("--history", type=Path, default=HISTORY_PATH,
                         help="append a trend record here "
@@ -207,11 +277,16 @@ def main(argv=None) -> int:
         print(f"crossover table recorded in {RESULT_PATH.name}")
         return 0
 
-    fresh = measure(args.runs)
-    print(f"{CONFIG} x{PIPELINES} pipelines, {FRAMES} frames: "
-          f"event {fresh['event_median_ms']:.1f} ms -> batched "
-          f"{fresh['batched_median_ms']:.1f} ms = {fresh['speedup']:.1f}x "
-          f"({fresh['jumps']} jump(s), {fresh['frames_skipped']} frames "
+    phase = "telemetry" if args.telemetry else "current"
+    bench_name = ("engine_batched_telemetry" if args.telemetry
+                  else "engine_batched")
+    fresh = measure_telemetry(args.runs) if args.telemetry \
+        else measure(args.runs)
+    label = "telemetry-on, " if args.telemetry else ""
+    print(f"{CONFIG} x{PIPELINES} pipelines, {FRAMES} frames "
+          f"({label}event {fresh['event_median_ms']:.1f} ms -> batched "
+          f"{fresh['batched_median_ms']:.1f} ms = {fresh['speedup']:.1f}x, "
+          f"{fresh['jumps']} jump(s), {fresh['frames_skipped']} frames "
           f"skipped)")
 
     if not args.no_history:
@@ -220,18 +295,18 @@ def main(argv=None) -> int:
         metrics = {k: fresh[k] for k in ("event_median_ms",
                                          "batched_median_ms")}
         meta = {k: v for k, v in fresh.items() if k not in metrics}
-        append_history(args.history, "engine_batched", metrics, meta=meta)
+        append_history(args.history, bench_name, metrics, meta=meta)
         print(f"trend record appended to {args.history.name}")
 
     if args.update:
         data = load()
-        data["current"] = fresh
+        data[phase] = fresh
         save(data)
         print(f"measurement recorded in {RESULT_PATH.name}")
         return 0
 
     data = load()
-    current = data.get("current")
+    current = data.get(phase)
     if current is not None:
         print(f"committed speedup: {current['speedup']:.1f}x "
               f"(event {current['event_median_ms']:.1f} ms, batched "

@@ -37,6 +37,7 @@ __all__ = ["ALL_RULES", "DETERMINISTIC_PACKAGES", "default_rules",
            "UnorderedIterationRule", "MutableDefaultRule",
            "UnfrozenSpecDataclassRule", "FloatAccumulationRule",
            "UnknownCounterRootRule", "UnknownMetricRootRule",
+           "EngineEmissionRule",
            "DirectPrintRule", "GuardedStateRule", "LockOrderRule",
            "UnlockedRmwRule", "PipelineDeadlockRule",
            "MpbHandshakeRule"]
@@ -509,6 +510,39 @@ class UnknownMetricRootRule(Rule):
                     f"({', '.join(sorted(KNOWN_METRIC_ROOTS))})")
 
 
+class EngineEmissionRule(Rule):
+    rule_id = "TEL003"
+    summary = "direct telemetry emission inside repro.engine"
+    rationale = (
+        "The batched engine's telemetry is *synthesized*: every span, "
+        "instant, counter increment and periodic block must go through "
+        "the hub-gated helpers in repro.engine.telsynth, which own the "
+        "detail/sink-only fidelity split and the jump arithmetic.  A "
+        "direct hub or counter call elsewhere in repro.engine bypasses "
+        "that gate — it emits even when the run asked for spans only, "
+        "and the frame-wave jump cannot renumber or replicate it.")
+
+    #: the telemetry emission surface (Telemetry + MetricRegistry)
+    _EMITTERS = {"span", "emit", "sample", "inc", "set_gauge", "observe",
+                 "add_periodic_block", "add_sink"}
+    #: the one module allowed to touch the hub
+    _HELPER = "repro.engine.telsynth"
+
+    def check(self, ctx: LintContext) -> Iterator[Tuple[ast.AST, str]]:
+        if not ctx.in_package("repro.engine"):
+            return
+        if ctx.in_package(self._HELPER):
+            return
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._EMITTERS):
+                yield node, (
+                    f"`.{node.func.attr}()` emits telemetry directly; "
+                    f"repro.engine must go through the hub-gated "
+                    f"helpers in {self._HELPER}")
+
+
 class DirectPrintRule(Rule):
     rule_id = "OBS001"
     summary = "direct print() in library code"
@@ -632,6 +666,7 @@ def default_rules() -> Sequence[Rule]:
             UnorderedIterationRule(), MutableDefaultRule(),
             UnfrozenSpecDataclassRule(), FloatAccumulationRule(),
             UnknownCounterRootRule(), UnknownMetricRootRule(),
+            EngineEmissionRule(),
             DirectPrintRule(), GuardedStateRule(), LockOrderRule(),
             UnlockedRmwRule(), PipelineDeadlockRule(),
             MpbHandshakeRule())

@@ -63,7 +63,7 @@ import os
 import pathlib
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .analysis import PeriodPredictor
 from .exec import ResultCache, RunSpec, SweepExecutor, default_cache_dir
@@ -170,6 +170,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "simulation event; 'batched' advances whole "
                           "frame-waves through the steady-state phase "
                           "(same results within committed tolerances)")
+    run.add_argument("--json", action="store_true",
+                     help="machine-readable run summary on stdout, "
+                          "including which engine actually ran and the "
+                          "batched decline code on fallback")
     run.add_argument("--strict-differential", action="store_true",
                      help="run BOTH engines and diff their metric "
                           "snapshots (committed tolerances; exact where "
@@ -222,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--interval", type=float, default=0.25, metavar="SEC",
                      help="minimum seconds between dashboard redraws "
                           "(default 0.25)")
+    top.add_argument("--engine", choices=ENGINES, default="event",
+                     help="execution engine for every point; batched "
+                          "runs report the detected frame period and "
+                          "fold jump progress into the ETA")
     _add_exec_args(top)
     _add_obsv_args(top)
 
@@ -337,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--arrangement", choices=ARRANGEMENTS,
                          default="ordered")
     analyze.add_argument("--frames", type=int, default=50)
+    analyze.add_argument("--engine", choices=ENGINES, default="event",
+                         help="execution engine for the analyzed run; "
+                              "'batched' synthesizes the telemetry "
+                              "stream from the steady-state scheduler "
+                              "(attribution within committed "
+                              "tolerances)")
     analyze.add_argument("--shallow", action="store_true",
                          help="skip event analysis: verdict and snapshot "
                               "from the RunResult only (cache-eligible; "
@@ -488,6 +502,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                             arrangement=args.arrangement, frames=args.frames,
                             trace=args.gantt, telemetry=telemetry,
                             sanitizers=suite, engine=args.engine)
+    engine_info: Dict[str, Any] = {"requested": args.engine,
+                                   "used": args.engine}
+    if args.engine == "batched":
+        from .engine import BATCHED_DECLINE_REASONS, batched_decline_code
+
+        code = batched_decline_code(runner)
+        if code is not None:
+            engine_info["used"] = "event"
+            engine_info["decline_code"] = code
+            engine_info["decline_reason"] = BATCHED_DECLINE_REASONS[code]
     # A Gantt chart, Chrome trace or sanitized run needs the live
     # simulation; otherwise the content-addressed cache can answer
     # (and record) the result.
@@ -501,6 +525,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
             + f" ({cache.root})"
     else:
         result = runner.run()
+    if args.json:
+        doc: Dict[str, Any] = {
+            "config": result.config,
+            "arrangement": result.arrangement,
+            "pipelines": result.pipelines,
+            "frames": result.frames,
+            "cores_used": result.cores_used,
+            "walkthrough_s": result.walkthrough_seconds,
+            "seconds_per_frame": result.seconds_per_frame,
+            "scc_energy_j": result.scc_energy_j,
+            "scc_avg_power_w": result.scc_avg_power_w,
+            "engine": engine_info,
+        }
+        if cache_note:
+            doc["cache"] = cache_note
+        if suite is not None:
+            doc["sanitizers_clean"] = suite.clean
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        if args.trace_out is not None and telemetry is not None:
+            write_chrome_trace(args.trace_out, telemetry)
+        if suite is not None and not suite.clean:
+            print(suite.summary(), file=sys.stderr)
+            return 3
+        return 0
+    if args.engine == "batched":
+        mode = ("fallback to event engine "
+                f"({engine_info.get('decline_reason')})"
+                if "decline_code" in engine_info
+                else "batched steady-state engine")
+        print(f"engine        : {mode}")
     print(f"config        : {result.config} / {result.arrangement}")
     print(f"pipelines     : {result.pipelines} "
           f"({result.cores_used} SCC cores)")
@@ -913,7 +967,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         runner = PipelineRunner(config=args.config,
                                 pipelines=args.pipelines,
                                 arrangement=args.arrangement,
-                                frames=args.frames)
+                                frames=args.frames, engine=args.engine)
         spec = runner.spec()
         cache = _cache_from(args)
         if cache is not None:
@@ -933,7 +987,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                                 pipelines=args.pipelines,
                                 arrangement=args.arrangement,
                                 frames=args.frames, telemetry=telemetry,
-                                sanitizers=suite)
+                                sanitizers=suite, engine=args.engine)
         result = runner.run()
         insight = analyze_telemetry(telemetry, result)
         if suite is not None and not suite.clean:

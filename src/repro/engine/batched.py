@@ -32,10 +32,17 @@ constant period Δ.  This engine exploits that structure twice:
    frames).  Runs whose phase never becomes periodic simply execute
    coarsely to the end — correct, just without the extra multiple.
 
-The engine only supports timing-mode runs; payload mode, tracing,
-sanitizers, enabled telemetry and sampled power traces decline (see
-:func:`batched_decline_reason`) and the caller falls back to the event
-engine, whose results are then bit-identical by construction.
+Telemetry and tracing do **not** decline: :mod:`repro.engine.telsynth`
+re-derives the event engine's span/counter stream from the coarse-op
+grant arithmetic (bit-identical floats while executing live) and a wave
+jump advances the stream analytically — the captured period becomes a
+periodic block on the hub and counters move in closed form, so the jump
+stays O(1) regardless of how many frames it skips.
+
+The engine only supports timing-mode runs; payload mode, sanitizers and
+sampled power traces decline (see :func:`batched_decline_reason`, keyed
+by :data:`BATCHED_DECLINE_REASONS`) and the caller falls back to the
+event engine, whose results are then bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -53,36 +60,51 @@ from ..scc import SCCChip
 from ..scc.topology import NUM_MEMORY_CONTROLLERS, SIF_LOCATION
 from ..sim import Simulator, TimeSeries
 from ..telemetry import Telemetry
+from .telsynth import StepMeta, TelemetrySynth, make_synth
 
-__all__ = ["BatchedEngine", "batched_decline_reason", "try_batched_run"]
+__all__ = ["BatchedEngine", "BATCHED_DECLINE_REASONS",
+           "batched_decline_code", "batched_decline_reason",
+           "try_batched_run"]
 
 #: relative tolerance for "two periods look identical" float comparisons
 _RTOL = 1e-9
 _ATOL = 1e-12
 
 Op = Tuple[Any, ...]
-Prog = List[Tuple[Optional["_Res"], float]]
+Prog = List[Tuple[Optional["_Res"], float, Optional[StepMeta]]]
+
+#: The complete decline surface, keyed by a stable machine-readable code
+#: (surfaced in ``repro run --json`` and docs/performance.md).  Tracing
+#: and telemetry are deliberately *absent*: telsynth serves both.
+BATCHED_DECLINE_REASONS: Dict[str, str] = {
+    "payload_mode": "payload mode pushes real pixels through the stages",
+    "sanitizers": "runtime sanitizers hook the event kernel",
+    "power_trace": "sampled power traces follow event-time DVFS edges",
+}
+
+
+def batched_decline_code(runner: Any) -> Optional[str]:
+    """Decline code for this run (a :data:`BATCHED_DECLINE_REASONS` key),
+    or None when the batched engine can serve it."""
+    if runner.payload_mode:
+        return "payload_mode"
+    if runner.sanitizers is not None:
+        return "sanitizers"
+    if runner.power_trace_dt is not None:
+        return "power_trace"
+    return None
 
 
 def batched_decline_reason(runner: Any) -> Optional[str]:
     """Why the batched engine cannot serve this run (None = it can).
 
     Every declined feature needs the full per-event machinery (payload
-    arrays through the stages, span streams, kernel hooks); the caller
-    falls back to the event engine, which then produces the one true —
-    bit-identical — result.
+    arrays through the stages, kernel hooks, event-time DVFS edges); the
+    caller falls back to the event engine, which then produces the one
+    true — bit-identical — result.
     """
-    if runner.payload_mode:
-        return "payload mode pushes real pixels through the stages"
-    if runner.trace:
-        return "per-span trace recording needs the event kernel"
-    if runner.sanitizers is not None:
-        return "runtime sanitizers hook the event kernel"
-    if runner.telemetry is not None and runner.telemetry.enabled:
-        return "enabled telemetry consumes per-event spans"
-    if runner.power_trace_dt is not None:
-        return "sampled power traces follow event-time DVFS edges"
-    return None
+    code = batched_decline_code(runner)
+    return None if code is None else BATCHED_DECLINE_REASONS[code]
 
 
 def try_batched_run(runner: Any) -> Optional[RunResult]:
@@ -156,12 +178,14 @@ class _Chan:
     """Rendezvous state of one ordered (src, dst) core pair — mirrors
     ``repro.rcce.comm._Channel`` (a token store plus a message store)."""
 
-    __slots__ = ("recv_posted", "data_ready")
+    __slots__ = ("recv_posted", "data_ready", "src", "dst")
 
-    def __init__(self) -> None:
+    def __init__(self, src: int, dst: int) -> None:
         self.recv_posted = _Store()
         self.data_ready = _Store(
             shift=lambda item, j: (item[0], item[1] + j))
+        self.src = src
+        self.dst = dst
 
 
 def _idle_value(t: float, wait_start: float) -> float:
@@ -186,6 +210,9 @@ class _Actor:
         self.eng = eng
         #: metrics base key ("render", "sepia", "transfer", ...)
         self.key = key
+        #: telemetry track (the event stage's per-instance key, e.g.
+        #: "sepia[0]"); subclasses with suffixed instances override it
+        self.span_key = key
         self.core_id = core_id
         self.t = 0.0
         self.frame = 0
@@ -193,6 +220,9 @@ class _Actor:
         self.op_i = 0
         self.done = False
         self.resume: Any = None
+        #: renumbers ``resume`` across a jump (the shift fn of the store
+        #: the pending wake-up value came from)
+        self.resume_shift: Optional[Callable[[Any, int], Any]] = None
         self.pending: Any = None
         self.gen: Any = None
         self.anchor_t: Optional[float] = None
@@ -221,6 +251,16 @@ class _Actor:
             if v is not None:
                 setattr(self, attr, v + s)
         self.frame += j
+        # Frame-tagged values in flight through the scheduler renumber
+        # with the jump, exactly like queued store items do:
+        if self.resume is not None and self.resume_shift is not None:
+            self.resume = self.resume_shift(self.resume, j)
+        pend = self.pending
+        if pend is not None and pend[0] == 1 and pend[1][0] == "p":
+            op = pend[1]
+            store: _Store = op[1]
+            if store.shift is not None and op[2] is not None:
+                self.pending = (1, (op[0], store, store.shift(op[2], j)))
 
     def budget_ok(self, j: int, delta: float) -> bool:
         """May the next ``j`` frames be skipped despite varying costs?
@@ -238,30 +278,50 @@ class _Actor:
                 f"t={self.t:.6f} frame={self.frame}>")
 
 
-def _send_ops(chan: _Chan, write_prog: Prog, nbytes: int,
-              tag: int) -> Generator[Op, Any, None]:
-    """RCCE send: rendezvous token, deposit payload, signal data-ready."""
+def _send_ops(actor: _Actor, chan: _Chan, write_prog: Prog, nbytes: int,
+              tag_of: Callable[[], int]) -> Generator[Op, Any, None]:
+    """RCCE send: rendezvous token, deposit payload, signal data-ready.
+
+    ``tag_of`` is read at each use point rather than captured by value:
+    a wave jump renumbers in-flight frames (``f -> f+j``), and a sender
+    parked mid-send must stamp the *renumbered* tag on the message and
+    its telemetry, exactly as the event engine (whose stages would be
+    ``j`` frames further along) would have.
+    """
+    synth = actor.eng.synth
+    actor.wait_start = actor.t
     yield ("g", chan.recv_posted)
+    if synth is not None:
+        assert actor.wait_start is not None
+        synth.rendezvous(chan.src, chan.dst, actor.wait_start, actor.t,
+                         nbytes, tag_of())
     yield ("s", write_prog)
-    yield ("p", chan.data_ready, (nbytes, tag))
+    yield ("p", chan.data_ready, (nbytes, tag_of()))
+    if synth is not None:
+        synth.delivered(nbytes)
 
 
 class _FilterActor(_Actor):
     """One silent-film filter on one core of one pipeline."""
 
-    def __init__(self, eng: "BatchedEngine", key: str, core_id: int,
-                 in_chan: _Chan, out_chan: _Chan, read_prog: Prog,
-                 compute_d: float, write_prog: Prog, nbytes: int) -> None:
+    def __init__(self, eng: "BatchedEngine", key: str, span_key: str,
+                 core_id: int, in_chan: _Chan, out_chan: _Chan,
+                 read_prog: Prog, compute_d: float, write_prog: Prog,
+                 nbytes: int) -> None:
         super().__init__(eng, key, core_id)
+        self.span_key = span_key
         self.in_chan = in_chan
         self.out_chan = out_chan
         self.read_prog = read_prog
         self.compute_d = compute_d
         self.write_prog = write_prog
         self.nbytes = nbytes
+        #: in-flight message (nbytes, tag); the jump renumbers its tag
+        self.cur_item: Optional[Tuple[int, int]] = None
 
     def body(self) -> Generator[Op, Any, None]:
         eng = self.eng
+        synth = eng.synth
         idle = eng.idle_samples[self.key]
         busy = eng.busy_samples[self.key]
         while self.frame < eng.frames:
@@ -270,14 +330,31 @@ class _FilterActor(_Actor):
             yield ("p", self.in_chan.recv_posted, None)
             self.wait_start = self.t
             item = yield ("g", self.in_chan.data_ready)
+            self.cur_item = item
             idle.append(_idle_value(self.t, self.wait_start))
+            if synth is not None:
+                assert self.wait_start is not None
+                synth.stage_idle(self.span_key, self.t, self.wait_start)
             yield ("s", self.read_prog)
             self.span_start = self.t
             yield ("d", self.compute_d)
-            yield from _send_ops(self.out_chan, self.write_prog,
-                                 self.nbytes, item[1])
+            yield from _send_ops(self, self.out_chan, self.write_prog,
+                                 self.nbytes, self._cur_tag)
             busy.append(self.t - self.span_start)
+            if synth is not None:
+                assert self.span_start is not None
+                synth.stage_busy(self.span_key, self.span_start, self.t,
+                                 self.cur_item[1])
             self.frame += 1
+
+    def _cur_tag(self) -> int:
+        assert self.cur_item is not None
+        return self.cur_item[1]
+
+    def shift(self, s: float, j: int) -> None:
+        super().shift(s, j)
+        if self.cur_item is not None:
+            self.cur_item = (self.cur_item[0], self.cur_item[1] + j)
 
 
 class _TransferActor(_Actor):
@@ -298,6 +375,7 @@ class _TransferActor(_Actor):
 
     def body(self) -> Generator[Op, Any, None]:
         eng = self.eng
+        synth = eng.synth
         idle = eng.idle_samples[self.key]
         busy = eng.busy_samples[self.key]
         n = len(self.in_chans)
@@ -307,20 +385,31 @@ class _TransferActor(_Actor):
             for p in range(n):
                 chan = self.in_chans[p]
                 yield ("p", chan.recv_posted, None)
-                if p == 0:
-                    self.wait_start = self.t
+                self.wait_start = self.t
                 yield ("g", chan.data_ready)
                 if p == 0:
                     # Fig. 15 idle counts only the first strip's wait;
                     # later strips' waits are span-only (ignored when
                     # telemetry is off), exactly like TransferStage.
                     idle.append(_idle_value(self.t, self.wait_start))
+                    if synth is not None:
+                        assert self.wait_start is not None
+                        synth.stage_idle(self.span_key, self.t,
+                                         self.wait_start)
+                elif synth is not None:
+                    assert self.wait_start is not None
+                    synth.transfer_wait(self.span_key, self.t,
+                                        self.wait_start, chan.src)
                 yield ("s", self.read_progs[p])
             self.span_start = self.t
             yield ("d", self.assemble_d)
             yield ("s", self.downlink_prog)
             eng.record_completion(self.frame, self.t)
             busy.append(self.t - self.span_start)
+            if synth is not None:
+                assert self.span_start is not None
+                synth.stage_busy(self.span_key, self.span_start, self.t,
+                                 self.frame)
             self.frame += 1
 
 
@@ -339,9 +428,16 @@ class _ConnectActor(_Actor):
         self.out_chans = out_chans
         self.write_progs = write_progs
         self.strip_nbytes = strip_nbytes
+        #: in-flight queue item (frame, img); the jump renumbers its frame
+        self.cur_item: Optional[Tuple[int, Any]] = None
+
+    def _cur_frame(self) -> int:
+        assert self.cur_item is not None
+        return self.cur_item[0]
 
     def body(self) -> Generator[Op, Any, None]:
         eng = self.eng
+        synth = eng.synth
         idle = eng.idle_samples[self.key]
         busy = eng.busy_samples[self.key]
         n = len(self.out_chans)
@@ -349,16 +445,30 @@ class _ConnectActor(_Actor):
             self.anchor()
             self.wait_start = self.t
             item = yield ("g", self.queue)
+            self.cur_item = item
             idle.append(_idle_value(self.t, self.wait_start))
+            if synth is not None:
+                assert self.wait_start is not None
+                synth.stage_idle(self.span_key, self.t, self.wait_start)
             self.span_start = self.t
             yield ("s", self.sif_prog)
             yield ("d", self.compute_d)
             yield ("s", self.write_own_prog)
             for p in range(n):
-                yield from _send_ops(self.out_chans[p], self.write_progs[p],
-                                     self.strip_nbytes[p], item[0])
+                yield from _send_ops(self, self.out_chans[p],
+                                     self.write_progs[p],
+                                     self.strip_nbytes[p], self._cur_frame)
             busy.append(self.t - self.span_start)
+            if synth is not None:
+                assert self.span_start is not None
+                synth.stage_busy(self.span_key, self.span_start, self.t,
+                                 self._cur_frame())
             self.frame += 1
+
+    def shift(self, s: float, j: int) -> None:
+        super().shift(s, j)
+        if self.cur_item is not None:
+            self.cur_item = (self.cur_item[0] + j, self.cur_item[1])
 
 
 class _SingleRendererActor(_Actor):
@@ -387,6 +497,7 @@ class _SingleRendererActor(_Actor):
 
     def body(self) -> Generator[Op, Any, None]:
         eng = self.eng
+        synth = eng.synth
         busy = eng.busy_samples[self.key]
         births = eng.births
         n = len(self.out_chans)
@@ -398,14 +509,26 @@ class _SingleRendererActor(_Actor):
             self.first_arr = self.t
             for p in range(n):
                 chan = self.out_chans[p]
+                self.wait_start = self.t
                 yield ("g", chan.recv_posted)
                 if p == 0:
                     self.obs_window = self.t - self.span_start
                     self.obs_blocked = self.t > self.first_arr
+                if synth is not None:
+                    assert self.wait_start is not None
+                    synth.rendezvous(chan.src, chan.dst, self.wait_start,
+                                     self.t, self.strip_nbytes[p],
+                                     self.frame)
                 yield ("s", self.write_progs[p])
                 yield ("p", chan.data_ready,
                        (self.strip_nbytes[p], self.frame))
+                if synth is not None:
+                    synth.delivered(self.strip_nbytes[p])
             busy.append(self.t - self.span_start)
+            if synth is not None:
+                assert self.span_start is not None
+                synth.stage_busy(self.span_key, self.span_start, self.t,
+                                 self.frame)
             self.frame += 1
 
     def shift(self, s: float, j: int) -> None:
@@ -445,6 +568,7 @@ class _StripRendererActor(_SingleRendererActor):
         super().__init__(eng, core_id, "render", [out_chan], [write_prog],
                          [nbytes])
         self.pipeline = pipeline
+        self.span_key = f"render[{pipeline}]"
 
     def _frame_compute(self, frame: int) -> float:
         eng = self.eng
@@ -470,6 +594,8 @@ class _MCPCActor(_Actor):
         self.seg_start: Optional[float] = None
         self.cur_dur = 0.0
         self.post_t: Optional[float] = None
+        #: jump-safe loop-top time (start of the host busy span)
+        self.loop_top: Optional[float] = None
         # last completed frame's loop-top -> put-grant window (duration)
         self.obs_window = 0.0
         self.obs_blocked = False
@@ -481,10 +607,12 @@ class _MCPCActor(_Actor):
 
     def body(self) -> Generator[Op, Any, None]:
         eng = self.eng
+        synth = eng.synth
         births = eng.births
         while self.frame < eng.frames:
             self.anchor()
             top = self.t
+            self.loop_top = self.t
             births.setdefault(self.frame, self.t)
             d = self._frame_compute(self.frame)
             self.seg_start = self.t
@@ -496,6 +624,9 @@ class _MCPCActor(_Actor):
             yield ("s", self.uplink_prog)
             self.post_t = self.t
             yield ("p", self.queue, (self.frame, None))
+            if synth is not None:
+                assert self.loop_top is not None
+                synth.host_busy(self.loop_top, self.t, self.frame)
             self.obs_window = self.t - top
             self.obs_blocked = self.t > self.post_t
             self.frame += 1
@@ -506,6 +637,8 @@ class _MCPCActor(_Actor):
             self.seg_start += s
         if self.post_t is not None:
             self.post_t += s
+        if self.loop_top is not None:
+            self.loop_top += s
 
     def budget_ok(self, j: int, delta: float) -> bool:
         """Render + uplink of every skipped frame must fit the observed
@@ -557,6 +690,7 @@ class _SingleCoreActor(_Actor):
 
     def body(self) -> Generator[Op, Any, None]:
         eng = self.eng
+        synth = eng.synth
         busy = eng.busy_samples[self.key]
         births = eng.births
         while self.frame < eng.frames:
@@ -570,6 +704,10 @@ class _SingleCoreActor(_Actor):
             yield ("s", self.downlink_prog)
             eng.record_completion(self.frame, self.t)
             busy.append(self.t - self.span_start)
+            if synth is not None:
+                assert self.span_start is not None
+                synth.stage_busy(self.span_key, self.span_start, self.t,
+                                 self.frame)
             self.frame += 1
 
     def budget_ok(self, j: int, delta: float) -> bool:
@@ -584,13 +722,14 @@ class _Snapshot:
     """Phase signature of the run at one transfer-stage anchor."""
 
     __slots__ = ("T", "frames", "ops", "deltas", "stores", "res_off",
-                 "mc_busy", "lens")
+                 "mc_busy", "lens", "tel")
 
     def __init__(self, T: float, frames: Tuple[int, ...],
                  ops: Tuple[int, ...], deltas: np.ndarray,
                  stores: Tuple[Tuple[int, int, int], ...],
                  res_off: np.ndarray, mc_busy: np.ndarray,
-                 lens: Dict[Tuple[str, str], int]) -> None:
+                 lens: Dict[Tuple[str, str], int],
+                 tel: Optional[Any] = None) -> None:
         self.T = T
         self.frames = frames
         self.ops = ops
@@ -599,6 +738,8 @@ class _Snapshot:
         self.res_off = res_off
         self.mc_busy = mc_busy
         self.lens = lens
+        #: telsynth phase signature (event count + counter/gauge state)
+        self.tel = tel
 
 
 # ---------------------------------------------------------------------------
@@ -621,7 +762,18 @@ class BatchedEngine:
         self.cost = runner.cost
         self.mcpc_config: MCPCConfig = runner.mcpc_config or MCPCConfig()
         self.sim = Simulator()
-        self.chip = SCCChip(self.sim, runner.chip_config)
+        #: telemetry synthesis (None on the plain fast path); full-detail
+        #: synthesis also hands the hub to the chip so DVFS/power emit
+        #: their usual events from the real frequency-plan/power calls
+        self.synth: Optional[TelemetrySynth] = make_synth(runner)
+        self._step_synth: Optional[TelemetrySynth] = (
+            self.synth if self.synth is not None and self.synth.detail
+            else None)
+        self.chip = SCCChip(
+            self.sim, runner.chip_config,
+            telemetry=(self.synth.hub if self._step_synth is not None
+                       else None))
+        self._active_cores: List[int] = []
         self.heap: List[Tuple[float, int, _Actor]] = []
         self._seq = 0
         self.actors: List[_Actor] = []
@@ -658,16 +810,28 @@ class BatchedEngine:
         self._all_res.append(res)
         return res
 
-    def _mesh_prog(self, src: Any, dst: Any, nbytes: int) -> Prog:
+    def _mesh_prog(self, src: Any, dst: Any, nbytes: int,
+                   core: Optional[int] = None) -> Prog:
         mesh = self.chip.mesh
         cfg = mesh.config
         route = mesh._route(src, dst)
         hold = nbytes / cfg.link_bandwidth + cfg.hop_latency_s
+        # Step metadata is only consumed by detail synthesis; skip the
+        # per-step tuple allocations on the plain fast path.
+        detail = self._step_synth is not None
         if not route:
-            return [(None, cfg.hop_latency_s)]
+            return [(None, cfg.hop_latency_s,
+                     ("mesh", nbytes) if detail else None)]
         if not cfg.model_contention:
-            return [(None, len(route) * hold)]
-        return [(self._link(link), hold) for link in route]
+            return [(None, len(route) * hold,
+                     ("mesh", nbytes) if detail else None)]
+        if not detail:
+            return [(self._link(link), hold, None) for link in route]
+        # The head step carries the transfer-entry counters; every link
+        # step emits its own per-link counters and queue/xfer spans.
+        return [(self._link(link), hold,
+                 ("link", link.tag, nbytes, core, i == 0))
+                for i, link in enumerate(route)]
 
     def _coord(self, core_id: int) -> Any:
         return self.chip.topology.core(core_id).coord
@@ -679,34 +843,37 @@ class BatchedEngine:
             return []
         cc = self._coord(acting)
         mc = self.chip.memory.controller_of(owner)
-        prog = self._mesh_prog(cc, mc.coord, cfg.command_bytes)
+        prog = self._mesh_prog(cc, mc.coord, cfg.command_bytes,
+                               core=acting)
         service = cfg.mc_latency_s + nbytes / cfg.mc_bandwidth
-        prog.append((self._mc_res[mc.index], service))
+        prog.append((self._mc_res[mc.index], service,
+                     ("mc", mc.index, acting, nbytes, inbound)
+                     if self._step_synth is not None else None))
         if inbound:
-            prog.extend(self._mesh_prog(mc.coord, cc, nbytes))
+            prog.extend(self._mesh_prog(mc.coord, cc, nbytes, core=acting))
         else:
-            prog.extend(self._mesh_prog(cc, mc.coord, nbytes))
-        prog.append((None, nbytes / cfg.core_copy_bandwidth))
+            prog.extend(self._mesh_prog(cc, mc.coord, nbytes, core=acting))
+        prog.append((None, nbytes / cfg.core_copy_bandwidth, None))
         return prog
 
     def _read_own_prog(self, core: int, nbytes: int) -> Prog:
         cfg = self.chip.memory.config
         if cfg.local_memory:
-            return [(None, nbytes / cfg.local_bandwidth)]
+            return [(None, nbytes / cfg.local_bandwidth, None)]
         return self._dram_prog(core, core, nbytes, True)
 
     def _write_own_prog(self, core: int, nbytes: int) -> Prog:
         cfg = self.chip.memory.config
         if cfg.local_memory:
-            return [(None, nbytes / cfg.local_bandwidth)]
+            return [(None, nbytes / cfg.local_bandwidth, None)]
         return self._dram_prog(core, core, nbytes, False)
 
     def _write_to_prog(self, src: int, dst: int, nbytes: int) -> Prog:
         cfg = self.chip.memory.config
         if cfg.local_memory:
             prog = self._mesh_prog(self._coord(src), self._coord(dst),
-                                   nbytes)
-            prog.append((None, nbytes / cfg.local_bandwidth))
+                                   nbytes, core=src)
+            prog.append((None, nbytes / cfg.local_bandwidth, None))
             return prog
         return self._dram_prog(src, dst, nbytes, False)
 
@@ -715,14 +882,14 @@ class BatchedEngine:
         hold = nbytes / cfg.bandwidth + frags * cfg.per_datagram_overhead
         prog: Prog = []
         if hold > 0.0:
-            prog.append((res, hold))
-        prog.append((None, cfg.latency_s))
+            prog.append((res, hold, None))
+        prog.append((None, cfg.latency_s, None))
         return prog
 
     def _chan(self, src: int, dst: int) -> _Chan:
         chan = self._chans.get((src, dst))
         if chan is None:
-            chan = self._chans[(src, dst)] = _Chan()
+            chan = self._chans[(src, dst)] = _Chan(src, dst)
             self.stores.append(chan.recv_posted)
             self.stores.append(chan.data_ready)
         return chan
@@ -827,7 +994,7 @@ class BatchedEngine:
                 actors.append(_ConnectActor(
                     self, ccore, queue,
                     self._mesh_prog(SIF_LOCATION, self._coord(ccore),
-                                    frame_bytes),
+                                    frame_bytes, core=ccore),
                     chip.compute_time(ccore,
                                       cost.connect_seconds(datagrams, n)),
                     self._write_own_prog(ccore, frame_bytes),
@@ -851,7 +1018,7 @@ class BatchedEngine:
                                  else chain[j + 1])
                     self._samples_for(key)
                     actors.append(_FilterActor(
-                        self, key, core_id,
+                        self, key, f"{key}[{p}]", core_id,
                         self._chan(prev_core, core_id),
                         self._chan(core_id, next_core),
                         self._read_own_prog(core_id, strip_nbytes[p]),
@@ -876,20 +1043,66 @@ class BatchedEngine:
             self.actors = actors
             self.trigger = transfer
 
+        self._active_cores = active_cores
+        synth = self.synth
+        if synth is not None:
+            # Track -> core bindings in the runner's stage-start order
+            # (the host process never binds, exactly like the event path)
+            for actor in self.actors:
+                if actor.core_id >= 0:
+                    synth.bind(actor.span_key, actor.core_id, self.sim.now)
+
     # -- scheduler ---------------------------------------------------------
     def _push(self, t: float, actor: _Actor) -> None:
         heappush(self.heap, (t, self._seq, actor))
         self._seq += 1
 
     def _run_prog(self, actor: _Actor, prog: Prog, i: int) -> bool:
-        """Execute a fused step program; False = reparked mid-program."""
+        """Execute a fused step program; False = reparked mid-program.
+
+        Two bodies, one grant discipline: the plain loop is the hot path
+        (no synthesis, no per-step branches beyond the kernel's own);
+        the synth loop adds the ``synth.step`` emissions.  Any change to
+        the grant/hold arithmetic must land in BOTH loops — the
+        differential suite will catch a drift, but keep them in sync.
+        """
         heap = self.heap
+        synth = self._step_synth
         t = actor.t
         n = len(prog)
+        if synth is None:
+            while i < n:
+                res, hold, _ = prog[i]
+                if res is None:
+                    t += hold
+                else:
+                    if heap and t > heap[0][0]:
+                        actor.t = t
+                        actor.pending = (0, prog, i)
+                        self._push(t, actor)
+                        return False
+                    fa = res.free_at
+                    if t < fa:
+                        grant = fa
+                    else:
+                        if res.acct:
+                            bs = res.busy_since
+                            if bs is not None:
+                                res.busy_time += fa - bs  # lint: disable=DET007
+                            res.busy_since = t
+                        grant = t
+                    t = grant + hold
+                    res.free_at = t
+                i += 1
+            actor.t = t
+            return True
         while i < n:
-            res, hold = prog[i]
+            res, hold, meta = prog[i]
             if res is None:
-                t += hold
+                nt = t + hold
+                if meta is not None:
+                    synth.step(meta, t, t, nt)
+                t = nt
             else:
                 if heap and t > heap[0][0]:
                     actor.t = t
@@ -900,7 +1113,7 @@ class BatchedEngine:
                 if t < fa:
                     # queued behind the current holder: granted at the
                     # exact release float, interval stays open
-                    t = fa + hold
+                    grant = fa
                 else:
                     if res.acct:
                         bs = res.busy_since
@@ -909,8 +1122,12 @@ class BatchedEngine:
                             # reproduced bit-for-bit:
                             res.busy_time += fa - bs  # lint: disable=DET007
                         res.busy_since = t
-                    t = t + hold
-                res.free_at = t
+                    grant = t
+                nt = grant + hold
+                res.free_at = nt
+                if meta is not None:
+                    synth.step(meta, t, grant, nt)
+                t = nt
             i += 1
         actor.t = t
         return True
@@ -920,6 +1137,7 @@ class BatchedEngine:
         gen = actor.gen
         val = actor.resume
         actor.resume = None
+        actor.resume_shift = None
         op: Optional[Op] = None
         pend = actor.pending
         if pend is not None:
@@ -985,6 +1203,7 @@ class BatchedEngine:
                     if store.getters:
                         getter = store.getters.popleft()
                         getter.resume = op[2]
+                        getter.resume_shift = store.shift
                         # the event kernel resumes the woken receiver
                         # before the sender continues — same order here
                         self._push(actor.t, getter)
@@ -1035,8 +1254,9 @@ class BatchedEngine:
         lens = {("i", k): len(v) for k, v in self.idle_samples.items()}
         lens.update({("b", k): len(v)
                      for k, v in self.busy_samples.items()})
+        tel = self.synth.phase_sig() if self.synth is not None else None
         return _Snapshot(T, frames, ops, deltas, stores, res_off, mc_busy,
-                         lens)
+                         lens, tel)
 
     def _slices_match(self, snap: _Snapshot, prev: _Snapshot,
                       prev2: _Snapshot) -> bool:
@@ -1077,6 +1297,11 @@ class BatchedEngine:
         if not np.all(off_ok):
             return None
         if not self._slices_match(snap, prev, prev2):
+            return None
+        if self.synth is not None and not TelemetrySynth.periodic_ok(
+                prev2.tel, prev.tel, snap.tel):
+            # the telemetry stream itself must repeat before its period
+            # can be captured and replayed symbolically
             return None
         return delta
 
@@ -1164,6 +1389,13 @@ class BatchedEngine:
             if store.shift is not None and store.putters:
                 store.putters = deque((a, store.shift(item, j))
                                       for a, item in store.putters)
+
+        # 7. telemetry: register the captured period as a periodic block,
+        # advance counters in closed form, mark the wave for live sinks
+        if self.synth is not None:
+            assert prev.tel is not None and snap.tel is not None
+            self.synth.jump(j, delta, prev.tel, snap.tel, trig.t)
+
         self._snap1 = self._snap2 = None
 
     # -- result assembly ---------------------------------------------------
@@ -1171,6 +1403,13 @@ class BatchedEngine:
         runner = self.runner
         self._run_loop()
         end = self.end_time
+        if self._step_synth is not None:
+            # mirror the event path's teardown: advance the kernel clock
+            # to the finish line and power the cores back down, so the
+            # power gauge, trace point and closing sample land at the
+            # same instant the event engine records them
+            self.sim.run(until=end)
+            self.chip.power.set_cores_active(self._active_cores, False)
 
         metrics = RunMetrics()
         metrics.frame_birth = dict(self.births)
@@ -1198,7 +1437,9 @@ class BatchedEngine:
         runner.last_metrics = metrics
         runner.last_chip = self.chip
         runner.last_viewer = None
-        runner.last_trace = None
+        runner.last_trace = (self.synth.build_trace()
+                             if self.synth is not None and runner.trace
+                             else None)
         runner.last_telemetry = runner.telemetry or Telemetry(enabled=False)
 
         chip = self.chip

@@ -250,7 +250,9 @@ def _run_payload(spec: RunSpec, want_telemetry: bool, index: int,
     worker = multiprocessing.current_process().name
     hub = Telemetry(enabled=want_telemetry)
     sink = FrameProgressSink(emit, index, digest, spec.frames,
-                             worker=worker)
+                             worker=worker,
+                             counters=hub.counters if want_telemetry
+                             else None)
     hub.add_sink(sink)
     emit(state_event("running", index, digest, worker=worker,
                      frames_total=spec.frames))

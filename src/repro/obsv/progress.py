@@ -72,6 +72,12 @@ class ProgressEvent:
     error: str = ""
     #: one-line bottleneck verdict (``done`` only, when available)
     verdict: str = ""
+    #: batched engine's detected frame-wave period Δ in virtual seconds
+    #: (heartbeats only; 0.0 until a steady state is found)
+    period_s: float = 0.0
+    #: telemetry-counter deltas since the previous heartbeat, as sorted
+    #: ``(name, delta)`` pairs (empty when no counter source is wired)
+    counters: Tuple[Tuple[str, float], ...] = ()
 
 
 ProgressCallback = Callable[[ProgressEvent], None]
@@ -127,23 +133,43 @@ class FrameProgressSink:
     baseline) — every frame crosses it exactly once.  Heartbeats emit at
     frame-count steps (default ~4% of the run) with a minimum wall-time
     spacing, so a fast run does not flood the queue.
+
+    The batched engine's frame-wave jump emits one ``engine/wave``
+    instant instead of per-frame spans; the sink folds its skipped-wave
+    count straight into ``frames_done`` and forwards the detected
+    period Δ, so a jumped run heartbeats just like a replayed one.
+    When a ``counters`` registry is attached, each heartbeat carries
+    the telemetry-counter deltas accumulated since the previous one.
     """
 
     def __init__(self, emit: ProgressCallback, index: int, digest: str,
                  frames_total: int, worker: str = "main",
-                 min_interval_s: float = 0.05) -> None:
+                 min_interval_s: float = 0.05,
+                 counters: Optional[Any] = None) -> None:
         self.emit = emit
         self.index = index
         self.digest = digest
         self.worker = worker
         self.frames_total = frames_total
         self.frames_done = 0
+        #: batched frame-wave period Δ (0.0 until a jump reports one)
+        self.period_s = 0.0
         self._step = max(1, frames_total // 25)
         self._next_at = self._step
         self._min_interval = min_interval_s
         self._last_emit = 0.0
+        self._counters = counters
+        self._last_counters: Dict[str, float] = {}
 
     def __call__(self, event: Any) -> None:
+        if (event.kind == "instant" and event.category == "engine"
+                and event.name == "wave"):
+            # A batched frame-wave jump: many frames land at once and
+            # the period is now known — heartbeat immediately.
+            self.frames_done += int(event.fields.get("frames", 0))
+            self.period_s = float(event.fields.get("dt", 0.0))
+            self._heartbeat()
+            return
         if (event.kind != "span" or event.category != "stage"
                 or event.name != "busy" or event.track is None):
             return
@@ -157,11 +183,29 @@ class FrameProgressSink:
         if (now - self._last_emit < self._min_interval
                 and self.frames_done < self.frames_total):
             return
-        self._last_emit = now
+        self._heartbeat(now)
+
+    def _heartbeat(self, now: Optional[float] = None) -> None:
+        self._last_emit = time.monotonic() if now is None else now
         self._next_at = self.frames_done + self._step
         self.emit(_event("heartbeat", self.index, self.digest, self.worker,
                          frames_done=self.frames_done,
-                         frames_total=self.frames_total))
+                         frames_total=self.frames_total,
+                         period_s=self.period_s,
+                         counters=self._counter_deltas()))
+
+    def _counter_deltas(self) -> Tuple[Tuple[str, float], ...]:
+        """Sorted ``(name, delta)`` pairs since the last heartbeat."""
+        if self._counters is None:
+            return ()
+        current: Dict[str, float] = dict(
+            self._counters.snapshot()["counters"])
+        deltas = tuple(sorted(
+            (name, value - self._last_counters.get(name, 0.0))
+            for name, value in current.items()
+            if value != self._last_counters.get(name, 0.0)))
+        self._last_counters = current
+        return deltas
 
 
 # -- aggregation -----------------------------------------------------------
@@ -179,6 +223,8 @@ class RunProgress:
     wall_s: float = 0.0
     error: str = ""
     verdict: str = ""
+    #: batched frame-wave period Δ (virtual seconds; 0.0 for event runs)
+    period_s: float = 0.0
 
 
 @dataclass
@@ -240,6 +286,8 @@ class FleetAggregator:
         self._cache_hits = 0  # guarded-by: self._lock
         self._cache_misses = 0  # guarded-by: self._lock
         self._wall_times: List[float] = []  # guarded-by: self._lock
+        #: aggregator-clock instant each run was first seen running
+        self._run_started: Dict[int, float] = {}  # guarded-by: self._lock
         self._started_at: Optional[float] = None  # guarded-by: self._lock
         self._finished = False  # guarded-by: self._lock
         self._on_update = on_update
@@ -288,8 +336,11 @@ class FleetAggregator:
         if event.kind == "heartbeat":
             run.frames_done = max(run.frames_done, event.frames_done)
             run.frames_total = max(run.frames_total, event.frames_total)
+            if event.period_s > 0.0:
+                run.period_s = event.period_s
             if run.state == "queued":  # heartbeat raced the state event
                 run.state = "running"
+            self._run_started.setdefault(event.index, now)
             run.worker = event.worker
             worker.current = event.index
             return
@@ -303,6 +354,7 @@ class FleetAggregator:
         if event.state == "running":
             if previous != "running":
                 self._cache_misses += 1
+            self._run_started.setdefault(event.index, now)
             run.worker = event.worker
             run.frames_total = max(run.frames_total, event.frames_total)
             worker.current = event.index
@@ -365,14 +417,44 @@ class FleetAggregator:
 
     def _eta(self, total: int, counts: Dict[str, int],  # guarded-by: self._lock
              workers: List[WorkerProgress]) -> Optional[float]:
-        """Remaining wall seconds from completed-run wall times."""
-        if not self._wall_times:
-            return None
+        """Remaining wall seconds for the fleet.
+
+        Event-engine runs extrapolate from completed-run wall times, as
+        before.  A running batched run that has reported a frame-wave
+        period (``period_s > 0``) is instead extrapolated from its own
+        frame progress — jump heartbeats land the skipped waves in
+        ``frames_done`` immediately, so the frame fraction tracks real
+        progress even when almost all frames are jumped.  With no
+        frame-based estimates the formula reduces bit-for-bit to the
+        old completed-walls-only one.
+        """
         remaining = total - (counts["cached"] + counts["done"]
                              + counts["failed"])
         if remaining <= 0:
-            return 0.0
-        mean_wall = sum(self._wall_times) / len(self._wall_times)
+            return 0.0 if self._wall_times else None
+        now = self._clock()
+        frame_based: List[float] = []
+        projected_walls: List[float] = []
+        for run in self._runs.values():
+            if (run.state != "running" or run.period_s <= 0.0
+                    or not 0 < run.frames_done < run.frames_total):
+                continue
+            started = self._run_started.get(run.index)
+            if started is None or now <= started:
+                continue
+            elapsed = now - started
+            frame_based.append(
+                elapsed * (run.frames_total - run.frames_done)
+                / run.frames_done)
+            projected_walls.append(
+                elapsed * run.frames_total / run.frames_done)
+        if not self._wall_times and not frame_based:
+            return None
+        if self._wall_times:
+            mean_wall = sum(self._wall_times) / len(self._wall_times)
+        else:
+            mean_wall = sum(projected_walls) / len(projected_walls)
         lanes = max(1, len([w for w in workers if w.finished or
                             w.current >= 0]))
-        return remaining * mean_wall / lanes
+        others = remaining - len(frame_based)
+        return (sum(frame_based) + others * mean_wall) / lanes

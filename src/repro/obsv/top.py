@@ -112,6 +112,10 @@ def render_top(snapshot: FleetSnapshot, width: int = 80,
             bar = progress_bar(run.frames_done, run.frames_total, width=22)
             doing = (f"{_run_label(run)} {bar} "
                      f"{run.frames_done}/{run.frames_total} frames")
+            if run.period_s > 0.0:
+                # batched steady state detected: Δ is the frame-wave
+                # period driving the frame-based ETA
+                doing += f"  Δ {run.period_s * 1e3:.2f}ms"
             doing = _paint(doing, _YELLOW, color)
         else:
             doing = _paint("idle", _DIM, color)

@@ -260,8 +260,9 @@ class PipelineRunner:
                              walkthrough_s=result.walkthrough_seconds,
                              sim_events=0)
                 return result
-            # declined (payload mode, tracing, sanitizers, telemetry,
-            # sampled power) — the event engine is the one true result
+            # declined (payload mode, sanitizers, sampled power — see
+            # BATCHED_DECLINE_REASONS; telemetry and tracing are
+            # synthesized now) — the event engine is the one true result
         sim = Simulator()
         obs = None
         if EVENT_LOG.enabled:

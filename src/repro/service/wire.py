@@ -1,12 +1,16 @@
-"""Wire schema v1 for the run event stream and result documents.
+"""Wire schema v2 for the run event stream and result documents.
 
 Everything a client sees over the WebSocket (``WS
 /runs/<digest>/stream``) or in a ``GET /runs/<digest>`` body is built
 here, so the byte-level contract lives in exactly one place:
 
-* every stream frame is a JSON object carrying ``"v": 1`` — the
+* every stream frame is a JSON object carrying ``"v": 2`` — the
   stream schema version, bumped only on breaking changes
-  (docs/service.md documents the frame kinds);
+  (docs/service.md documents the frame kinds).  v2 is additive over
+  v1: heartbeat frames may now carry ``period_s`` (the batched
+  engine's detected frame-wave period) and ``counters`` (telemetry
+  counter deltas since the previous heartbeat); both are elided when
+  absent, so a v1 client that ignores unknown keys keeps working;
 * the result document is serialised with :func:`canonical_json` — the
   same sorted-keys/compact serialisation the cache digest uses — so a
   cold run, a warm cache hit and a coalesced subscriber all receive
@@ -29,7 +33,7 @@ __all__ = ["WS_SCHEMA", "STREAM_END_KINDS", "event_to_wire",
            "result_body", "is_stream_end"]
 
 #: stream schema version; present in every frame as ``"v"``
-WS_SCHEMA = 1
+WS_SCHEMA = 2
 
 #: frame kinds that terminate a stream (the server closes after one)
 STREAM_END_KINDS = ("result", "error")
@@ -55,6 +59,10 @@ def event_to_wire(event: ProgressEvent) -> Dict[str, Any]:
         doc["error"] = event.error
     if event.verdict:
         doc["verdict"] = event.verdict
+    if event.period_s:
+        doc["period_s"] = event.period_s
+    if event.counters:
+        doc["counters"] = {name: delta for name, delta in event.counters}
     return doc
 
 

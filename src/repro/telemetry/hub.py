@@ -19,6 +19,14 @@ Design rules
   even in runs that collect no telemetry (the Fig. 15 path).
 * **Retention only when enabled.**  The ``events`` buffer (what the
   Chrome-trace exporter reads) fills only while ``enabled`` is True.
+* **Periodic regions stay symbolic.**  A producer that knows a window of
+  retained events repeats verbatim at a fixed period (the batched
+  engine's frame-wave jump) registers it via :meth:`add_periodic_block`
+  instead of appending ``repeats × window`` copies.  Readers see the
+  fully expanded, chronologically ordered stream through ``events`` /
+  ``events_in`` / ``snapshot``; the expansion is materialized lazily and
+  cached, so registering a block is O(1) no matter how many waves it
+  covers.
 
 Event kinds
 -----------
@@ -35,7 +43,7 @@ Event kinds
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .counters import CounterRegistry
 
@@ -72,6 +80,25 @@ class TelemetryEvent:
 Sink = Callable[[TelemetryEvent], None]
 
 
+def _shifted_copy(event: TelemetryEvent, offset: float,
+                  frame_delta: int) -> TelemetryEvent:
+    """Replica of ``event`` moved ``offset`` seconds and ``frame_delta``
+    frames into the future (periodic-block expansion)."""
+    fields = event.fields
+    if fields and ("frame" in fields or "tag" in fields):
+        fields = dict(fields)
+        frame = fields.get("frame")
+        if isinstance(frame, int):
+            fields["frame"] = frame + frame_delta
+        tag = fields.get("tag")
+        if isinstance(tag, int):
+            fields["tag"] = tag + frame_delta
+    return TelemetryEvent(event.kind, event.category, event.name,
+                          event.t + offset, dur=event.dur,
+                          track=event.track, value=event.value,
+                          fields=fields)
+
+
 class Telemetry:
     """The instrumentation hub.
 
@@ -87,6 +114,12 @@ class Telemetry:
         self.counters = CounterRegistry()
         self._events: List[TelemetryEvent] = []
         self._sinks: List[Sink] = []
+        # Periodic blocks: (start, end, repeats, dt) index windows into
+        # ``_events`` whose replicas at offsets k*dt (k = 1..repeats) are
+        # expanded lazily by ``_materialize``.
+        self._blocks: List[Tuple[int, int, int, float]] = []
+        self._materialized: Optional[
+            Tuple[Tuple[int, int], List[TelemetryEvent]]] = None
         # Optional runtime sanitizer suite (repro.analysis.sanitizers).
         # Model-layer hooks (RCCE, MPB) guard with ``if sanitizers is not
         # None`` — a direct attribute check, no event allocation — so
@@ -114,6 +147,18 @@ class Telemetry:
             self._sinks.remove(sink)
         except ValueError:
             pass
+
+    @property
+    def has_sinks(self) -> bool:
+        return bool(self._sinks)
+
+    def as_sink(self) -> Sink:
+        """This hub as a sink for another hub (hub-to-hub forwarding).
+
+        Events dispatched by the upstream hub are retained/observed here
+        under this hub's own ``enabled``/sink rules.
+        """
+        return self._dispatch
 
     # -- emission ------------------------------------------------------------
     def _dispatch(self, event: TelemetryEvent) -> None:
@@ -150,12 +195,71 @@ class Telemetry:
                                       track=track or name,
                                       value=float(value)))
 
+    # -- periodic blocks -----------------------------------------------------
+    def add_periodic_block(self, start: int, end: int, repeats: int,
+                           dt: float) -> None:
+        """Declare that ``_events[start:end]`` repeats ``repeats`` more
+        times at period ``dt`` (replica ``k`` shifted by ``k * dt`` with
+        integer ``frame``/``tag`` fields advanced by ``k``).
+
+        Blocks must be registered in stream order: ``start`` may not
+        reach back before the previous block's ``end``.  Registration is
+        O(1); expansion happens lazily on first read.
+        """
+        if not self.enabled:
+            return
+        if not (0 <= start <= end <= len(self._events)):
+            raise ValueError(
+                f"periodic block [{start}:{end}] outside retained "
+                f"events (len={len(self._events)})")
+        if self._blocks and start < self._blocks[-1][1]:
+            raise ValueError("periodic blocks must not overlap")
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        self._blocks.append((start, end, repeats, dt))
+
+    def _materialize(self) -> List[TelemetryEvent]:
+        """Retained events with every periodic block expanded in place."""
+        if not self._blocks:
+            return self._events
+        key = (len(self._events), len(self._blocks))
+        if self._materialized is not None and self._materialized[0] == key:
+            out: List[TelemetryEvent] = self._materialized[1]
+            return out
+        expanded: List[TelemetryEvent] = []
+        cursor = 0
+        for start, end, repeats, dt in self._blocks:
+            expanded.extend(self._events[cursor:end])
+            window = self._events[start:end]
+            for k in range(1, repeats + 1):
+                offset = k * dt
+                for event in window:
+                    expanded.append(_shifted_copy(event, offset, k))
+            cursor = end
+        expanded.extend(self._events[cursor:])
+        self._materialized = (key, expanded)
+        return expanded
+
+    @property
+    def event_count(self) -> int:
+        """Number of retained events after periodic-block expansion."""
+        return len(self._events) + sum(
+            (end - start) * repeats for start, end, repeats, _ in self._blocks)
+
+    @property
+    def raw_event_count(self) -> int:
+        """Number of retained events before periodic-block expansion
+        (the index space :meth:`add_periodic_block` addresses)."""
+        return len(self._events)
+
     # -- cross-process merge ------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """Picklable state of the hub: retained events plus a lossless
         counter-registry snapshot (for worker → parent merging)."""
         return {
-            "events": list(self._events),
+            "events": list(self._materialize()),
             "counters": self.counters.snapshot(),
         }
 
@@ -175,11 +279,12 @@ class Telemetry:
     # -- queries ------------------------------------------------------------
     @property
     def events(self) -> List[TelemetryEvent]:
-        """Retained events (chronological by completion)."""
-        return list(self._events)
+        """Retained events (chronological by completion), with periodic
+        blocks expanded."""
+        return list(self._materialize())
 
     def events_in(self, category: str) -> List[TelemetryEvent]:
-        return [e for e in self._events if e.category == category]
+        return [e for e in self._materialize() if e.category == category]
 
     def tracks(self, category: Optional[str] = None) -> List[str]:
         """Distinct track names, in first-appearance order."""
@@ -194,15 +299,23 @@ class Telemetry:
     @property
     def horizon(self) -> float:
         """Latest event end time (0 when empty)."""
-        return max((e.end for e in self._events), default=0.0)
+        base = max((e.end for e in self._events), default=0.0)
+        for start, end, repeats, dt in self._blocks:
+            reach = max((e.end for e in self._events[start:end]),
+                        default=0.0) + repeats * dt
+            if reach > base:
+                base = reach
+        return base
 
     def clear(self) -> None:
         """Drop retained events (counters and sinks stay)."""
         self._events.clear()
+        self._blocks.clear()
+        self._materialized = None
 
     def __repr__(self) -> str:
         state = "on" if self.enabled else "off"
-        return (f"<Telemetry {state} events={len(self._events)} "
+        return (f"<Telemetry {state} events={self.event_count} "
                 f"metrics={len(self.counters)} sinks={len(self._sinks)}>")
 
 

@@ -286,6 +286,38 @@ def test_dynamic_metric_tail_with_known_root_clean():
         """) == []
 
 
+# -- TEL003: direct emission inside repro.engine ------------------------------
+
+def test_direct_emission_in_engine_flagged():
+    engine = LintEngine(default_rules())
+    findings = engine.check_source(textwrap.dedent("""\
+        def f(self, tel, t):
+            tel.span("stage", "blur[0]", "busy", t, t + 1.0)
+            tel.emit("engine", "wave", t, frames=3)
+            tel.counters.inc("stage.blur.frames")
+        """), path="src/repro/engine/batched.py",
+        module="repro.engine.batched")
+    assert rules_of(findings) == ["TEL003", "TEL003", "TEL003"]
+    assert "telsynth" in findings[0].message
+
+
+def test_emission_allowed_in_telsynth_helper():
+    engine = LintEngine(default_rules())
+    assert engine.check_source(textwrap.dedent("""\
+        def f(self, hub, t):
+            hub.span("stage", "blur[0]", "busy", t, t + 1.0)
+            hub.add_periodic_block(0, 10, 4, 0.5)
+        """), path="src/repro/engine/telsynth.py",
+        module="repro.engine.telsynth") == []
+
+
+def test_emission_outside_engine_package_clean():
+    assert lint("""\
+        def f(tel, t):
+            tel.emit("stage", "bind", t, track="blur[0]")
+        """) == []
+
+
 # -- OBS001: direct print in library code ------------------------------------
 
 def test_print_in_library_code_flagged():

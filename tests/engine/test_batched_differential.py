@@ -21,7 +21,8 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis import Tolerances, diff_snapshots, snapshot_from_result
-from repro.engine import BatchedEngine, batched_decline_reason
+from repro.engine import (BATCHED_DECLINE_REASONS, BatchedEngine,
+                          batched_decline_reason)
 from repro.pipeline import PipelineRunner
 from repro.telemetry import Telemetry
 
@@ -112,15 +113,18 @@ def test_decline_reasons():
     assert batched_decline_reason(
         PipelineRunner(payload_mode=True, **base)) is not None
     assert batched_decline_reason(
-        PipelineRunner(trace=True, **base)) is not None
-    assert batched_decline_reason(
-        PipelineRunner(telemetry=Telemetry(), **base)) is not None
-    assert batched_decline_reason(
         PipelineRunner(power_trace_dt=0.1, **base)) is not None
-    # a disabled hub is the runner's own default: no reason to decline
+    # telemetry and tracing are synthesized now — no longer declined
+    assert batched_decline_reason(
+        PipelineRunner(trace=True, **base)) is None
+    assert batched_decline_reason(
+        PipelineRunner(telemetry=Telemetry(), **base)) is None
     assert batched_decline_reason(
         PipelineRunner(telemetry=Telemetry(enabled=False), **base)) is None
     assert batched_decline_reason(PipelineRunner(**base)) is None
+    # the decline surface is a closed registry: exactly these remain
+    assert set(BATCHED_DECLINE_REASONS) == {"payload_mode", "sanitizers",
+                                            "power_trace"}
 
 
 @settings(max_examples=12, deadline=None,
